@@ -1,0 +1,68 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! the within-leaf pairwise pruning conditions (Section 5.2) and the
+//! quad-tree split threshold (Section 5.1).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrq_bench::runner::{focal_ids, synthetic_workload};
+use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery};
+use mrq_data::Distribution;
+use mrq_quadtree::QuadTreeConfig;
+
+fn bench_pair_pruning(c: &mut Criterion) {
+    let (data, tree) = synthetic_workload(Distribution::AntiCorrelated, 800, 3, 2015);
+    let ids = focal_ids(&data, 1, 2015);
+    let engine = MaxRankQuery::new(&data, &tree);
+    let mut group = c.benchmark_group("ablation_pair_pruning_anti_d4");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for (label, enabled) in [("on", true), ("off", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                engine.evaluate(
+                    ids[0],
+                    &MaxRankConfig {
+                        tau: 1,
+                        algorithm: Algorithm::AdvancedApproach,
+                        pair_pruning: enabled,
+                        quadtree: None,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_split_threshold(c: &mut Criterion) {
+    let (data, tree) = synthetic_workload(Distribution::Independent, 1_000, 3, 2015);
+    let ids = focal_ids(&data, 1, 2015);
+    let engine = MaxRankQuery::new(&data, &tree);
+    let mut group = c.benchmark_group("ablation_quadtree_split_threshold_d4");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for threshold in [4usize, 12, 24, 48] {
+        group.bench_with_input(BenchmarkId::from_parameter(threshold), &threshold, |b, &t| {
+            b.iter(|| {
+                engine.evaluate(
+                    ids[0],
+                    &MaxRankConfig {
+                        tau: 0,
+                        algorithm: Algorithm::AdvancedApproach,
+                        pair_pruning: true,
+                        quadtree: Some(QuadTreeConfig {
+                            split_threshold: t,
+                            max_depth: QuadTreeConfig::for_reduced_dims(2).max_depth,
+                        }),
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pair_pruning, bench_split_threshold);
+criterion_main!(benches);

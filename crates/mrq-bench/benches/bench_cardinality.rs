@@ -1,0 +1,66 @@
+//! Criterion bench for Figure 8(a)–(d): MaxRank cost versus dataset
+//! cardinality, AA vs BA and AA across data distributions.
+//!
+//! Sizes are kept small enough for `cargo bench` to finish in minutes; the
+//! full-scale sweep lives in the `experiments` binary.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrq_bench::runner::{focal_ids, synthetic_workload};
+use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery};
+use mrq_data::Distribution;
+
+fn bench_aa_vs_ba(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_aa_vs_ba_ind_d3");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [500usize, 1_000, 2_000] {
+        let (data, tree) = synthetic_workload(Distribution::Independent, n, 3, 2015);
+        let ids = focal_ids(&data, 1, 2015);
+        let engine = MaxRankQuery::new(&data, &tree);
+        group.bench_with_input(BenchmarkId::new("AA", n), &n, |b, _| {
+            b.iter(|| {
+                engine.evaluate(
+                    ids[0],
+                    &MaxRankConfig::new().with_algorithm(Algorithm::AdvancedApproach),
+                )
+            })
+        });
+        if n <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("BA", n), &n, |b, _| {
+                b.iter(|| {
+                    engine.evaluate(
+                        ids[0],
+                        &MaxRankConfig::new().with_algorithm(Algorithm::BasicApproach),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_aa_distributions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_aa_distributions_d3");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for dist in Distribution::all() {
+        let (data, tree) = synthetic_workload(dist, 2_000, 3, 2015);
+        let ids = focal_ids(&data, 1, 2015);
+        let engine = MaxRankQuery::new(&data, &tree);
+        group.bench_function(dist.label(), |b| {
+            b.iter(|| {
+                engine.evaluate(
+                    ids[0],
+                    &MaxRankConfig::new().with_algorithm(Algorithm::AdvancedApproach),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aa_vs_ba, bench_aa_distributions);
+criterion_main!(benches);

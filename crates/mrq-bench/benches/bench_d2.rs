@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 11: FCA versus the specialised AA in the
+//! two-dimensional special case, across the three data distributions.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrq_bench::runner::{focal_ids, synthetic_workload};
+use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery};
+use mrq_data::Distribution;
+
+fn bench_d2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_fca_vs_aa_d2");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for dist in Distribution::all() {
+        let (data, tree) = synthetic_workload(dist, 20_000, 2, 2015);
+        let ids = focal_ids(&data, 1, 2015);
+        let engine = MaxRankQuery::new(&data, &tree);
+        group.bench_with_input(BenchmarkId::new("FCA", dist.label()), &dist, |b, _| {
+            b.iter(|| engine.evaluate(ids[0], &MaxRankConfig::new().with_algorithm(Algorithm::Fca)))
+        });
+        group.bench_with_input(BenchmarkId::new("AA2D", dist.label()), &dist, |b, _| {
+            b.iter(|| {
+                engine.evaluate(
+                    ids[0],
+                    &MaxRankConfig::new().with_algorithm(Algorithm::AdvancedApproach2D),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_d2);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for Figure 9 / Table 3: MaxRank cost versus data
+//! dimensionality (AA on IND data).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrq_bench::runner::{focal_ids, synthetic_workload};
+use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery};
+use mrq_data::Distribution;
+
+fn bench_dimensionality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_aa_vs_dimensionality_ind");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for d in [2usize, 3, 4] {
+        let (data, tree) = synthetic_workload(Distribution::Independent, 1_000, d, 2015);
+        let ids = focal_ids(&data, 1, 2015);
+        let engine = MaxRankQuery::new(&data, &tree);
+        let algo = if d == 2 { Algorithm::AdvancedApproach2D } else { Algorithm::AdvancedApproach };
+        group.bench_with_input(BenchmarkId::new("AA", d), &d, |b, _| {
+            b.iter(|| engine.evaluate(ids[0], &MaxRankConfig::new().with_algorithm(algo)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dimensionality);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for Figure 10: iMaxRank cost as the slack τ grows
+//! (AA on IND data and on the simulated HOTEL dataset).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrq_bench::runner::{focal_ids, real_workload, synthetic_workload};
+use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery};
+use mrq_data::{Distribution, RealDataset};
+
+fn bench_imaxrank_ind(c: &mut Criterion) {
+    let (data, tree) = synthetic_workload(Distribution::Independent, 1_000, 3, 2015);
+    let ids = focal_ids(&data, 1, 2015);
+    let engine = MaxRankQuery::new(&data, &tree);
+    let mut group = c.benchmark_group("fig10_imaxrank_ind_d3");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for tau in [0usize, 1, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("AA", tau), &tau, |b, &tau| {
+            b.iter(|| {
+                engine.evaluate(
+                    ids[0],
+                    &MaxRankConfig { tau, algorithm: Algorithm::AdvancedApproach, ..MaxRankConfig::new() },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_imaxrank_hotel(c: &mut Criterion) {
+    let (data, tree) = real_workload(RealDataset::Hotel, 0.002, 2015);
+    let ids = focal_ids(&data, 1, 2015);
+    let engine = MaxRankQuery::new(&data, &tree);
+    let mut group = c.benchmark_group("fig10_imaxrank_hotel");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for tau in [0usize, 2] {
+        group.bench_with_input(BenchmarkId::new("AA", tau), &tau, |b, &tau| {
+            b.iter(|| {
+                engine.evaluate(
+                    ids[0],
+                    &MaxRankConfig { tau, algorithm: Algorithm::AdvancedApproach, ..MaxRankConfig::new() },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_imaxrank_ind, bench_imaxrank_hotel);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Table 4: AA on (scaled-down samples of) the simulated
+//! real datasets HOTEL, HOUSE, NBA, PITCH and BAT.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrq_bench::runner::{focal_ids, real_workload};
+use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery};
+use mrq_data::RealDataset;
+
+fn bench_real_datasets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_real_datasets");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for ds in RealDataset::all() {
+        let (data, tree) = real_workload(ds, 0.002, 2015);
+        let ids = focal_ids(&data, 1, 2015);
+        let engine = MaxRankQuery::new(&data, &tree);
+        group.bench_function(ds.spec().name, |b| {
+            b.iter(|| {
+                engine.evaluate(
+                    ids[0],
+                    &MaxRankConfig::new().with_algorithm(Algorithm::AdvancedApproach),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_real_datasets);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for Figure 12 (appendix): the cost of evaluating the
+//! MaxScore/MinScore ratio as dimensionality grows, plus the index-accelerated
+//! order computation it relies on.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrq_bench::runner::synthetic_workload;
+use mrq_data::Distribution;
+use mrq_index::order_of;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn bench_score_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_score_ratio");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for d in [2usize, 4, 8, 16] {
+        let (data, _tree) = synthetic_workload(Distribution::Independent, 20_000, d, 2015);
+        let mut rng = StdRng::seed_from_u64(2015);
+        let q: Vec<f64> = {
+            let mut q: Vec<f64> = (0..d).map(|_| rng.gen::<f64>() + 1e-9).collect();
+            let s: f64 = q.iter().sum();
+            q.iter_mut().for_each(|x| *x /= s);
+            q
+        };
+        group.bench_with_input(BenchmarkId::new("score_range", d), &d, |b, _| {
+            b.iter(|| data.score_range(&q))
+        });
+    }
+    group.finish();
+}
+
+fn bench_order_of(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order_of_index_vs_scan");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let (data, tree) = synthetic_workload(Distribution::Independent, 50_000, 4, 2015);
+    let p = data.record(17).to_vec();
+    let q = [0.3, 0.25, 0.25, 0.2];
+    group.bench_function("aggregate_rtree", |b| b.iter(|| order_of(&tree, &p, &q)));
+    group.bench_function("linear_scan", |b| b.iter(|| data.order_of(&p, &q)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_score_ratio, bench_order_of);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Command-line entry point regenerating every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p mrq-bench --bin experiments -- [--exp NAME] [--scale quick|default|paper]
+//!                                                       [--queries N] [--seed S] [--list]
+//! ```
+//!
+//! With no arguments every experiment runs at the `quick` scale.  The output
+//! of a full run is what EXPERIMENTS.md is based on.
+
+use mrq_bench::experiments::ALL;
+use mrq_bench::Scale;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale_name = "quick".to_string();
+    let mut exp_filter: Option<String> = None;
+    let mut queries: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                println!("available experiments:");
+                for (name, _) in ALL {
+                    println!("  {name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--exp" => {
+                i += 1;
+                exp_filter = args.get(i).cloned();
+            }
+            "--scale" => {
+                i += 1;
+                scale_name = args.get(i).cloned().unwrap_or_else(|| "quick".into());
+            }
+            "--queries" => {
+                i += 1;
+                queries = args.get(i).and_then(|v| v.parse().ok());
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|v| v.parse().ok());
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let Some(mut scale) = Scale::by_name(&scale_name) else {
+        eprintln!("unknown scale '{scale_name}' (expected quick, default or paper)");
+        return ExitCode::FAILURE;
+    };
+    if let Some(q) = queries {
+        scale.queries = q.max(1);
+    }
+    if let Some(s) = seed {
+        scale.seed = s;
+    }
+
+    println!("MaxRank reproduction — experiment harness");
+    println!(
+        "scale preset: {} (base n = {}, base d = {}, {} focal records per measurement, seed {})",
+        scale.name, scale.base_n, scale.base_d, scale.queries, scale.seed
+    );
+
+    let mut ran = 0;
+    for (name, f) in ALL {
+        if let Some(filter) = &exp_filter {
+            if filter != "all" && filter != name {
+                continue;
+            }
+        }
+        let start = std::time::Instant::now();
+        let (table, _) = f(&scale);
+        print!("{table}");
+        println!("[{name} completed in {:.1}s]", start.elapsed().as_secs_f64());
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched '{:?}' — use --list", exp_filter);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_usage() {
+    println!(
+        "usage: experiments [--exp NAME|all] [--scale quick|default|paper] [--queries N] [--seed S] [--list]"
+    );
+}

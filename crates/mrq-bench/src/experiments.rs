@@ -1,0 +1,367 @@
+//! One function per table / figure of the paper's evaluation.
+//!
+//! | function | reproduces |
+//! |---|---|
+//! | [`fig8_ab`]  | Figure 8(a)(b): AA vs BA, CPU + I/O vs cardinality (IND, d = 4) |
+//! | [`fig8_cd`]  | Figure 8(c)(d): AA on IND/COR/ANTI, CPU + I/O vs cardinality |
+//! | [`fig8_ef`]  | Figure 8(e)(f): k\* and \|T\| vs cardinality per distribution |
+//! | [`fig9`]     | Figure 9(a)(b): CPU + I/O vs dimensionality (AA vs BA/FCA) |
+//! | [`table3`]   | Table 3: k\* and \|T\| vs dimensionality |
+//! | [`table4`]   | Table 4: AA on the (simulated) real datasets |
+//! | [`fig10`]    | Figure 10: iMaxRank, effect of τ (HOTEL + IND) |
+//! | [`fig11`]    | Figure 11: FCA vs AA in the special case d = 2 |
+//! | [`fig12`]    | Figure 12 (appendix): MaxScore/MinScore ratio vs d |
+//! | [`ablation`] | extra: pairwise-pruning and split-threshold ablations |
+
+use crate::runner::{focal_ids, measure, real_workload, synthetic_workload};
+use crate::scale::Scale;
+use crate::{render_table, Row};
+use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery};
+use mrq_data::{Distribution, RealDataset};
+use mrq_quadtree::QuadTreeConfig;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn fmt_n(n: usize) -> String {
+    if n >= 1_000_000 {
+        format!("{}M", n / 1_000_000)
+    } else if n >= 1_000 {
+        format!("{}K", n / 1_000)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Figure 8(a)(b): CPU time and I/O of AA vs BA as cardinality grows
+/// (IND data, d = base_d).  BA is only attempted up to `scale.ba_max_n`,
+/// mirroring the paper where BA fails beyond 10K records.
+pub fn fig8_ab(scale: &Scale) -> (String, Vec<Row>) {
+    let mut rows = Vec::new();
+    for &n in &scale.cardinalities {
+        let (data, tree) = synthetic_workload(Distribution::Independent, n, scale.base_d, scale.seed);
+        let ids = focal_ids(&data, scale.queries, scale.seed);
+        let aa = measure(&data, &tree, &ids, Algorithm::AdvancedApproach, 0);
+        let mut row = Row::new(format!("n={}", fmt_n(n)))
+            .with("AA cpu_s", aa.cpu_s)
+            .with("AA io", aa.io);
+        if n <= scale.ba_max_n {
+            let ba = measure(&data, &tree, &ids, Algorithm::BasicApproach, 0);
+            row = row.with("BA cpu_s", ba.cpu_s).with("BA io", ba.io);
+        } else {
+            row = row.with("BA cpu_s", f64::NAN).with("BA io", f64::NAN);
+        }
+        rows.push(row);
+    }
+    (render_table("Figure 8(a)(b): AA vs BA vs cardinality (IND)", &rows), rows)
+}
+
+/// Figure 8(c)(d): AA's CPU time and I/O vs cardinality on the three
+/// benchmark distributions.
+pub fn fig8_cd(scale: &Scale) -> (String, Vec<Row>) {
+    let mut rows = Vec::new();
+    for &n in &scale.cardinalities {
+        let mut row = Row::new(format!("n={}", fmt_n(n)));
+        for dist in Distribution::all() {
+            let (data, tree) = synthetic_workload(dist, n, scale.base_d, scale.seed);
+            let ids = focal_ids(&data, scale.queries, scale.seed);
+            let m = measure(&data, &tree, &ids, Algorithm::AdvancedApproach, 0);
+            row = row
+                .with(&format!("{} cpu_s", dist.label()), m.cpu_s)
+                .with(&format!("{} io", dist.label()), m.io);
+        }
+        rows.push(row);
+    }
+    (render_table("Figure 8(c)(d): AA vs cardinality per distribution", &rows), rows)
+}
+
+/// Figure 8(e)(f): k\* and \|T\| vs cardinality per distribution.
+pub fn fig8_ef(scale: &Scale) -> (String, Vec<Row>) {
+    let mut rows = Vec::new();
+    for &n in &scale.cardinalities {
+        let mut row = Row::new(format!("n={}", fmt_n(n)));
+        for dist in Distribution::all() {
+            let (data, tree) = synthetic_workload(dist, n, scale.base_d, scale.seed);
+            let ids = focal_ids(&data, scale.queries, scale.seed);
+            let m = measure(&data, &tree, &ids, Algorithm::AdvancedApproach, 0);
+            row = row
+                .with(&format!("{} k*", dist.label()), m.k_star)
+                .with(&format!("{} |T|", dist.label()), m.regions);
+        }
+        rows.push(row);
+    }
+    (render_table("Figure 8(e)(f): k* and |T| vs cardinality", &rows), rows)
+}
+
+/// Figure 9(a)(b): CPU time and I/O vs dimensionality (IND, n = base_n).
+/// At d = 2 the BA column reports FCA, exactly as in the paper.
+pub fn fig9(scale: &Scale) -> (String, Vec<Row>) {
+    let mut rows = Vec::new();
+    for &d in &scale.dims {
+        let (data, tree) = synthetic_workload(Distribution::Independent, scale.base_n, d, scale.seed);
+        let ids = focal_ids(&data, scale.queries, scale.seed);
+        let aa_algo = if d == 2 { Algorithm::AdvancedApproach2D } else { Algorithm::AdvancedApproach };
+        let aa = measure(&data, &tree, &ids, aa_algo, 0);
+        let mut row = Row::new(format!("d={d}"))
+            .with("AA cpu_s", aa.cpu_s)
+            .with("AA io", aa.io);
+        // The BA/FCA baseline is run on a (possibly smaller) dataset, like the
+        // paper's "BA-10K" series.
+        if d <= scale.ba_max_d {
+            let nb = scale.base_n.min(scale.ba_max_n);
+            let (bdata, btree) = synthetic_workload(Distribution::Independent, nb, d, scale.seed);
+            let bids = focal_ids(&bdata, scale.queries, scale.seed);
+            let ba_algo = if d == 2 { Algorithm::Fca } else { Algorithm::BasicApproach };
+            let ba = measure(&bdata, &btree, &bids, ba_algo, 0);
+            row = row
+                .with(&format!("BA-{} cpu_s", fmt_n(nb)), ba.cpu_s)
+                .with(&format!("BA-{} io", fmt_n(nb)), ba.io);
+        } else {
+            row = row.with("BA cpu_s", f64::NAN).with("BA io", f64::NAN);
+        }
+        rows.push(row);
+    }
+    (render_table("Figure 9: effect of dimensionality (IND)", &rows), rows)
+}
+
+/// Table 3: k\* and \|T\| vs dimensionality (AA, IND, n = base_n).
+pub fn table3(scale: &Scale) -> (String, Vec<Row>) {
+    let mut rows = Vec::new();
+    for &d in &scale.dims {
+        let (data, tree) = synthetic_workload(Distribution::Independent, scale.base_n, d, scale.seed);
+        let ids = focal_ids(&data, scale.queries, scale.seed);
+        let algo = if d == 2 { Algorithm::AdvancedApproach2D } else { Algorithm::AdvancedApproach };
+        let m = measure(&data, &tree, &ids, algo, 0);
+        rows.push(Row::new(format!("d={d}")).with("k*", m.k_star).with("|T|", m.regions));
+    }
+    (render_table("Table 3: effect of dimensionality on k* and |T|", &rows), rows)
+}
+
+/// Table 4: AA on the five (simulated) real datasets.
+pub fn table4(scale: &Scale) -> (String, Vec<Row>) {
+    let mut rows = Vec::new();
+    for ds in RealDataset::all() {
+        let spec = ds.spec();
+        let (data, tree) = real_workload(ds, scale.real_scale, scale.seed);
+        let ids = focal_ids(&data, scale.queries, scale.seed);
+        let algo = if data.dims() == 2 { Algorithm::AdvancedApproach2D } else { Algorithm::AdvancedApproach };
+        let m = measure(&data, &tree, &ids, algo, 0);
+        rows.push(
+            Row::new(format!("{} ({}d)", spec.name, spec.dims))
+                .with("n", data.len() as f64)
+                .with("k*", m.k_star)
+                .with("|T|", m.regions)
+                .with("cpu_s", m.cpu_s)
+                .with("io", m.io),
+        );
+    }
+    (render_table("Table 4: AA on the (simulated) real datasets", &rows), rows)
+}
+
+/// Figure 10: iMaxRank — effect of τ on CPU, I/O and \|T\| for HOTEL and IND.
+pub fn fig10(scale: &Scale) -> (String, Vec<Row>) {
+    let (ind_data, ind_tree) =
+        synthetic_workload(Distribution::Independent, scale.base_n, scale.base_d, scale.seed);
+    let ind_ids = focal_ids(&ind_data, scale.queries, scale.seed);
+    let (hot_data, hot_tree) = real_workload(RealDataset::Hotel, scale.real_scale, scale.seed);
+    let hot_ids = focal_ids(&hot_data, scale.queries, scale.seed);
+    let mut rows = Vec::new();
+    for &tau in &scale.taus {
+        let ind = measure(&ind_data, &ind_tree, &ind_ids, Algorithm::AdvancedApproach, tau);
+        let hot = measure(&hot_data, &hot_tree, &hot_ids, Algorithm::AdvancedApproach, tau);
+        rows.push(
+            Row::new(format!("tau={tau}"))
+                .with("IND cpu_s", ind.cpu_s)
+                .with("IND io", ind.io)
+                .with("IND |T|", ind.regions)
+                .with("HOTEL cpu_s", hot.cpu_s)
+                .with("HOTEL io", hot.io)
+                .with("HOTEL |T|", hot.regions),
+        );
+    }
+    (render_table("Figure 10: iMaxRank, effect of tau", &rows), rows)
+}
+
+/// Figure 11: FCA vs the specialised AA for d = 2 on IND/COR/ANTI.
+pub fn fig11(scale: &Scale) -> (String, Vec<Row>) {
+    let mut rows = Vec::new();
+    for dist in Distribution::all() {
+        let (data, tree) = synthetic_workload(dist, scale.base_n, 2, scale.seed);
+        let ids = focal_ids(&data, scale.queries, scale.seed);
+        let aa = measure(&data, &tree, &ids, Algorithm::AdvancedApproach2D, 0);
+        let fca = measure(&data, &tree, &ids, Algorithm::Fca, 0);
+        rows.push(
+            Row::new(dist.label())
+                .with("AA(d=2) cpu_s", aa.cpu_s)
+                .with("AA(d=2) io", aa.io)
+                .with("FCA cpu_s", fca.cpu_s)
+                .with("FCA io", fca.io),
+        );
+    }
+    (render_table("Figure 11: FCA vs AA in the special case d = 2", &rows), rows)
+}
+
+/// Figure 12 (appendix): the MaxScore/MinScore ratio vs dimensionality —
+/// the dimensionality-curse argument for focusing on low-dimensional data.
+pub fn fig12(scale: &Scale) -> (String, Vec<Row>) {
+    let mut rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    for &d in &scale.appendix_dims {
+        let (data, _tree) = synthetic_workload(Distribution::Independent, scale.base_n, d, scale.seed);
+        // Average the ratio over a few random permissible query vectors.
+        let mut ratio = 0.0;
+        let probes = 5usize;
+        for _ in 0..probes {
+            let mut q: Vec<f64> = (0..d).map(|_| rng.gen::<f64>() + 1e-9).collect();
+            let s: f64 = q.iter().sum();
+            q.iter_mut().for_each(|x| *x /= s);
+            let (lo, hi) = data.score_range(&q).expect("non-empty dataset");
+            ratio += hi / lo.max(1e-12);
+        }
+        rows.push(Row::new(format!("d={d}")).with("MaxScore/MinScore", ratio / probes as f64));
+    }
+    (render_table("Figure 12 (appendix): MaxScore/MinScore ratio vs d", &rows), rows)
+}
+
+/// Ablation (beyond the paper's plots, motivated by Sections 5.1–5.2): the
+/// effect of the within-leaf pairwise pruning conditions and of the quad-tree
+/// split threshold on AA's cost.
+pub fn ablation(scale: &Scale) -> (String, Vec<Row>) {
+    let (data, tree) =
+        synthetic_workload(Distribution::Independent, scale.base_n, scale.base_d, scale.seed);
+    let ids = focal_ids(&data, scale.queries, scale.seed);
+    let engine = MaxRankQuery::new(&data, &tree);
+    let mut rows = Vec::new();
+
+    for (label, pair_pruning, threshold) in [
+        ("pair pruning on, threshold 12", true, 12usize),
+        ("pair pruning off, threshold 12", false, 12),
+        ("pair pruning on, threshold 4", true, 4),
+        ("pair pruning on, threshold 24", true, 24),
+    ] {
+        let mut cpu = 0.0;
+        let mut cells = 0.0;
+        let mut pruned = 0.0;
+        let mut leaves = 0.0;
+        for &focal in &ids {
+            let config = MaxRankConfig {
+                tau: 0,
+                algorithm: Algorithm::AdvancedApproach,
+                pair_pruning,
+                quadtree: Some(QuadTreeConfig {
+                    split_threshold: threshold,
+                    max_depth: QuadTreeConfig::for_reduced_dims(data.dims() - 1).max_depth,
+                }),
+            };
+            let res = engine.evaluate(focal, &config);
+            cpu += res.stats.cpu_time.as_secs_f64();
+            cells += res.stats.cells_tested as f64;
+            pruned += res.stats.bitstrings_pruned as f64;
+            leaves += res.stats.leaves_processed as f64;
+        }
+        let n = ids.len() as f64;
+        rows.push(
+            Row::new(label)
+                .with("cpu_s", cpu / n)
+                .with("LP cell tests", cells / n)
+                .with("bitstrings pruned", pruned / n)
+                .with("leaves processed", leaves / n),
+        );
+    }
+    (render_table("Ablation: within-leaf pruning and quad-tree split threshold", &rows), rows)
+}
+
+/// Every experiment, in the order they appear in the paper.
+pub const ALL: &[(&str, fn(&Scale) -> (String, Vec<Row>))] = &[
+    ("fig8-ab", fig8_ab),
+    ("fig8-cd", fig8_cd),
+    ("fig8-ef", fig8_ef),
+    ("fig9", fig9),
+    ("table3", table3),
+    ("table4", table4),
+    ("fig10", fig10),
+    ("fig11", fig11),
+    ("fig12", fig12),
+    ("ablation", ablation),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            name: "tiny",
+            cardinalities: vec![300, 600],
+            base_n: 300,
+            base_d: 3,
+            dims: vec![2, 3],
+            appendix_dims: vec![2, 4, 8],
+            ba_max_n: 600,
+            ba_max_d: 3,
+            taus: vec![0, 1],
+            queries: 2,
+            real_scale: 0.001,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn fig8_ab_shape_holds() {
+        // AA must not lose to BA on I/O: BA reads all incomparable records.
+        let (_, rows) = fig8_ab(&tiny_scale());
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            let aa_io = row.get("AA io").unwrap();
+            let ba_io = row.get("BA io").unwrap();
+            if !ba_io.is_nan() {
+                assert!(aa_io <= ba_io, "AA I/O {aa_io} must not exceed BA I/O {ba_io}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_ef_anti_has_smallest_kstar() {
+        let (_, rows) = fig8_ef(&tiny_scale());
+        for row in &rows {
+            let anti = row.get("ANTI k*").unwrap();
+            let cor = row.get("COR k*").unwrap();
+            assert!(anti <= cor, "ANTI k* {anti} must be <= COR k* {cor}");
+        }
+    }
+
+    #[test]
+    fn table3_kstar_decreases_with_d() {
+        let (_, rows) = table3(&tiny_scale());
+        assert!(rows[0].get("k*").unwrap() >= rows[1].get("k*").unwrap());
+    }
+
+    #[test]
+    fn fig10_regions_grow_with_tau() {
+        let (_, rows) = fig10(&tiny_scale());
+        let t0 = rows[0].get("IND |T|").unwrap();
+        let t1 = rows[1].get("IND |T|").unwrap();
+        assert!(t1 >= t0);
+    }
+
+    #[test]
+    fn fig11_aa_beats_fca_on_io() {
+        let (_, rows) = fig11(&tiny_scale());
+        for row in &rows {
+            assert!(row.get("AA(d=2) io").unwrap() <= row.get("FCA io").unwrap());
+        }
+    }
+
+    #[test]
+    fn fig12_ratio_shrinks_with_d() {
+        let (_, rows) = fig12(&tiny_scale());
+        let first = rows.first().unwrap().get("MaxScore/MinScore").unwrap();
+        let last = rows.last().unwrap().get("MaxScore/MinScore").unwrap();
+        assert!(first > last, "ratio must decrease with d: {first} vs {last}");
+    }
+
+    #[test]
+    fn experiment_registry_complete() {
+        let names: Vec<&str> = ALL.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), 10);
+        assert!(names.contains(&"table4") && names.contains(&"ablation"));
+    }
+}

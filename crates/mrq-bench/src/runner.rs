@@ -1,0 +1,118 @@
+//! Shared measurement helpers: run an algorithm over a set of random focal
+//! records and average the paper's metrics (CPU seconds, page I/O, `k*`,
+//! `|T|`).
+
+use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery};
+use mrq_data::{synthetic, Dataset, Distribution, RealDataset};
+use mrq_index::RStarTree;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Averaged metrics over a batch of MaxRank evaluations, matching the
+/// quantities plotted in Section 8.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measurement {
+    /// Mean wall-clock CPU time per query, in seconds.
+    pub cpu_s: f64,
+    /// Mean simulated page accesses per query.
+    pub io: f64,
+    /// Mean `k*`.
+    pub k_star: f64,
+    /// Mean number of result regions `|T|`.
+    pub regions: f64,
+    /// Mean number of half-spaces inserted into the (mixed) arrangement.
+    pub halfspaces: f64,
+    /// Mean number of LP cell tests.
+    pub cells_tested: f64,
+    /// Number of queries averaged over.
+    pub queries: usize,
+}
+
+/// Runs `algorithm` for every focal id and averages the metrics.
+pub fn measure(
+    data: &Dataset,
+    tree: &RStarTree,
+    focal_ids: &[u32],
+    algorithm: Algorithm,
+    tau: usize,
+) -> Measurement {
+    let engine = MaxRankQuery::new(data, tree);
+    let config = MaxRankConfig { tau, algorithm, ..MaxRankConfig::new() };
+    let mut m = Measurement { queries: focal_ids.len(), ..Measurement::default() };
+    for &focal in focal_ids {
+        let res = engine.evaluate(focal, &config);
+        m.cpu_s += res.stats.cpu_time.as_secs_f64();
+        m.io += res.stats.io_reads as f64;
+        m.k_star += res.k_star as f64;
+        m.regions += res.region_count() as f64;
+        m.halfspaces += res.stats.halfspaces_inserted as f64;
+        m.cells_tested += res.stats.cells_tested as f64;
+    }
+    let n = focal_ids.len().max(1) as f64;
+    m.cpu_s /= n;
+    m.io /= n;
+    m.k_star /= n;
+    m.regions /= n;
+    m.halfspaces /= n;
+    m.cells_tested /= n;
+    m
+}
+
+/// Generates a synthetic dataset and its bulk-loaded index with a
+/// deterministic seed derived from the experiment parameters.
+pub fn synthetic_workload(
+    dist: Distribution,
+    n: usize,
+    d: usize,
+    seed: u64,
+) -> (Dataset, RStarTree) {
+    let mut rng = StdRng::seed_from_u64(seed ^ (n as u64) ^ ((d as u64) << 32));
+    let data = synthetic::generate(dist, n, d, &mut rng);
+    let tree = RStarTree::bulk_load(&data);
+    (data, tree)
+}
+
+/// Generates a (scaled) simulated real dataset and its index.
+pub fn real_workload(ds: RealDataset, scale: f64, seed: u64) -> (Dataset, RStarTree) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = ds.generate_scaled(scale, &mut rng);
+    let tree = RStarTree::bulk_load(&data);
+    (data, tree)
+}
+
+/// Draws `count` deterministic focal-record ids.
+pub fn focal_ids(data: &Dataset, count: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    synthetic::random_focal_ids(data, count, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_averages_over_queries() {
+        let (data, tree) = synthetic_workload(Distribution::Independent, 300, 3, 1);
+        let ids = focal_ids(&data, 4, 1);
+        let m = measure(&data, &tree, &ids, Algorithm::AdvancedApproach, 0);
+        assert_eq!(m.queries, 4);
+        assert!(m.k_star >= 1.0);
+        assert!(m.io > 0.0);
+        assert!(m.regions >= 1.0);
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let (a, _) = synthetic_workload(Distribution::Correlated, 100, 3, 5);
+        let (b, _) = synthetic_workload(Distribution::Correlated, 100, 3, 5);
+        assert_eq!(a, b);
+        assert_eq!(focal_ids(&a, 5, 9), focal_ids(&b, 5, 9));
+    }
+
+    #[test]
+    fn real_workload_scales() {
+        let (data, tree) = real_workload(RealDataset::Pitch, 0.003, 3);
+        assert_eq!(data.dims(), 8);
+        assert_eq!(tree.len(), data.len());
+        assert!(data.len() >= 100);
+    }
+}

@@ -1,0 +1,370 @@
+//! AA specialised for two-dimensional data (paper, Section 6.3).
+//!
+//! With `d = 2` the reduced query space is the one-dimensional interval
+//! `(0, 1)` of `q_1` values; half-spaces become half-lines and the mixed
+//! arrangement is kept in a sorted list of `⟨value, direction⟩` pairs rather
+//! than a quad-tree.  The skyline-driven implicit subsumption is identical to
+//! the general AA.
+
+use crate::ba::AlgoConfig;
+use crate::common::{map_record, trivial_result, MappedHalfSpace};
+use crate::fca::interval_region;
+use crate::result::{MaxRankResult, QueryStats, ResultRegion};
+use mrq_data::{Dataset, RecordId};
+use mrq_geometry::EPS;
+use mrq_index::{IncrementalSkyline, RStarTree};
+use std::collections::{BTreeSet, VecDeque};
+use std::time::Instant;
+
+/// A half-line of the 1-d reduced query space: the set of `q_1` values where
+/// one incomparable record outranks the focal record.
+#[derive(Debug, Clone)]
+struct HalfLine {
+    /// Breakpoint.
+    t: f64,
+    /// `true` if the record wins for `q_1 > t`, `false` for `q_1 < t`.
+    wins_right: bool,
+    /// The inducing record.
+    record: RecordId,
+    /// Whether the half-line has been expanded (is singular).
+    singular: bool,
+}
+
+impl HalfLine {
+    fn contains(&self, q1: f64) -> bool {
+        if self.wins_right {
+            q1 > self.t
+        } else {
+            q1 < self.t
+        }
+    }
+}
+
+/// Runs the 2-d AA for a focal record identified by id.
+pub fn run(
+    data: &Dataset,
+    tree: &RStarTree,
+    focal_id: RecordId,
+    tau: usize,
+    config: &AlgoConfig,
+) -> MaxRankResult {
+    let p = data.record(focal_id).to_vec();
+    run_point(data, tree, &p, Some(focal_id), tau, config)
+}
+
+/// Runs the 2-d AA for an arbitrary focal point.
+pub fn run_point(
+    data: &Dataset,
+    tree: &RStarTree,
+    p: &[f64],
+    focal_id: Option<RecordId>,
+    tau: usize,
+    _config: &AlgoConfig,
+) -> MaxRankResult {
+    assert_eq!(data.dims(), 2, "the specialised AA handles two-dimensional data");
+    assert_eq!(p.len(), 2);
+    let start = Instant::now();
+    tree.reset_io();
+    let mut stats = QueryStats::default();
+
+    let dominators = tree.count_dominators(p, focal_id) as usize;
+    stats.dominators = dominators;
+
+    let mut skyline = IncrementalSkyline::new(tree, p, focal_id);
+    let mut lines: Vec<HalfLine> = Vec::new();
+    let mut always_above = 0usize;
+
+    // Seed with the initial skyline (all augmented).
+    let initial: Vec<RecordId> = skyline.skyline().iter().map(|(id, _)| *id).collect();
+    insert_records(
+        data,
+        p,
+        &mut skyline,
+        &mut lines,
+        &mut always_above,
+        initial,
+    );
+
+    let base = dominators + always_above;
+    if lines.is_empty() {
+        stats.io_reads = tree.io().reads();
+        stats.cpu_time = start.elapsed();
+        stats.iterations = 1;
+        return trivial_result(2, base, tau, stats);
+    }
+
+    let mut o_star: Option<usize> = None;
+    let final_intervals: Vec<(f64, f64, usize, Vec<usize>)>;
+    loop {
+        stats.iterations += 1;
+        let intervals = intervals_with_orders(&lines);
+        stats.cells_tested += intervals.len();
+        if intervals.is_empty() {
+            final_intervals = intervals;
+            break;
+        }
+        let min_order = intervals.iter().map(|(_, _, o, _)| *o).min().expect("non-empty");
+        for (_, _, order, containing) in &intervals {
+            if containing.iter().all(|&i| lines[i].singular) {
+                o_star = Some(o_star.map_or(*order, |o| o.min(*order)));
+            }
+        }
+        let threshold = o_star
+            .unwrap_or(usize::MAX)
+            .min(min_order)
+            .saturating_add(tau);
+        let mut expand: BTreeSet<usize> = BTreeSet::new();
+        for (_, _, order, containing) in intervals.iter().filter(|(_, _, o, _)| *o <= threshold) {
+            let _ = order;
+            for &i in containing {
+                if !lines[i].singular {
+                    expand.insert(i);
+                }
+            }
+        }
+        if expand.is_empty() {
+            // Unlike the quad-tree based AA, the sorted list is always
+            // enumerated exhaustively, so reaching this point means every
+            // relevant interval is accurate.
+            final_intervals = intervals;
+            break;
+        }
+        for idx in expand {
+            lines[idx].singular = true;
+            let rid = lines[idx].record;
+            let newly: Vec<RecordId> = skyline.expand(rid).into_iter().map(|(id, _)| id).collect();
+            insert_records(data, p, &mut skyline, &mut lines, &mut always_above, newly);
+        }
+    }
+
+    let base = dominators + always_above;
+    stats.io_reads = tree.io().reads();
+    stats.halfspaces_inserted = lines.len();
+    if final_intervals.is_empty() {
+        stats.cpu_time = start.elapsed();
+        return trivial_result(2, base, tau, stats);
+    }
+    let min_order = final_intervals
+        .iter()
+        .map(|(_, _, o, _)| *o)
+        .min()
+        .expect("non-empty");
+    let regions: Vec<ResultRegion> = final_intervals
+        .into_iter()
+        .filter(|(_, _, order, containing)| {
+            *order <= min_order + tau && containing.iter().all(|&i| lines[i].singular)
+        })
+        .map(|(lo, hi, order, containing)| ResultRegion {
+            region: interval_region(lo, hi),
+            order: base + order + 1,
+            outranking: containing.iter().map(|&i| lines[i].record).collect(),
+        })
+        .collect();
+    stats.cpu_time = start.elapsed();
+    MaxRankResult { dims: 2, k_star: base + min_order + 1, tau, regions, stats }
+}
+
+/// Maps newly surfaced skyline records into half-lines (expanding degenerate
+/// always-above records transitively, mirroring the general AA).
+fn insert_records(
+    data: &Dataset,
+    p: &[f64],
+    skyline: &mut IncrementalSkyline<'_>,
+    lines: &mut Vec<HalfLine>,
+    always_above: &mut usize,
+    records: Vec<RecordId>,
+) {
+    let mut queue: VecDeque<RecordId> = records.into();
+    while let Some(rid) = queue.pop_front() {
+        match map_record(data.record(rid), p) {
+            MappedHalfSpace::Usable(h) => {
+                // c · q1 > b  with c = h.coeffs[0], b = h.rhs.
+                let c = h.coeffs[0];
+                let b = h.rhs;
+                let t = b / c;
+                if c > 0.0 {
+                    if t <= EPS {
+                        *always_above += 1;
+                        let newly = skyline.expand(rid);
+                        queue.extend(newly.into_iter().map(|(id, _)| id));
+                    } else if t >= 1.0 - EPS {
+                        // Never wins inside (0, 1): irrelevant, as are its dominees.
+                    } else {
+                        lines.push(HalfLine { t, wins_right: true, record: rid, singular: false });
+                    }
+                } else if t >= 1.0 - EPS {
+                    *always_above += 1;
+                    let newly = skyline.expand(rid);
+                    queue.extend(newly.into_iter().map(|(id, _)| id));
+                } else if t <= EPS {
+                    // Never wins.
+                } else {
+                    lines.push(HalfLine { t, wins_right: false, record: rid, singular: false });
+                }
+            }
+            MappedHalfSpace::AlwaysAbove => {
+                *always_above += 1;
+                let newly = skyline.expand(rid);
+                queue.extend(newly.into_iter().map(|(id, _)| id));
+            }
+            MappedHalfSpace::NeverAbove => {}
+        }
+    }
+}
+
+/// Computes the cells (maximal intervals) of the 1-d mixed arrangement and,
+/// for each, its order and the indices of the half-lines containing it.
+fn intervals_with_orders(lines: &[HalfLine]) -> Vec<(f64, f64, usize, Vec<usize>)> {
+    let mut boundaries: Vec<f64> = Vec::with_capacity(lines.len() + 2);
+    boundaries.push(0.0);
+    boundaries.extend(lines.iter().map(|l| l.t));
+    boundaries.push(1.0);
+    boundaries.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = Vec::with_capacity(boundaries.len());
+    for w in boundaries.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if hi - lo < 10.0 * EPS {
+            continue;
+        }
+        let mid = 0.5 * (lo + hi);
+        let containing: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.contains(mid))
+            .map(|(i, _)| i)
+            .collect();
+        out.push((lo, hi, containing.len(), containing));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fca;
+    use mrq_data::{synthetic, Distribution};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn figure1() -> (Dataset, RStarTree) {
+        let data = Dataset::from_rows(
+            2,
+            &[
+                vec![0.8, 0.9],
+                vec![0.2, 0.7],
+                vec![0.9, 0.4],
+                vec![0.7, 0.2],
+                vec![0.4, 0.3],
+                vec![0.5, 0.5],
+            ],
+        );
+        let tree = RStarTree::bulk_load(&data);
+        (data, tree)
+    }
+
+    #[test]
+    fn paper_example_matches_fca() {
+        // Section 6.3 walks through exactly this data: AA(d=2) terminates in
+        // two iterations with the same answer FCA gives (k* = 3, two
+        // intervals) while never accessing r4 unless needed.
+        let (data, tree) = figure1();
+        let aa = run(&data, &tree, 5, 0, &AlgoConfig::default());
+        let fca = fca::run(&data, &tree, 5, 0);
+        assert_eq!(aa.k_star, 3);
+        assert_eq!(aa.k_star, fca.k_star);
+        assert_eq!(aa.region_count(), fca.region_count());
+        let mut intervals: Vec<(f64, f64)> = aa
+            .regions
+            .iter()
+            .map(|r| (r.region.bounds.lo[0], r.region.bounds.hi[0]))
+            .collect();
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert!((intervals[0].1 - 0.2).abs() < 1e-9);
+        assert!((intervals[1].0 - 0.4).abs() < 1e-9 && (intervals[1].1 - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_fca_on_random_data() {
+        for (seed, dist) in [
+            (1u64, Distribution::Independent),
+            (2, Distribution::Correlated),
+            (3, Distribution::AntiCorrelated),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data = synthetic::generate(dist, 400, 2, &mut rng);
+            let tree = RStarTree::bulk_load(&data);
+            for focal in [0u32, 111, 333] {
+                let aa = run(&data, &tree, focal, 0, &AlgoConfig::default());
+                let fca = fca::run(&data, &tree, focal, 0);
+                assert_eq!(aa.k_star, fca.k_star, "seed {seed} focal {focal}");
+                assert_eq!(
+                    aa.region_count(),
+                    fca.region_count(),
+                    "seed {seed} focal {focal}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn imaxrank_matches_fca() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data = synthetic::generate(Distribution::Independent, 250, 2, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        for tau in [1usize, 4] {
+            let aa = run(&data, &tree, 17, tau, &AlgoConfig::default());
+            let fca = fca::run(&data, &tree, 17, tau);
+            assert_eq!(aa.k_star, fca.k_star);
+            assert_eq!(aa.region_count(), fca.region_count(), "tau {tau}");
+            let total_aa: f64 = aa
+                .regions
+                .iter()
+                .map(|r| r.region.bounds.hi[0] - r.region.bounds.lo[0])
+                .sum();
+            let total_fca: f64 = fca
+                .regions
+                .iter()
+                .map(|r| r.region.bounds.hi[0] - r.region.bounds.lo[0])
+                .sum();
+            assert!((total_aa - total_fca).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn accesses_fewer_records_than_fca() {
+        // Figure 11's point: AA(d=2) processes far fewer records than FCA.
+        // AA's advantage is largest for focal records that can rank well (few
+        // dominance layers need expanding), so pick a record close to the
+        // skyline rather than an arbitrary one.
+        let mut rng = StdRng::seed_from_u64(10);
+        let data = synthetic::generate(Distribution::Independent, 5000, 2, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        let focal = data
+            .iter()
+            .max_by(|(_, a), (_, b)| {
+                let sa = a[0].min(a[1]);
+                let sb = b[0].min(b[1]);
+                sa.partial_cmp(&sb).unwrap()
+            })
+            .map(|(id, _)| id)
+            .unwrap();
+        let aa = run(&data, &tree, focal, 0, &AlgoConfig::default());
+        let fca = fca::run(&data, &tree, focal, 0);
+        assert_eq!(aa.k_star, fca.k_star);
+        assert!(
+            aa.stats.halfspaces_inserted < fca.stats.halfspaces_inserted / 5,
+            "AA lines {} vs FCA intersections {}",
+            aa.stats.halfspaces_inserted,
+            fca.stats.halfspaces_inserted
+        );
+        assert!(aa.stats.io_reads <= fca.stats.io_reads);
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let (data, tree) = figure1();
+        let top = run_point(&data, &tree, &[0.99, 0.99], None, 0, &AlgoConfig::default());
+        assert_eq!(top.k_star, 1);
+        let bottom = run_point(&data, &tree, &[0.01, 0.01], None, 0, &AlgoConfig::default());
+        assert_eq!(bottom.k_star, 7);
+    }
+}

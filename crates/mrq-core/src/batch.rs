@@ -1,0 +1,146 @@
+//! Batch MaxRank evaluation and the "most promotable options" analysis.
+//!
+//! The paper's introduction motivates running MaxRank for *many* focal
+//! records (one per candidate configuration in a what-if study, or one per
+//! catalogue item when profiling a whole portfolio).  Individual MaxRank
+//! evaluations are read-only and independent, so they parallelise trivially;
+//! this module fans the work out over scoped threads (crossbeam) and offers a
+//! convenience ranking of the evaluated records by their best attainable
+//! rank.
+
+use crate::query::{MaxRankConfig, MaxRankQuery};
+use crate::result::MaxRankResult;
+use mrq_data::{Dataset, RecordId};
+use mrq_index::RStarTree;
+
+/// Evaluates MaxRank for every given focal record, in parallel over at most
+/// `threads` worker threads (`threads = 1` falls back to a sequential loop).
+///
+/// Results are returned in the same order as `focal_ids`.
+pub fn evaluate_batch(
+    data: &Dataset,
+    tree: &RStarTree,
+    focal_ids: &[RecordId],
+    config: &MaxRankConfig,
+    threads: usize,
+) -> Vec<MaxRankResult> {
+    assert!(threads >= 1, "at least one worker thread is required");
+    if focal_ids.is_empty() {
+        return Vec::new();
+    }
+    if threads == 1 || focal_ids.len() == 1 {
+        let engine = MaxRankQuery::new(data, tree);
+        return focal_ids.iter().map(|&id| engine.evaluate(id, config)).collect();
+    }
+
+    // Shared page-access counters are per-tree; to keep I/O statistics
+    // meaningful each worker clones the (in-memory) index once.  The clone
+    // cost is negligible next to the MaxRank evaluations themselves.
+    let workers = threads.min(focal_ids.len());
+    let chunk = focal_ids.len().div_ceil(workers);
+    let mut results: Vec<Option<MaxRankResult>> = vec![None; focal_ids.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for ids in focal_ids.chunks(chunk) {
+            let tree_clone = tree.clone();
+            handles.push(scope.spawn(move || {
+                let engine = MaxRankQuery::new(data, &tree_clone);
+                ids.iter()
+                    .map(|&id| engine.evaluate(id, config))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut offset = 0usize;
+        for handle in handles {
+            let worker_results = handle.join().expect("batch worker panicked");
+            for (i, res) in worker_results.into_iter().enumerate() {
+                results[offset + i] = Some(res);
+            }
+            offset += chunk.min(focal_ids.len() - offset);
+        }
+    });
+    results.into_iter().map(|r| r.expect("every focal record evaluated")).collect()
+}
+
+/// Ranks the given records by their best attainable rank (ascending `k*`),
+/// returning `(record, k*, |T|)` triples for the `m` most promotable ones.
+/// Ties are broken by the number of regions (more regions = more distinct
+/// customer profiles reachable) and then by id for determinism.
+pub fn most_promotable(
+    data: &Dataset,
+    tree: &RStarTree,
+    focal_ids: &[RecordId],
+    m: usize,
+    config: &MaxRankConfig,
+    threads: usize,
+) -> Vec<(RecordId, usize, usize)> {
+    let results = evaluate_batch(data, tree, focal_ids, config, threads);
+    let mut scored: Vec<(RecordId, usize, usize)> = focal_ids
+        .iter()
+        .zip(&results)
+        .map(|(&id, res)| (id, res.k_star, res.region_count()))
+        .collect();
+    scored.sort_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)).then(a.0.cmp(&b.0)));
+    scored.truncate(m);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Algorithm;
+    use mrq_data::{synthetic, Distribution};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn workload() -> (Dataset, RStarTree) {
+        let mut rng = StdRng::seed_from_u64(8);
+        let data = synthetic::generate(Distribution::Independent, 400, 3, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        (data, tree)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (data, tree) = workload();
+        let ids: Vec<u32> = vec![1, 50, 100, 150, 200, 250, 300, 350];
+        let config = MaxRankConfig::new();
+        let seq = evaluate_batch(&data, &tree, &ids, &config, 1);
+        let par = evaluate_batch(&data, &tree, &ids, &config, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.k_star, b.k_star);
+            assert_eq!(a.region_count(), b.region_count());
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (data, tree) = workload();
+        assert!(evaluate_batch(&data, &tree, &[], &MaxRankConfig::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn most_promotable_prefers_small_kstar() {
+        let (data, tree) = workload();
+        let ids: Vec<u32> = (0..40).collect();
+        let config = MaxRankConfig::new().with_algorithm(Algorithm::AdvancedApproach);
+        let top = most_promotable(&data, &tree, &ids, 5, &config, 4);
+        assert_eq!(top.len(), 5);
+        // Ascending k*.
+        for w in top.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // The best one's k* really is the minimum over the batch.
+        let all = evaluate_batch(&data, &tree, &ids, &config, 4);
+        let min_k = all.iter().map(|r| r.k_star).min().unwrap();
+        assert_eq!(top[0].1, min_k);
+    }
+
+    #[test]
+    fn batch_with_more_threads_than_items() {
+        let (data, tree) = workload();
+        let ids = vec![7u32, 9];
+        let res = evaluate_batch(&data, &tree, &ids, &MaxRankConfig::new(), 16);
+        assert_eq!(res.len(), 2);
+    }
+}

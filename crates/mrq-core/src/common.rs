@@ -1,0 +1,156 @@
+//! Helpers shared by the BA / AA implementations: record → half-space
+//! mapping, result assembly, and the trivial no-incomparable-records case.
+
+use crate::result::{MaxRankResult, QueryStats, ResultRegion};
+use crate::withinleaf::ArrangementCell;
+use mrq_data::RecordId;
+use mrq_geometry::{
+    halfspace_for_record, reduced_simplex_constraint, BoundingBox, CellSpec, HalfSpace, Region,
+};
+use mrq_quadtree::HalfSpaceId;
+
+/// Outcome of mapping a record against the focal record into the reduced
+/// query space.
+#[derive(Debug, Clone)]
+pub(crate) enum MappedHalfSpace {
+    /// A proper half-space: the record outranks the focal record exactly when
+    /// the query vector lies inside it.
+    Usable(HalfSpace),
+    /// Degenerate: the record outranks the focal record for *every*
+    /// permissible query vector (numerically indistinguishable from a
+    /// dominator).
+    AlwaysAbove,
+    /// Degenerate: the record never outranks the focal record.
+    NeverAbove,
+}
+
+/// Maps a record to its reduced-query-space half-space, classifying the
+/// degenerate cases explicitly.
+pub(crate) fn map_record(r: &[f64], p: &[f64]) -> MappedHalfSpace {
+    let h = halfspace_for_record(r, p);
+    if h.is_degenerate() {
+        if h.degenerate_is_full() {
+            MappedHalfSpace::AlwaysAbove
+        } else {
+            MappedHalfSpace::NeverAbove
+        }
+    } else {
+        MappedHalfSpace::Usable(h)
+    }
+}
+
+/// Keeps the correspondence between quad-tree half-space ids and the records
+/// that induced them.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct HalfSpaceRegistry {
+    records: Vec<RecordId>,
+}
+
+impl HalfSpaceRegistry {
+    pub(crate) fn push(&mut self, id: HalfSpaceId, record: RecordId) {
+        debug_assert_eq!(id as usize, self.records.len(), "ids must be assigned in order");
+        self.records.push(record);
+    }
+
+    pub(crate) fn record(&self, id: HalfSpaceId) -> RecordId {
+        self.records[id as usize]
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.records.len()
+    }
+}
+
+/// The whole permissible region of the reduced query space (used when the
+/// focal record has no incomparable records at all: its order is the same for
+/// every permissible query vector).
+pub(crate) fn whole_simplex_region(dr: usize) -> Region {
+    CellSpec::new(
+        vec![reduced_simplex_constraint(dr + 1)],
+        vec![],
+        BoundingBox::unit(dr),
+    )
+    .solve()
+    .expect("the permissible simplex is always full-dimensional")
+}
+
+/// Assembles a [`MaxRankResult`] from the cells of the (complete or mixed)
+/// arrangement.  `base` is the number of records that outrank the focal
+/// record everywhere (dominators plus degenerate always-above records).
+pub(crate) fn build_result(
+    dims: usize,
+    base: usize,
+    tau: usize,
+    cells: Vec<ArrangementCell>,
+    registry: &HalfSpaceRegistry,
+    stats: QueryStats,
+) -> MaxRankResult {
+    let min_order = cells.iter().map(|c| c.order).min().unwrap_or(0);
+    let k_star = base + min_order + 1;
+    let mut regions: Vec<ResultRegion> = cells
+        .into_iter()
+        .filter(|c| c.order <= min_order + tau)
+        .map(|c| {
+            let outranking: Vec<RecordId> = c.containing_ids().map(|id| registry.record(id)).collect();
+            ResultRegion { order: base + c.order + 1, region: c.region, outranking }
+        })
+        .collect();
+    // Deterministic output: sort regions by order, then by witness.
+    regions.sort_by(|a, b| {
+        a.order.cmp(&b.order).then_with(|| {
+            a.region
+                .witness
+                .partial_cmp(&b.region.witness)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    });
+    MaxRankResult { dims, k_star, tau, regions, stats }
+}
+
+/// Builds the trivial result for a focal record with no incomparable records:
+/// a single region covering the entire permissible simplex.
+pub(crate) fn trivial_result(dims: usize, base: usize, tau: usize, stats: QueryStats) -> MaxRankResult {
+    let region = whole_simplex_region(dims - 1);
+    MaxRankResult {
+        dims,
+        k_star: base + 1,
+        tau,
+        regions: vec![ResultRegion { region, order: base + 1, outranking: Vec::new() }],
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_record_cases() {
+        let p = [0.5, 0.5, 0.5];
+        assert!(matches!(map_record(&[0.9, 0.2, 0.5], &p), MappedHalfSpace::Usable(_)));
+        // A record offset from p by the same amount in every coordinate is
+        // degenerate: (0.6,0.6,0.6) always outranks (0.5,0.5,0.5).
+        assert!(matches!(map_record(&[0.6, 0.6, 0.6], &p), MappedHalfSpace::AlwaysAbove));
+        assert!(matches!(map_record(&[0.4, 0.4, 0.4], &p), MappedHalfSpace::NeverAbove));
+    }
+
+    #[test]
+    fn trivial_result_shape() {
+        let res = trivial_result(3, 7, 0, QueryStats::default());
+        assert_eq!(res.k_star, 8);
+        assert_eq!(res.regions.len(), 1);
+        assert_eq!(res.regions[0].order, 8);
+        // The region covers the middle of the simplex.
+        assert!(res.regions[0].region.contains(&[0.3, 0.3]));
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut reg = HalfSpaceRegistry::default();
+        reg.push(0, 42);
+        reg.push(1, 7);
+        assert_eq!(reg.record(0), 42);
+        assert_eq!(reg.record(1), 7);
+        assert_eq!(reg.len(), 2);
+    }
+}

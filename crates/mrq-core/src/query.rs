@@ -1,0 +1,179 @@
+//! A convenient façade over the three MaxRank algorithms.
+
+use crate::ba::AlgoConfig;
+use crate::result::MaxRankResult;
+use crate::{aa, aa2d, ba, fca};
+use mrq_data::{Dataset, RecordId};
+use mrq_index::RStarTree;
+use mrq_quadtree::QuadTreeConfig;
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// The paper's recommendation: the specialised AA for `d = 2`, the
+    /// general AA otherwise.
+    #[default]
+    Auto,
+    /// First-cut algorithm (Section 4), `d = 2` only.
+    Fca,
+    /// Basic approach (Section 5).
+    BasicApproach,
+    /// Advanced approach (Section 6).
+    AdvancedApproach,
+    /// Advanced approach specialised for `d = 2` (Section 6.3).
+    AdvancedApproach2D,
+}
+
+/// Configuration of one MaxRank evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxRankConfig {
+    /// iMaxRank slack `τ` (0 = plain MaxRank).
+    pub tau: usize,
+    /// Algorithm selection.
+    pub algorithm: Algorithm,
+    /// Whether the within-leaf pairwise pruning conditions are used.
+    pub pair_pruning: bool,
+    /// Optional quad-tree tuning (BA / AA only).
+    pub quadtree: Option<QuadTreeConfig>,
+}
+
+impl MaxRankConfig {
+    /// Plain MaxRank with the default (Auto) algorithm.
+    pub fn new() -> Self {
+        Self { tau: 0, algorithm: Algorithm::Auto, pair_pruning: true, quadtree: None }
+    }
+
+    /// iMaxRank with slack `tau`.
+    pub fn with_tau(tau: usize) -> Self {
+        Self { tau, ..Self::new() }
+    }
+
+    /// Selects an explicit algorithm.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    fn algo_config(&self) -> AlgoConfig {
+        AlgoConfig { quadtree: self.quadtree, pair_pruning: self.pair_pruning }
+    }
+}
+
+/// A MaxRank query engine bound to a dataset and its R\*-tree index.
+pub struct MaxRankQuery<'a> {
+    data: &'a Dataset,
+    tree: &'a RStarTree,
+}
+
+impl<'a> MaxRankQuery<'a> {
+    /// Binds the engine to a dataset and its index.
+    ///
+    /// # Panics
+    /// Panics if the index dimensionality differs from the dataset's.
+    pub fn new(data: &'a Dataset, tree: &'a RStarTree) -> Self {
+        assert_eq!(data.dims(), tree.dims(), "index and dataset dimensionality differ");
+        Self { data, tree }
+    }
+
+    /// The underlying dataset.
+    pub fn data(&self) -> &Dataset {
+        self.data
+    }
+
+    /// The underlying index.
+    pub fn tree(&self) -> &RStarTree {
+        self.tree
+    }
+
+    /// Evaluates MaxRank / iMaxRank for a focal record of the dataset.
+    pub fn evaluate(&self, focal_id: RecordId, config: &MaxRankConfig) -> MaxRankResult {
+        let p = self.data.record(focal_id).to_vec();
+        self.dispatch(&p, Some(focal_id), config)
+    }
+
+    /// Evaluates MaxRank / iMaxRank for an arbitrary focal point (a "what-if"
+    /// record that does not belong to the dataset).
+    pub fn evaluate_point(&self, p: &[f64], config: &MaxRankConfig) -> MaxRankResult {
+        self.dispatch(p, None, config)
+    }
+
+    fn dispatch(&self, p: &[f64], focal_id: Option<RecordId>, config: &MaxRankConfig) -> MaxRankResult {
+        let d = self.data.dims();
+        let algo = match (config.algorithm, d) {
+            (Algorithm::Auto, 2) => Algorithm::AdvancedApproach2D,
+            (Algorithm::Auto, _) => Algorithm::AdvancedApproach,
+            (other, _) => other,
+        };
+        let ac = config.algo_config();
+        match algo {
+            Algorithm::Fca => fca::run_point(self.data, self.tree, p, focal_id, config.tau),
+            Algorithm::BasicApproach => {
+                ba::run_point(self.data, self.tree, p, focal_id, config.tau, &ac)
+            }
+            Algorithm::AdvancedApproach => {
+                aa::run_point(self.data, self.tree, p, focal_id, config.tau, &ac)
+            }
+            Algorithm::AdvancedApproach2D => {
+                aa2d::run_point(self.data, self.tree, p, focal_id, config.tau, &ac)
+            }
+            Algorithm::Auto => unreachable!("Auto resolved above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrq_data::{synthetic, Distribution};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn auto_selects_specialised_2d() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = synthetic::generate(Distribution::Independent, 100, 2, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        let engine = MaxRankQuery::new(&data, &tree);
+        let auto = engine.evaluate(5, &MaxRankConfig::new());
+        let explicit = engine.evaluate(
+            5,
+            &MaxRankConfig::new().with_algorithm(Algorithm::AdvancedApproach2D),
+        );
+        assert_eq!(auto.k_star, explicit.k_star);
+        let fca = engine.evaluate(5, &MaxRankConfig::new().with_algorithm(Algorithm::Fca));
+        assert_eq!(auto.k_star, fca.k_star);
+    }
+
+    #[test]
+    fn all_algorithms_agree_in_3d() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = synthetic::generate(Distribution::Independent, 150, 3, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        let engine = MaxRankQuery::new(&data, &tree);
+        let aa = engine.evaluate(9, &MaxRankConfig::new());
+        let ba = engine.evaluate(9, &MaxRankConfig::new().with_algorithm(Algorithm::BasicApproach));
+        assert_eq!(aa.k_star, ba.k_star);
+    }
+
+    #[test]
+    fn what_if_point_evaluation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = synthetic::generate(Distribution::Independent, 200, 3, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        let engine = MaxRankQuery::new(&data, &tree);
+        // A hypothetical product not yet in the catalogue.
+        let res = engine.evaluate_point(&[0.7, 0.2, 0.6], &MaxRankConfig::with_tau(1));
+        assert!(res.k_star >= 1);
+        for region in &res.regions {
+            let q = region.representative_query();
+            assert_eq!(data.order_of(&[0.7, 0.2, 0.6], &q), region.order);
+        }
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = MaxRankConfig::with_tau(3).with_algorithm(Algorithm::BasicApproach);
+        assert_eq!(c.tau, 3);
+        assert_eq!(c.algorithm, Algorithm::BasicApproach);
+        assert!(c.pair_pruning);
+    }
+}

@@ -1,0 +1,214 @@
+//! Monochromatic reverse top-k (two dimensions) and the influence score.
+//!
+//! The closest related query to MaxRank (paper, Section 2; Vlachou et al.
+//! [19]) asks the *opposite* question: given a fixed `k`, report the parts of
+//! the query space where the focal record belongs to the top-k result.  The
+//! original solution exists only for `d = 2`; we implement it here with the
+//! same score-line sweep FCA uses, both as a baseline from the related work
+//! and because combined with MaxRank it answers useful product questions
+//! ("for how large a share of preferences is my option in the user's
+//! shortlist of k?").
+
+use crate::fca::interval_region;
+use crate::result::ResultRegion;
+use mrq_data::{Dataset, RecordId};
+use mrq_geometry::EPS;
+use mrq_index::RStarTree;
+
+/// The result of a monochromatic reverse top-k query in two dimensions.
+#[derive(Debug, Clone)]
+pub struct ReverseTopK {
+    /// The `k` the query was evaluated for.
+    pub k: usize,
+    /// Intervals of the reduced query space (`q_1`) where the focal record is
+    /// in the top-k, each with the exact order attained there.
+    pub regions: Vec<ResultRegion>,
+    /// Total length of those intervals — the fraction of the (1-d reduced)
+    /// preference space where the record makes the shortlist.  Vlachou et
+    /// al. use this as an "influence" measure.
+    pub influence: f64,
+}
+
+/// Evaluates the monochromatic reverse top-k query for a focal record of a
+/// two-dimensional dataset.
+pub fn reverse_top_k(data: &Dataset, tree: &RStarTree, focal_id: RecordId, k: usize) -> ReverseTopK {
+    let p = data.record(focal_id).to_vec();
+    reverse_top_k_point(data, tree, &p, Some(focal_id), k)
+}
+
+/// Evaluates the monochromatic reverse top-k query for an arbitrary focal
+/// point of a two-dimensional dataset.
+///
+/// # Panics
+/// Panics if the dataset is not two-dimensional or `k` is zero.
+pub fn reverse_top_k_point(
+    data: &Dataset,
+    tree: &RStarTree,
+    p: &[f64],
+    focal_id: Option<RecordId>,
+    k: usize,
+) -> ReverseTopK {
+    assert!(k >= 1, "k must be positive");
+    assert_eq!(data.dims(), 2, "the monochromatic reverse top-k solution is 2-d only");
+    // Sweep identical to FCA, but instead of keeping the minimum order we keep
+    // every interval whose order is ≤ k.
+    let dominators = tree.count_dominators(p, focal_id) as usize;
+    let incomparable = tree.incomparable_ids(p, focal_id);
+
+    let mut always_above = 0usize;
+    let mut initial = 0usize;
+    let mut events: Vec<(f64, i64)> = Vec::new();
+    for &id in &incomparable {
+        let r = data.record(id);
+        let c = r[0] - r[1] - p[0] + p[1];
+        let b = p[1] - r[1];
+        if c.abs() < EPS {
+            if b < -EPS {
+                always_above += 1;
+            }
+            continue;
+        }
+        let t = b / c;
+        if c > 0.0 {
+            if t <= EPS {
+                always_above += 1;
+            } else if t < 1.0 - EPS {
+                events.push((t, 1));
+            }
+        } else if t >= 1.0 - EPS {
+            always_above += 1;
+        } else if t > EPS {
+            initial += 1;
+            events.push((t, -1));
+        }
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut boundaries = vec![0.0];
+    boundaries.extend(events.iter().map(|(t, _)| *t));
+    boundaries.push(1.0);
+    let mut orders = Vec::with_capacity(events.len() + 1);
+    let mut current = dominators + always_above + initial;
+    orders.push(current);
+    for (_, delta) in &events {
+        current = (current as i64 + delta) as usize;
+        orders.push(current);
+    }
+
+    let mut regions = Vec::new();
+    let mut influence = 0.0;
+    for (i, &order) in orders.iter().enumerate() {
+        let lo = boundaries[i];
+        let hi = boundaries[i + 1];
+        if hi - lo < 10.0 * EPS {
+            continue;
+        }
+        let rank = order + 1;
+        if rank <= k {
+            influence += hi - lo;
+            regions.push(ResultRegion {
+                region: interval_region(lo, hi),
+                order: rank,
+                outranking: Vec::new(),
+            });
+        }
+    }
+    ReverseTopK { k, regions, influence }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrq_data::{synthetic, Distribution};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn figure1() -> (Dataset, RStarTree) {
+        let data = Dataset::from_rows(
+            2,
+            &[
+                vec![0.8, 0.9],
+                vec![0.2, 0.7],
+                vec![0.9, 0.4],
+                vec![0.7, 0.2],
+                vec![0.4, 0.3],
+                vec![0.5, 0.5],
+            ],
+        );
+        let tree = RStarTree::bulk_load(&data);
+        (data, tree)
+    }
+
+    #[test]
+    fn reverse_top2_of_p_is_empty_top3_is_not() {
+        // Section 2 of the paper discusses exactly this: p = (0.5, 0.5) is in
+        // no top-2 result, but is in some top-3 results.
+        let (data, tree) = figure1();
+        let r2 = reverse_top_k(&data, &tree, 5, 2);
+        assert!(r2.regions.is_empty());
+        assert_eq!(r2.influence, 0.0);
+        let r3 = reverse_top_k(&data, &tree, 5, 3);
+        assert!(!r3.regions.is_empty());
+        assert!(r3.influence > 0.0);
+        // Consistency with MaxRank: k* = 3 means the reverse top-(k*-1) set is
+        // empty and the reverse top-k* set is not.
+        let maxrank = crate::fca::run(&data, &tree, 5, 0);
+        assert_eq!(maxrank.k_star, 3);
+    }
+
+    #[test]
+    fn regions_match_plain_order_evaluation() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let data = synthetic::generate(Distribution::Independent, 200, 2, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        let focal = 33u32;
+        let res = reverse_top_k(&data, &tree, focal, 10);
+        let p = data.record(focal);
+        for region in &res.regions {
+            let q = region.representative_query();
+            let order = data.order_of(p, &q);
+            assert_eq!(order, region.order);
+            assert!(order <= 10);
+        }
+        // Points outside every region must not be in the top-10.
+        for _ in 0..200 {
+            let q1: f64 = rng.gen_range(0.001..0.999);
+            let covered = res
+                .regions
+                .iter()
+                .any(|r| q1 > r.region.bounds.lo[0] && q1 < r.region.bounds.hi[0]);
+            if !covered {
+                let order = data.order_of(p, &[q1, 1.0 - q1]);
+                assert!(order > 10, "q1 {q1} gives order {order} but was not reported");
+            }
+        }
+    }
+
+    #[test]
+    fn influence_grows_with_k() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let data = synthetic::generate(Distribution::AntiCorrelated, 150, 2, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        let mut prev = 0.0;
+        for k in [1usize, 2, 5, 10, 20] {
+            let res = reverse_top_k(&data, &tree, 7, k);
+            assert!(res.influence >= prev - 1e-12);
+            assert!(res.influence <= 1.0 + 1e-9);
+            prev = res.influence;
+        }
+    }
+
+    #[test]
+    fn influence_positive_iff_k_at_least_kstar() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let data = synthetic::generate(Distribution::Independent, 120, 2, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        let focal = 11u32;
+        let maxrank = crate::fca::run(&data, &tree, focal, 0);
+        let below = reverse_top_k(&data, &tree, focal, maxrank.k_star.saturating_sub(1).max(1));
+        let at = reverse_top_k(&data, &tree, focal, maxrank.k_star);
+        if maxrank.k_star > 1 {
+            assert!(below.regions.is_empty());
+        }
+        assert!(!at.regions.is_empty());
+    }
+}

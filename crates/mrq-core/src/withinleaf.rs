@@ -1,0 +1,554 @@
+//! Within-leaf processing (paper, Section 5.2) and whole-arrangement cell
+//! enumeration.
+//!
+//! A quad-tree leaf `l` is covered by the half-spaces of its full-containment
+//! set `F_l` and crossed by those of its partial-overlap set `P_l`.  Every
+//! cell of the arrangement restricted to `l` corresponds to a bit-string over
+//! `P_l` (bit `i` = the cell lies inside the `i`-th half-space); the number of
+//! set bits is the cell's *p-order*, and the cell's order is `|F_l|` plus the
+//! p-order.  Cells are materialised in increasing Hamming weight; each
+//! candidate bit-string is checked for non-emptiness with the feasibility LP
+//! (the paper uses Qhull half-space intersection for the same purpose).
+//!
+//! Two optimisations from the paper are implemented:
+//!
+//! * bit-strings violating a *pairwise containment condition* (Figure 4) are
+//!   dismissed without an LP call.  We derive the conditions with four tiny
+//!   two-constraint LPs per pair, which also covers pairs whose supporting
+//!   hyperplanes cross outside the leaf;
+//! * enumeration stops at the first Hamming weight that yields a non-empty
+//!   cell (plus `τ` further weights for iMaxRank), and never exceeds the
+//!   caller-provided cap derived from the best order found so far.
+
+use crate::result::QueryStats;
+use mrq_geometry::{reduced_simplex_constraint, BoundingBox, CellSpec, HalfSpace, Region};
+use mrq_quadtree::{HalfSpaceId, HalfSpaceQuadTree};
+
+/// A non-empty cell found inside one leaf.
+#[derive(Debug, Clone)]
+pub struct FoundCell {
+    /// Hamming weight of the bit-string: how many of the leaf's
+    /// partial-overlap half-spaces contain the cell.
+    pub p_order: usize,
+    /// Ids of the partial-overlap half-spaces containing the cell.
+    pub inside: Vec<HalfSpaceId>,
+    /// The materialised region.
+    pub region: Region,
+}
+
+/// A cell of the (mixed) arrangement, as produced by [`enumerate_cells`].
+#[derive(Debug, Clone)]
+pub struct ArrangementCell {
+    /// Cell order: `|F_l|` + p-order (the number of arrangement half-spaces
+    /// containing the cell).
+    pub order: usize,
+    /// The leaf's full-containment set `F_l`.
+    pub full: Vec<HalfSpaceId>,
+    /// The partial-overlap half-spaces containing the cell.
+    pub inside_partial: Vec<HalfSpaceId>,
+    /// The materialised region.
+    pub region: Region,
+}
+
+impl ArrangementCell {
+    /// All half-spaces containing the cell (`H_c` in the paper).
+    pub fn containing_ids(&self) -> impl Iterator<Item = HalfSpaceId> + '_ {
+        self.full.iter().chain(&self.inside_partial).copied()
+    }
+}
+
+/// Per-pair forbidden bit combinations.
+#[derive(Debug, Clone, Copy, Default)]
+struct PairConditions {
+    forbid11: bool,
+    forbid00: bool,
+    /// Bit of the *first* half-space 1, bit of the second 0 is impossible.
+    forbid10: bool,
+    forbid01: bool,
+}
+
+/// Processes one leaf: enumerates bit-strings over `partial` in increasing
+/// Hamming weight and returns the non-empty cells.
+///
+/// * `max_weight` — never consider bit-strings with more set bits than this
+///   (derived from the best order found so far by the caller);
+/// * `collect_extra` — after the first weight `w0` with a non-empty cell,
+///   keep enumerating up to `w0 + collect_extra` (τ of iMaxRank; 0 for plain
+///   MaxRank);
+/// * `pair_pruning` — whether to use the pairwise containment conditions.
+pub fn process_leaf(
+    bounds: &BoundingBox,
+    partial: &[(HalfSpaceId, HalfSpace)],
+    simplex: &HalfSpace,
+    max_weight: usize,
+    collect_extra: usize,
+    pair_pruning: bool,
+    stats: &mut QueryStats,
+) -> Vec<FoundCell> {
+    let m = partial.len();
+    let max_weight = max_weight.min(m);
+    let mut found = Vec::new();
+    let mut first_nonempty: Option<usize> = None;
+    let mut pair_conditions: Option<Vec<Vec<PairConditions>>> = None;
+
+    let mut weight = 0usize;
+    while weight <= max_weight {
+        if let Some(w0) = first_nonempty {
+            if weight > w0 + collect_extra {
+                break;
+            }
+        }
+        // Lazily derive the pairwise conditions once weights ≥ 2 are reached,
+        // where they start paying for themselves.
+        if pair_pruning && weight >= 2 && pair_conditions.is_none() && m >= 2 {
+            pair_conditions = Some(compute_pair_conditions(bounds, partial, simplex, stats));
+        }
+        let mut any_at_this_weight = false;
+        for_each_combination(m, weight, |chosen| {
+            if let Some(conds) = &pair_conditions {
+                if violates_conditions(chosen, m, conds) {
+                    stats.bitstrings_pruned += 1;
+                    return;
+                }
+            }
+            let mut inside = Vec::with_capacity(chosen.len() + 1);
+            let mut outside = Vec::with_capacity(m - chosen.len());
+            let mut inside_ids = Vec::with_capacity(chosen.len());
+            let mut chosen_iter = chosen.iter().peekable();
+            for (i, (id, h)) in partial.iter().enumerate() {
+                if chosen_iter.peek() == Some(&&i) {
+                    chosen_iter.next();
+                    inside.push(h.clone());
+                    inside_ids.push(*id);
+                } else {
+                    outside.push(h.clone());
+                }
+            }
+            inside.push(simplex.clone());
+            stats.cells_tested += 1;
+            let spec = CellSpec::new(inside, outside, bounds.clone());
+            if let Some(region) = spec.solve() {
+                any_at_this_weight = true;
+                found.push(FoundCell { p_order: chosen.len(), inside: inside_ids, region });
+            }
+        });
+        if any_at_this_weight && first_nonempty.is_none() {
+            first_nonempty = Some(weight);
+        }
+        weight += 1;
+    }
+    found
+}
+
+/// Enumerates the cells of the arrangement held by the quad-tree, visiting
+/// leaves in increasing `|F_l|` order and pruning leaves (and Hamming
+/// weights) that cannot produce a relevant cell.
+///
+/// * With `hard_limit = Some(l)` every cell with order ≤ `l` that is within
+///   `tau` of its leaf's minimum is returned (cells further from the leaf
+///   minimum can never lie within `tau` of the *global* minimum, so they are
+///   irrelevant to MaxRank/iMaxRank).
+/// * With `hard_limit = None` the bound adapts: the enumeration returns every
+///   cell with order ≤ (minimum order found) + `tau`.
+///
+/// Returns the cells and the effective bound that was applied.
+///
+/// This is a convenience wrapper over [`CellEnumerator`] without caching; the
+/// iterative AA keeps a [`CellEnumerator`] alive across iterations so that
+/// leaves untouched by newly inserted half-spaces are not re-enumerated.
+pub fn enumerate_cells(
+    qt: &HalfSpaceQuadTree,
+    hard_limit: Option<usize>,
+    tau: usize,
+    pair_pruning: bool,
+    stats: &mut QueryStats,
+) -> (Vec<ArrangementCell>, usize) {
+    CellEnumerator::new().enumerate(qt, hard_limit, tau, pair_pruning, stats)
+}
+
+#[derive(Debug, Clone)]
+struct CachedLeaf {
+    /// The Hamming-weight cap the cached enumeration was run with.
+    max_weight: usize,
+    cells: Vec<FoundCell>,
+}
+
+/// Arrangement-cell enumerator with a per-leaf memo.
+///
+/// The cache key is `(leaf node, |F_l|, |P_l|)`: half-spaces are only ever
+/// *added* to the quad-tree, so identical set sizes imply identical sets, and
+/// a cached enumeration that was run with a Hamming-weight cap at least as
+/// large as the one currently required can be reused after filtering.
+#[derive(Debug, Default)]
+pub struct CellEnumerator {
+    cache: std::collections::HashMap<(usize, usize, usize), CachedLeaf>,
+}
+
+impl CellEnumerator {
+    /// Creates an enumerator with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// See [`enumerate_cells`].
+    pub fn enumerate(
+        &mut self,
+        qt: &HalfSpaceQuadTree,
+        hard_limit: Option<usize>,
+        tau: usize,
+        pair_pruning: bool,
+        stats: &mut QueryStats,
+    ) -> (Vec<ArrangementCell>, usize) {
+        let simplex = reduced_simplex_constraint(qt.reduced_dims() + 1);
+        let mut leaves = qt.leaves();
+        leaves.sort_by_key(|l| l.full.len());
+        let mut best = usize::MAX;
+        let mut out: Vec<ArrangementCell> = Vec::new();
+        for leaf in &leaves {
+            let f = leaf.full.len();
+            let cap = match hard_limit {
+                Some(l) => l,
+                None => best.saturating_add(tau),
+            };
+            if f > cap {
+                break; // leaves are sorted by |F_l|; none of the rest can qualify
+            }
+            stats.leaves_processed += 1;
+            let max_weight = (cap - f).min(leaf.partial.len());
+            let key = (leaf.node, f, leaf.partial.len());
+            let cells: Vec<FoundCell> = match self.cache.get(&key) {
+                Some(cached) if cached.max_weight >= max_weight => cached
+                    .cells
+                    .iter()
+                    .filter(|c| c.p_order <= max_weight)
+                    .cloned()
+                    .collect(),
+                _ => {
+                    let partial: Vec<(HalfSpaceId, HalfSpace)> = leaf
+                        .partial
+                        .iter()
+                        .map(|&id| (id, qt.halfspace(id).clone()))
+                        .collect();
+                    let computed = process_leaf(
+                        &leaf.bounds,
+                        &partial,
+                        &simplex,
+                        max_weight,
+                        tau,
+                        pair_pruning,
+                        stats,
+                    );
+                    self.cache
+                        .insert(key, CachedLeaf { max_weight, cells: computed.clone() });
+                    computed
+                }
+            };
+            for c in cells {
+                let order = f + c.p_order;
+                best = best.min(order);
+                out.push(ArrangementCell {
+                    order,
+                    full: leaf.full.clone(),
+                    inside_partial: c.inside,
+                    region: c.region,
+                });
+            }
+        }
+        let effective = match hard_limit {
+            Some(l) => l,
+            None => best.saturating_add(tau),
+        };
+        out.retain(|c| c.order <= effective);
+        (out, effective)
+    }
+}
+
+/// Calls `f` with every sorted `k`-subset of `0..n`.
+fn for_each_combination<F: FnMut(&[usize])>(n: usize, k: usize, mut f: F) {
+    if k > n {
+        return;
+    }
+    if k == 0 {
+        f(&[]);
+        return;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        f(&idx);
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Derives, for every pair of partial-overlap half-spaces, which bit
+/// combinations are infeasible inside the leaf.
+fn compute_pair_conditions(
+    bounds: &BoundingBox,
+    partial: &[(HalfSpaceId, HalfSpace)],
+    simplex: &HalfSpace,
+    stats: &mut QueryStats,
+) -> Vec<Vec<PairConditions>> {
+    let m = partial.len();
+    let mut conds = vec![vec![PairConditions::default(); m]; m];
+    let feasible = |inside: Vec<HalfSpace>, outside: Vec<HalfSpace>, stats: &mut QueryStats| {
+        stats.cells_tested += 1;
+        let mut inside = inside;
+        inside.push(simplex.clone());
+        CellSpec::new(inside, outside, bounds.clone()).solve().is_some()
+    };
+    for i in 0..m {
+        for j in i + 1..m {
+            let hi = &partial[i].1;
+            let hj = &partial[j].1;
+            let c = PairConditions {
+                forbid11: !feasible(vec![hi.clone(), hj.clone()], vec![], stats),
+                forbid00: !feasible(vec![], vec![hi.clone(), hj.clone()], stats),
+                forbid10: !feasible(vec![hi.clone()], vec![hj.clone()], stats),
+                forbid01: !feasible(vec![hj.clone()], vec![hi.clone()], stats),
+            };
+            conds[i][j] = c;
+        }
+    }
+    conds
+}
+
+/// Checks whether the chosen subset (sorted indices of 1-bits) violates any
+/// pairwise condition.
+fn violates_conditions(chosen: &[usize], m: usize, conds: &[Vec<PairConditions>]) -> bool {
+    let mut bits = vec![false; m];
+    for &i in chosen {
+        bits[i] = true;
+    }
+    for i in 0..m {
+        for j in i + 1..m {
+            let c = &conds[i][j];
+            match (bits[i], bits[j]) {
+                (true, true) if c.forbid11 => return true,
+                (false, false) if c.forbid00 => return true,
+                (true, false) if c.forbid10 => return true,
+                (false, true) if c.forbid01 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hs(coeffs: &[f64], rhs: f64) -> HalfSpace {
+        HalfSpace::new(coeffs.to_vec(), rhs)
+    }
+
+    fn simplex2() -> HalfSpace {
+        reduced_simplex_constraint(3)
+    }
+
+    #[test]
+    fn combinations_enumerate_all_subsets() {
+        let mut seen = Vec::new();
+        for_each_combination(5, 2, |c| seen.push(c.to_vec()));
+        assert_eq!(seen.len(), 10);
+        assert!(seen.contains(&vec![0, 1]) && seen.contains(&vec![3, 4]));
+        let mut zero = 0;
+        for_each_combination(4, 0, |c| {
+            assert!(c.is_empty());
+            zero += 1;
+        });
+        assert_eq!(zero, 1);
+        let mut none = 0;
+        for_each_combination(2, 3, |_| none += 1);
+        assert_eq!(none, 0);
+        let mut all = 0;
+        for_each_combination(3, 3, |c| {
+            assert_eq!(c, &[0, 1, 2]);
+            all += 1;
+        });
+        assert_eq!(all, 1);
+    }
+
+    #[test]
+    fn figure3_within_leaf_example() {
+        // Analogue of paper Figure 3(b), leaf l1: the half-spaces of the
+        // partial-overlap set jointly cover the leaf (so the all-zero
+        // bit-string is infeasible), the minimum p-order is 1, and it is
+        // achieved only by the cell lying inside h2.
+        let bounds = BoundingBox::new(vec![0.0, 0.0], vec![0.5, 0.5]);
+        let h1 = hs(&[1.0, 1.0], 0.35); // x + y > 0.35
+        let h2 = hs(&[-1.0, -1.0], -0.4); // x + y < 0.4
+        let h6 = hs(&[1.0, 0.0], 0.05); // x > 0.05
+        let h7 = hs(&[0.0, 1.0], 0.05); // y > 0.05
+        let partial = vec![(0u32, h1), (1u32, h2.clone()), (2u32, h6), (3u32, h7)];
+        let mut stats = QueryStats::default();
+        let cells = process_leaf(&bounds, &partial, &simplex2(), usize::MAX, 0, true, &mut stats);
+        assert!(!cells.is_empty());
+        let min_order = cells.iter().map(|c| c.p_order).min().unwrap();
+        assert_eq!(min_order, 1);
+        for c in cells.iter().filter(|c| c.p_order == 1) {
+            assert_eq!(c.inside, vec![1], "the p-order-1 cell must be inside h2 only");
+            assert!(h2.contains(&c.region.witness));
+        }
+    }
+
+    #[test]
+    fn empty_bitstring_cell_found_when_leaf_uncovered() {
+        // A single half-space clipping a corner: the weight-0 cell exists.
+        let bounds = BoundingBox::unit(2);
+        let partial = vec![(0u32, hs(&[1.0, 1.0], 1.5))];
+        let mut stats = QueryStats::default();
+        let cells = process_leaf(&bounds, &partial, &simplex2(), usize::MAX, 0, true, &mut stats);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].p_order, 0);
+        assert!(cells[0].inside.is_empty());
+    }
+
+    #[test]
+    fn collect_extra_returns_higher_weights() {
+        // Two nested half-spaces: weight-0 cell exists; with collect_extra = 2
+        // the weight-1 and weight-2 cells are returned too.
+        let bounds = BoundingBox::unit(2);
+        let partial = vec![
+            (0u32, hs(&[1.0, 1.0], 0.6)),
+            (1u32, hs(&[1.0, 1.0], 1.2)),
+        ];
+        let mut stats = QueryStats::default();
+        let plain = process_leaf(&bounds, &partial, &simplex2(), usize::MAX, 0, true, &mut stats);
+        assert!(plain.iter().all(|c| c.p_order == 0));
+        let extended = process_leaf(&bounds, &partial, &simplex2(), usize::MAX, 2, true, &mut stats);
+        let weights: Vec<usize> = extended.iter().map(|c| c.p_order).collect();
+        assert!(weights.contains(&0) && weights.contains(&1));
+        // Note: the weight-2 combination {inside h0, inside h1} is feasible
+        // only where x+y > 1.2 intersects the simplex x+y < 1 — it is empty.
+        assert!(!weights.contains(&2));
+    }
+
+    #[test]
+    fn max_weight_caps_enumeration() {
+        // The only non-empty cells require weight 1, but the cap of 0 forbids
+        // finding them.
+        let bounds = BoundingBox::unit(2);
+        // Two complementary half-spaces covering the leaf: weight-0 cell empty.
+        let partial = vec![
+            (0u32, hs(&[1.0, 0.0], 0.4)),
+            (1u32, hs(&[-1.0, 0.0], -0.6)),
+        ];
+        let mut stats = QueryStats::default();
+        let capped = process_leaf(&bounds, &partial, &simplex2(), 0, 0, true, &mut stats);
+        assert!(capped.is_empty());
+        let uncapped = process_leaf(&bounds, &partial, &simplex2(), 2, 0, true, &mut stats);
+        assert!(!uncapped.is_empty());
+        assert!(uncapped.iter().all(|c| c.p_order == 1));
+    }
+
+    #[test]
+    fn pair_pruning_matches_unpruned_results() {
+        // The pruned and unpruned enumerations must find exactly the same
+        // cells (same weights and same inside-sets).
+        let bounds = BoundingBox::unit(2);
+        let partial = vec![
+            (0u32, hs(&[1.0, 0.2], 0.5)),
+            (1u32, hs(&[-1.0, 0.3], -0.4)),
+            (2u32, hs(&[0.3, 1.0], 0.7)),
+            (3u32, hs(&[1.0, 1.0], 1.1)),
+            (4u32, hs(&[-0.5, 1.0], 0.1)),
+        ];
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        let with = process_leaf(&bounds, &partial, &simplex2(), usize::MAX, 3, true, &mut s1);
+        let without = process_leaf(&bounds, &partial, &simplex2(), usize::MAX, 3, false, &mut s2);
+        let key = |c: &FoundCell| (c.p_order, c.inside.clone());
+        let mut a: Vec<_> = with.iter().map(key).collect();
+        let mut b: Vec<_> = without.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // Pruning must have dismissed at least one bit-string in this richly
+        // overlapping configuration.
+        assert!(s1.bitstrings_pruned > 0);
+    }
+
+    #[test]
+    fn enumerate_cells_against_direct_point_counts() {
+        // Build a quad-tree over a handful of half-spaces and verify that the
+        // minimum cell order reported by enumerate_cells matches a dense grid
+        // scan of the permissible simplex.
+        let mut qt = HalfSpaceQuadTree::new(2);
+        let hss = [
+            hs(&[1.0, 0.1], 0.45),
+            hs(&[-0.2, 1.0], 0.35),
+            hs(&[-1.0, -1.0], -0.9),
+            hs(&[0.7, -1.0], -0.1),
+            hs(&[1.0, 1.0], 0.75),
+        ];
+        for h in &hss {
+            qt.insert(h.clone());
+        }
+        let mut stats = QueryStats::default();
+        let (cells, _) = enumerate_cells(&qt, None, 0, true, &mut stats);
+        assert!(!cells.is_empty());
+        let min_order = cells.iter().map(|c| c.order).min().unwrap();
+        // Dense grid reference.
+        let mut grid_min = usize::MAX;
+        let steps = 200;
+        for i in 1..steps {
+            for j in 1..steps {
+                let q = [i as f64 / steps as f64, j as f64 / steps as f64];
+                if q[0] + q[1] >= 1.0 {
+                    continue;
+                }
+                let count = hss.iter().filter(|h| h.contains(&q)).count();
+                grid_min = grid_min.min(count);
+            }
+        }
+        assert_eq!(min_order, grid_min);
+        // Every reported min-order cell's witness must indeed see `min_order`
+        // half-spaces.
+        for c in cells.iter().filter(|c| c.order == min_order) {
+            let w = &c.region.witness;
+            let count = hss.iter().filter(|h| h.contains(w)).count();
+            assert_eq!(count, min_order);
+        }
+        assert!(stats.leaves_processed > 0);
+        assert!(stats.cells_tested > 0);
+    }
+
+    #[test]
+    fn enumerate_cells_hard_limit_returns_all_below() {
+        let mut qt = HalfSpaceQuadTree::new(2);
+        // Three nested half-spaces produce cells of orders 0..=3 along the
+        // diagonal (intersected with the simplex).
+        qt.insert(hs(&[1.0, 1.0], 0.3));
+        qt.insert(hs(&[1.0, 1.0], 0.5));
+        qt.insert(hs(&[1.0, 1.0], 0.7));
+        // With a hard limit of 2 and tau = 2, every cell within 2 of each
+        // leaf's minimum and with order ≤ 2 must be reported.
+        let mut stats = QueryStats::default();
+        let (cells, limit) = enumerate_cells(&qt, Some(2), 2, true, &mut stats);
+        assert_eq!(limit, 2);
+        let orders: std::collections::BTreeSet<usize> = cells.iter().map(|c| c.order).collect();
+        assert!(orders.contains(&0) && orders.contains(&1) && orders.contains(&2));
+        assert!(!orders.contains(&3));
+        // With tau = 0 only the minimum-order cells survive.
+        let mut stats = QueryStats::default();
+        let (cells, _) = enumerate_cells(&qt, None, 0, true, &mut stats);
+        assert!(cells.iter().all(|c| c.order == 0));
+    }
+}

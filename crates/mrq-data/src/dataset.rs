@@ -1,0 +1,227 @@
+//! Flat record storage shared by every crate in the workspace.
+//!
+//! A [`Dataset`] stores `n` records of fixed dimensionality `d` contiguously
+//! in a single `Vec<f64>` so record access is a cheap slice view and scans
+//! are cache friendly.
+
+/// Identifier of a record inside a [`Dataset`] (its position).
+pub type RecordId = u32;
+
+/// A set of `d`-dimensional records with attribute values (conventionally in
+/// `[0, 1]`, although nothing in the algorithms requires it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    dims: usize,
+    values: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset of dimensionality `dims`.
+    ///
+    /// # Panics
+    /// Panics if `dims < 2`: MaxRank is defined for two or more dimensions.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims >= 2, "MaxRank datasets need at least 2 dimensions");
+        Self { dims, values: Vec::new() }
+    }
+
+    /// Creates an empty dataset with capacity for `n` records.
+    pub fn with_capacity(dims: usize, n: usize) -> Self {
+        assert!(dims >= 2, "MaxRank datasets need at least 2 dimensions");
+        Self { dims, values: Vec::with_capacity(dims * n) }
+    }
+
+    /// Builds a dataset from explicit rows.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from `dims`.
+    pub fn from_rows(dims: usize, rows: &[Vec<f64>]) -> Self {
+        let mut ds = Self::with_capacity(dims, rows.len());
+        for row in rows {
+            ds.push(row);
+        }
+        ds
+    }
+
+    /// Dimensionality `d`.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of records `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len() / self.dims
+    }
+
+    /// Whether the dataset holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Appends a record, returning its id.
+    ///
+    /// # Panics
+    /// Panics if the record's length differs from the dataset dimensionality.
+    pub fn push(&mut self, record: &[f64]) -> RecordId {
+        assert_eq!(record.len(), self.dims, "record dimensionality mismatch");
+        let id = self.len() as RecordId;
+        self.values.extend_from_slice(record);
+        id
+    }
+
+    /// Borrow record `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    #[inline]
+    pub fn record(&self, id: RecordId) -> &[f64] {
+        let i = id as usize * self.dims;
+        &self.values[i..i + self.dims]
+    }
+
+    /// Iterator over `(id, record)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordId, &[f64])> {
+        self.values
+            .chunks_exact(self.dims)
+            .enumerate()
+            .map(|(i, r)| (i as RecordId, r))
+    }
+
+    /// The score `r · q` of record `id` under query vector `q`.
+    #[inline]
+    pub fn score(&self, id: RecordId, q: &[f64]) -> f64 {
+        mrq_geometry_dot(self.record(id), q)
+    }
+
+    /// The order (1-based rank) of an arbitrary point `p` under query `q`:
+    /// one plus the number of records scoring strictly higher than `p`.
+    /// Linear scan; used by tests, oracles and the appendix experiment.
+    pub fn order_of(&self, p: &[f64], q: &[f64]) -> usize {
+        let sp = mrq_geometry_dot(p, q);
+        1 + self
+            .iter()
+            .filter(|(_, r)| mrq_geometry_dot(r, q) > sp)
+            .count()
+    }
+
+    /// Minimum and maximum score over the dataset for query `q`
+    /// (used by the appendix "dimensionality curse" experiment, Figure 12).
+    pub fn score_range(&self, q: &[f64]) -> Option<(f64, f64)> {
+        let mut it = self.iter().map(|(_, r)| mrq_geometry_dot(r, q));
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for s in it {
+            if s < lo {
+                lo = s;
+            }
+            if s > hi {
+                hi = s;
+            }
+        }
+        Some((lo, hi))
+    }
+}
+
+#[inline]
+fn mrq_geometry_dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_dataset() -> Dataset {
+        Dataset::from_rows(
+            2,
+            &[
+                vec![0.8, 0.9], // r1
+                vec![0.2, 0.7], // r2
+                vec![0.9, 0.4], // r3
+                vec![0.7, 0.2], // r4
+                vec![0.4, 0.3], // r5
+            ],
+        )
+    }
+
+    #[test]
+    fn push_and_access() {
+        let mut ds = Dataset::new(3);
+        assert!(ds.is_empty());
+        let id = ds.push(&[0.1, 0.2, 0.3]);
+        assert_eq!(id, 0);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.record(0), &[0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn push_wrong_dims_panics() {
+        let mut ds = Dataset::new(3);
+        ds.push(&[0.1, 0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 dimensions")]
+    fn one_dimensional_rejected() {
+        let _ = Dataset::new(1);
+    }
+
+    #[test]
+    fn scores_match_figure1() {
+        // Figure 1(a): scores w.r.t. q1 = (0.7, 0.3) and q2 = (0.1, 0.9).
+        let ds = figure1_dataset();
+        let q1 = [0.7, 0.3];
+        let q2 = [0.1, 0.9];
+        let s1: Vec<f64> = (0..5).map(|i| ds.score(i, &q1)).collect();
+        let expected1 = [0.83, 0.35, 0.75, 0.55, 0.37];
+        for (a, b) in s1.iter().zip(expected1) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        let s2: Vec<f64> = (0..5).map(|i| ds.score(i, &q2)).collect();
+        let expected2 = [0.89, 0.65, 0.45, 0.25, 0.31];
+        for (a, b) in s2.iter().zip(expected2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn order_matches_figure1() {
+        // Order of p = (0.5,0.5): 4 w.r.t. q1, 3 w.r.t. q2 (Section 1).
+        let ds = figure1_dataset();
+        let p = [0.5, 0.5];
+        assert_eq!(ds.order_of(&p, &[0.7, 0.3]), 4);
+        assert_eq!(ds.order_of(&p, &[0.1, 0.9]), 3);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let ds = figure1_dataset();
+        assert_eq!(ds.iter().count(), 5);
+        let ids: Vec<RecordId> = ds.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn score_range_bounds() {
+        let ds = figure1_dataset();
+        let (lo, hi) = ds.score_range(&[0.7, 0.3]).unwrap();
+        assert!((lo - 0.35).abs() < 1e-9);
+        assert!((hi - 0.83).abs() < 1e-9);
+        let empty = Dataset::new(2);
+        assert!(empty.score_range(&[0.5, 0.5]).is_none());
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let rows = vec![vec![0.1, 0.9], vec![0.4, 0.2]];
+        let ds = Dataset::from_rows(2, &rows);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.record(1), rows[1].as_slice());
+    }
+}

@@ -1,0 +1,186 @@
+//! Dominance relationships and focal-record partitioning.
+//!
+//! Section 5 of the paper prunes the dataset around the focal record `p`:
+//! records that *dominate* `p` always outrank it (they only increment `k*`),
+//! records *dominated by* `p` never outrank it (they are discarded), and only
+//! the remaining *incomparable* records shape the half-space arrangement.
+
+use crate::dataset::{Dataset, RecordId};
+
+/// Relationship of a record `r` with a focal record `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomRelation {
+    /// `r` dominates `p`: `r_i ≥ p_i` for all `i` and `r ≠ p`.
+    Dominates,
+    /// `r` is dominated by `p`.
+    DominatedBy,
+    /// Neither dominates the other.
+    Incomparable,
+    /// `r` and `p` coincide in every attribute.
+    Equal,
+}
+
+/// `true` iff `a` dominates `b`: every attribute of `a` is no smaller and the
+/// records are not identical (higher attribute values are preferred, matching
+/// the paper's score convention).
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly_greater = false;
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly_greater = true;
+        }
+    }
+    strictly_greater
+}
+
+/// Classifies record `r` against the focal record `p`.
+pub fn classify(r: &[f64], p: &[f64]) -> DomRelation {
+    if dominates(r, p) {
+        DomRelation::Dominates
+    } else if dominates(p, r) {
+        DomRelation::DominatedBy
+    } else if r == p {
+        DomRelation::Equal
+    } else {
+        DomRelation::Incomparable
+    }
+}
+
+/// The partition of a dataset around a focal record.
+#[derive(Debug, Clone, Default)]
+pub struct FocalPartition {
+    /// Ids of records dominating `p` (the set `D+` of the paper).
+    pub dominators: Vec<RecordId>,
+    /// Ids of records dominated by `p` (discarded by all algorithms).
+    pub dominees: Vec<RecordId>,
+    /// Ids of incomparable records (these induce half-spaces).
+    pub incomparable: Vec<RecordId>,
+    /// Ids of records identical to `p` (ties are ignored, as in the paper).
+    pub duplicates: Vec<RecordId>,
+}
+
+/// Partitions the whole dataset around the focal point `p` with a linear scan.
+///
+/// If `skip` is `Some(id)`, that record (the focal record itself, when it
+/// belongs to `D`) is excluded from the partition.
+pub fn partition_by_focal(data: &Dataset, p: &[f64], skip: Option<RecordId>) -> FocalPartition {
+    let mut part = FocalPartition::default();
+    for (id, r) in data.iter() {
+        if Some(id) == skip {
+            continue;
+        }
+        match classify(r, p) {
+            DomRelation::Dominates => part.dominators.push(id),
+            DomRelation::DominatedBy => part.dominees.push(id),
+            DomRelation::Incomparable => part.incomparable.push(id),
+            DomRelation::Equal => part.duplicates.push(id),
+        }
+    }
+    part
+}
+
+/// Naive `O(n²)` skyline over an explicit id subset (maximisation convention).
+/// Used as the reference implementation the BBS algorithm is validated
+/// against, and by the small-input oracles.
+pub fn naive_skyline(data: &Dataset, ids: &[RecordId]) -> Vec<RecordId> {
+    let mut skyline = Vec::new();
+    'outer: for &i in ids {
+        let ri = data.record(i);
+        for &j in ids {
+            if i != j && dominates(data.record(j), ri) {
+                continue 'outer;
+            }
+        }
+        skyline.push(i);
+    }
+    skyline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominates_basic() {
+        assert!(dominates(&[0.8, 0.9], &[0.5, 0.5]));
+        assert!(!dominates(&[0.5, 0.5], &[0.8, 0.9]));
+        assert!(!dominates(&[0.8, 0.3], &[0.5, 0.5]));
+        assert!(!dominates(&[0.5, 0.5], &[0.5, 0.5]), "equal records do not dominate");
+        assert!(dominates(&[0.5, 0.6], &[0.5, 0.5]), "weak dominance with one strict attr");
+    }
+
+    #[test]
+    fn classify_all_cases() {
+        let p = [0.5, 0.5];
+        assert_eq!(classify(&[0.8, 0.9], &p), DomRelation::Dominates);
+        assert_eq!(classify(&[0.4, 0.3], &p), DomRelation::DominatedBy);
+        assert_eq!(classify(&[0.9, 0.4], &p), DomRelation::Incomparable);
+        assert_eq!(classify(&[0.5, 0.5], &p), DomRelation::Equal);
+    }
+
+    #[test]
+    fn figure1_partition() {
+        // In Figure 1(a) with p = (0.5,0.5): r1 dominator, r5 dominee,
+        // r2, r3, r4 incomparable (Section 5).
+        let ds = Dataset::from_rows(
+            2,
+            &[
+                vec![0.8, 0.9],
+                vec![0.2, 0.7],
+                vec![0.9, 0.4],
+                vec![0.7, 0.2],
+                vec![0.4, 0.3],
+            ],
+        );
+        let part = partition_by_focal(&ds, &[0.5, 0.5], None);
+        assert_eq!(part.dominators, vec![0]);
+        assert_eq!(part.dominees, vec![4]);
+        assert_eq!(part.incomparable, vec![1, 2, 3]);
+        assert!(part.duplicates.is_empty());
+    }
+
+    #[test]
+    fn partition_skips_focal_id() {
+        let ds = Dataset::from_rows(2, &[vec![0.5, 0.5], vec![0.6, 0.6]]);
+        let part = partition_by_focal(&ds, &[0.5, 0.5], Some(0));
+        assert!(part.duplicates.is_empty());
+        assert_eq!(part.dominators, vec![1]);
+    }
+
+    #[test]
+    fn duplicates_detected_without_skip() {
+        let ds = Dataset::from_rows(2, &[vec![0.5, 0.5], vec![0.6, 0.6]]);
+        let part = partition_by_focal(&ds, &[0.5, 0.5], None);
+        assert_eq!(part.duplicates, vec![0]);
+    }
+
+    #[test]
+    fn naive_skyline_figure6_style() {
+        // Incomparable records where r1, r2 form the skyline (Figure 6(a)).
+        let ds = Dataset::from_rows(
+            2,
+            &[
+                vec![0.9, 0.55], // r1: skyline
+                vec![0.3, 0.95], // r2: skyline
+                vec![0.25, 0.9], // r3: dominated by r2
+                vec![0.85, 0.3], // r4: dominated by r1
+                vec![0.2, 0.85], // r5: dominated by r2, r3
+            ],
+        );
+        let ids: Vec<RecordId> = (0..5).collect();
+        let mut sky = naive_skyline(&ds, &ids);
+        sky.sort_unstable();
+        assert_eq!(sky, vec![0, 1]);
+    }
+
+    #[test]
+    fn skyline_of_empty_and_singleton() {
+        let ds = Dataset::from_rows(2, &[vec![0.1, 0.2]]);
+        assert!(naive_skyline(&ds, &[]).is_empty());
+        assert_eq!(naive_skyline(&ds, &[0]), vec![0]);
+    }
+}

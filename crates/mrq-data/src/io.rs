@@ -1,0 +1,175 @@
+//! Minimal CSV persistence for datasets and experiment output.
+//!
+//! Keeps the workspace free of CSV dependencies; the format is plain
+//! comma-separated `f64` values, one record per line, with an optional
+//! one-line header.
+
+use crate::dataset::Dataset;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors produced by dataset (de)serialisation.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A cell could not be parsed as `f64`, or a row had the wrong arity.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes the dataset as CSV.  When `header` is true a `d1,d2,…` header line
+/// is emitted first.
+pub fn write_csv(data: &Dataset, path: &Path, header: bool) -> Result<(), IoError> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    if header {
+        let cols: Vec<String> = (1..=data.dims()).map(|i| format!("d{i}")).collect();
+        writeln!(w, "{}", cols.join(","))?;
+    }
+    let mut line = String::new();
+    for (_, r) in data.iter() {
+        line.clear();
+        for (i, v) in r.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("{v}"));
+        }
+        writeln!(w, "{line}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a CSV file produced by [`write_csv`] (or any numeric CSV with the
+/// given dimensionality).  Lines starting with a non-numeric first cell are
+/// treated as headers and skipped.
+pub fn read_csv(path: &Path, dims: usize) -> Result<Dataset, IoError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut data = Dataset::new(dims);
+    let mut row = Vec::with_capacity(dims);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        row.clear();
+        let mut header_like = false;
+        for (i, cell) in trimmed.split(',').enumerate() {
+            match cell.trim().parse::<f64>() {
+                Ok(v) => row.push(v),
+                Err(_) if lineno == 0 && i == 0 => {
+                    header_like = true;
+                    break;
+                }
+                Err(e) => {
+                    return Err(IoError::Parse {
+                        line: lineno + 1,
+                        message: format!("cell {i}: {e}"),
+                    })
+                }
+            }
+        }
+        if header_like {
+            continue;
+        }
+        if row.len() != dims {
+            return Err(IoError::Parse {
+                line: lineno + 1,
+                message: format!("expected {dims} cells, found {}", row.len()),
+            });
+        }
+        data.push(&row);
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, Distribution};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn roundtrip_with_header() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = generate(Distribution::Independent, 50, 3, &mut rng);
+        let dir = std::env::temp_dir().join("mrq_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        write_csv(&ds, &path, true).unwrap();
+        let back = read_csv(&path, 3).unwrap();
+        assert_eq!(ds.len(), back.len());
+        for ((_, a), (_, b)) in ds.iter().zip(back.iter()) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_without_header() {
+        let ds = Dataset::from_rows(2, &[vec![0.25, 0.75], vec![1.0, 0.0]]);
+        let dir = std::env::temp_dir().join("mrq_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("noheader.csv");
+        write_csv(&ds, &path, false).unwrap();
+        let back = read_csv(&path, 2).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.record(0), &[0.25, 0.75]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_arity_is_reported() {
+        let dir = std::env::temp_dir().join("mrq_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "0.1,0.2\n0.3\n").unwrap();
+        let err = read_csv(&path, 2).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_csv(Path::new("/nonexistent/definitely_missing.csv"), 2).unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+        assert!(format!("{err}").contains("I/O error"));
+    }
+
+    #[test]
+    fn unparsable_cell_is_reported() {
+        let dir = std::env::temp_dir().join("mrq_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nan_text.csv");
+        std::fs::write(&path, "0.1,0.2\n0.3,abc\n").unwrap();
+        let err = read_csv(&path, 2).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 2, .. }));
+        std::fs::remove_file(&path).ok();
+    }
+}

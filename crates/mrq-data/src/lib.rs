@@ -1,0 +1,28 @@
+//! Datasets for the MaxRank reproduction.
+//!
+//! The evaluation of the paper (Section 8) uses three synthetic benchmark
+//! distributions — Independent (IND), Correlated (COR) and Anti-correlated
+//! (ANTI) — plus five real datasets (HOTEL, HOUSE, NBA, PITCH, BAT).  The real
+//! data is not redistributable, so this crate provides *simulated stand-ins*
+//! with matching cardinality, dimensionality and qualitative correlation
+//! structure (see [`realistic`] and DESIGN.md §6 for the substitution
+//! rationale).
+//!
+//! * [`dataset`] — the flat, cache-friendly record container used everywhere,
+//! * [`dominance`] — dominance tests, focal-record partitioning, naive skyline,
+//! * [`synthetic`] — IND / COR / ANTI generators,
+//! * [`realistic`] — the simulated HOTEL / HOUSE / NBA / PITCH / BAT datasets,
+//! * [`io`] — minimal CSV persistence (no external dependencies).
+
+pub mod dataset;
+pub mod dominance;
+pub mod io;
+pub mod realistic;
+pub mod synthetic;
+
+pub use dataset::{Dataset, RecordId};
+pub use dominance::{
+    classify, dominates, naive_skyline, partition_by_focal, DomRelation, FocalPartition,
+};
+pub use realistic::{RealDataset, RealisticSpec};
+pub use synthetic::{generate, Distribution};

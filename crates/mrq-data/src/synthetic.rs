@@ -1,0 +1,204 @@
+//! Synthetic benchmark data generators: Independent, Correlated and
+//! Anti-correlated distributions.
+//!
+//! These are the standard preference-query benchmarks introduced by the
+//! skyline literature (Börzsönyi et al., cited as [5] in the paper) and used
+//! throughout Section 8 of the MaxRank evaluation:
+//!
+//! * **IND** — every attribute i.i.d. uniform in `[0, 1]`;
+//! * **COR** — records concentrate around the main diagonal: a record that is
+//!   good in one attribute tends to be good in all;
+//! * **ANTI** — records concentrate around the anti-diagonal hyperplane
+//!   `Σ x_i ≈ d/2`: a record that is good in one attribute tends to be bad in
+//!   the others.
+
+use crate::dataset::Dataset;
+use rand::Rng;
+
+/// The three benchmark distributions of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// Independent, uniform attributes.
+    Independent,
+    /// Correlated attributes (diagonal concentration).
+    Correlated,
+    /// Anti-correlated attributes (anti-diagonal concentration).
+    AntiCorrelated,
+}
+
+impl Distribution {
+    /// Short label used in experiment output ("IND", "COR", "ANTI").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Distribution::Independent => "IND",
+            Distribution::Correlated => "COR",
+            Distribution::AntiCorrelated => "ANTI",
+        }
+    }
+
+    /// All three distributions, in the order the paper plots them.
+    pub fn all() -> [Distribution; 3] {
+        [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::AntiCorrelated,
+        ]
+    }
+}
+
+/// Standard-normal sample via the Box–Muller transform (keeps the workspace
+/// free of extra distribution crates).
+fn normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn clamp01(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+/// Generates `n` records of dimensionality `d` from the given distribution.
+pub fn generate<R: Rng>(dist: Distribution, n: usize, d: usize, rng: &mut R) -> Dataset {
+    let mut ds = Dataset::with_capacity(d, n);
+    let mut row = vec![0.0; d];
+    for _ in 0..n {
+        match dist {
+            Distribution::Independent => {
+                for v in row.iter_mut() {
+                    *v = rng.gen();
+                }
+            }
+            Distribution::Correlated => {
+                // A common "quality" level on the diagonal plus small
+                // per-attribute jitter.
+                let level = clamp01(0.5 + 0.2 * normal(rng));
+                for v in row.iter_mut() {
+                    *v = clamp01(level + 0.05 * normal(rng));
+                }
+            }
+            Distribution::AntiCorrelated => {
+                // Total budget close to d/2; attributes split the budget so
+                // that being high in one dimension forces others low.
+                let budget = (0.5 * d as f64 + 0.1 * normal(rng)).max(0.05);
+                // Sample a random composition of the budget.
+                let mut weights: Vec<f64> = (0..d).map(|_| rng.gen::<f64>() + 1e-9).collect();
+                let s: f64 = weights.iter().sum();
+                weights.iter_mut().for_each(|w| *w /= s);
+                for (v, w) in row.iter_mut().zip(&weights) {
+                    *v = clamp01(w * budget);
+                }
+            }
+        }
+        ds.push(&row);
+    }
+    ds
+}
+
+/// Picks `count` focal-record ids uniformly at random (the paper averages
+/// every measurement over 40 randomly selected focal records).
+pub fn random_focal_ids<R: Rng>(data: &Dataset, count: usize, rng: &mut R) -> Vec<u32> {
+    let n = data.len() as u32;
+    assert!(n > 0, "cannot select focal records from an empty dataset");
+    (0..count).map(|_| rng.gen_range(0..n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+
+    fn columns(ds: &Dataset) -> (Vec<f64>, Vec<f64>) {
+        let xs: Vec<f64> = ds.iter().map(|(_, r)| r[0]).collect();
+        let ys: Vec<f64> = ds.iter().map(|(_, r)| r[1]).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for dist in Distribution::all() {
+            let ds = generate(dist, 500, 4, &mut rng);
+            assert_eq!(ds.len(), 500);
+            assert_eq!(ds.dims(), 4);
+            for (_, r) in ds.iter() {
+                assert!(r.iter().all(|v| (0.0..=1.0).contains(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn independent_attributes_nearly_uncorrelated() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = generate(Distribution::Independent, 4000, 2, &mut rng);
+        let (xs, ys) = columns(&ds);
+        assert!(pearson(&xs, &ys).abs() < 0.1);
+    }
+
+    #[test]
+    fn correlated_attributes_positively_correlated() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = generate(Distribution::Correlated, 4000, 2, &mut rng);
+        let (xs, ys) = columns(&ds);
+        assert!(pearson(&xs, &ys) > 0.6, "got {}", pearson(&xs, &ys));
+    }
+
+    #[test]
+    fn anticorrelated_attributes_negatively_correlated() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ds = generate(Distribution::AntiCorrelated, 4000, 2, &mut rng);
+        let (xs, ys) = columns(&ds);
+        assert!(pearson(&xs, &ys) < -0.5, "got {}", pearson(&xs, &ys));
+    }
+
+    #[test]
+    fn anticorrelated_has_larger_skyline_than_correlated() {
+        // The classic qualitative property exploited throughout Section 8:
+        // ANTI has many skyline records, COR very few.
+        use crate::dominance::naive_skyline;
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 1500;
+        let cor = generate(Distribution::Correlated, n, 3, &mut rng);
+        let anti = generate(Distribution::AntiCorrelated, n, 3, &mut rng);
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let sky_cor = naive_skyline(&cor, &ids).len();
+        let sky_anti = naive_skyline(&anti, &ids).len();
+        assert!(
+            sky_anti > 3 * sky_cor,
+            "ANTI skyline {sky_anti} should dwarf COR skyline {sky_cor}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate(Distribution::Independent, 50, 3, &mut StdRng::seed_from_u64(9));
+        let b = generate(Distribution::Independent, 50, 3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_focal_ids_in_range() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let ds = generate(Distribution::Independent, 100, 2, &mut rng);
+        let ids = random_focal_ids(&ds, 40, &mut rng);
+        assert_eq!(ids.len(), 40);
+        assert!(ids.iter().all(|&i| (i as usize) < ds.len()));
+    }
+
+    #[test]
+    fn distribution_labels() {
+        assert_eq!(Distribution::Independent.label(), "IND");
+        assert_eq!(Distribution::Correlated.label(), "COR");
+        assert_eq!(Distribution::AntiCorrelated.label(), "ANTI");
+    }
+}

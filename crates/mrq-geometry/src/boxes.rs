@@ -1,0 +1,269 @@
+//! Axis-parallel boxes and their classification against half-spaces.
+//!
+//! The augmented quad-tree (paper, Section 5.1) needs to decide, for every
+//! node region and every inserted half-space, whether the node is *fully
+//! contained* in the half-space, *disjoint* from it, or *partially
+//! overlapping*.  Because the regions are axis-parallel boxes, the minimum
+//! and maximum of the linear form `a · x` over the box are attained at
+//! corners and can be computed coordinate-wise.
+
+use crate::halfspace::HalfSpace;
+use crate::EPS;
+
+/// Relationship of a box with respect to an open half-space `a · x > b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoxRelation {
+    /// Every point of the box lies strictly inside the half-space.
+    Contained,
+    /// No point of the box lies inside the half-space.
+    Disjoint,
+    /// The supporting hyperplane crosses the box.
+    Overlapping,
+}
+
+/// A closed axis-parallel box `[lo_1, hi_1] × … × [lo_d, hi_d]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundingBox {
+    /// Lower corner.
+    pub lo: Vec<f64>,
+    /// Upper corner.
+    pub hi: Vec<f64>,
+}
+
+impl BoundingBox {
+    /// Creates a box from its corners.
+    ///
+    /// # Panics
+    /// Panics if the corners have different dimensionality or if any lower
+    /// coordinate exceeds the corresponding upper coordinate.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "box corners must share dimensionality");
+        assert!(
+            lo.iter().zip(&hi).all(|(l, h)| l <= h),
+            "box lower corner must not exceed upper corner"
+        );
+        Self { lo, hi }
+    }
+
+    /// The unit hyper-cube `[0, 1]^dim`.
+    pub fn unit(dim: usize) -> Self {
+        Self::new(vec![0.0; dim], vec![1.0; dim])
+    }
+
+    /// Dimensionality of the box.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Side length along dimension `i`.
+    #[inline]
+    pub fn extent(&self, i: usize) -> f64 {
+        self.hi[i] - self.lo[i]
+    }
+
+    /// Volume (product of side lengths).
+    pub fn volume(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| (h - l).max(0.0))
+            .product()
+    }
+
+    /// Centre point of the box.
+    pub fn center(&self) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| 0.5 * (l + h))
+            .collect()
+    }
+
+    /// Whether `x` lies in the closed box.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        debug_assert_eq!(x.len(), self.dim());
+        x.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(v, (l, h))| *v >= l - EPS && *v <= h + EPS)
+    }
+
+    /// Minimum of `a · x` over the box.
+    pub fn min_dot(&self, a: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), self.dim());
+        a.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .map(|(c, (l, h))| if *c >= 0.0 { c * l } else { c * h })
+            .sum()
+    }
+
+    /// Maximum of `a · x` over the box.
+    pub fn max_dot(&self, a: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), self.dim());
+        a.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .map(|(c, (l, h))| if *c >= 0.0 { c * h } else { c * l })
+            .sum()
+    }
+
+    /// Classifies the box against an open half-space `a · x > b`.
+    pub fn relation_to(&self, h: &HalfSpace) -> BoxRelation {
+        if h.is_degenerate() {
+            return if h.degenerate_is_full() {
+                BoxRelation::Contained
+            } else {
+                BoxRelation::Disjoint
+            };
+        }
+        // Work with the normalised form so that EPS has consistent meaning
+        // regardless of the magnitude of the coefficients.
+        let n = h.normal_norm();
+        let min = self.min_dot(&h.coeffs) / n;
+        let max = self.max_dot(&h.coeffs) / n;
+        let rhs = h.rhs / n;
+        if min > rhs + EPS {
+            BoxRelation::Contained
+        } else if max <= rhs + EPS {
+            BoxRelation::Disjoint
+        } else {
+            BoxRelation::Overlapping
+        }
+    }
+
+    /// Splits the box into its `2^dim` quadrants (children of a quad-tree
+    /// node), in lexicographic order of the child index bits: bit `i` of the
+    /// child index selects the upper half along dimension `i`.
+    pub fn quadrants(&self) -> Vec<BoundingBox> {
+        let d = self.dim();
+        let mid = self.center();
+        let count = 1usize << d;
+        let mut out = Vec::with_capacity(count);
+        for mask in 0..count {
+            let mut lo = Vec::with_capacity(d);
+            let mut hi = Vec::with_capacity(d);
+            for i in 0..d {
+                if mask >> i & 1 == 1 {
+                    lo.push(mid[i]);
+                    hi.push(self.hi[i]);
+                } else {
+                    lo.push(self.lo[i]);
+                    hi.push(mid[i]);
+                }
+            }
+            out.push(BoundingBox::new(lo, hi));
+        }
+        out
+    }
+
+    /// Smallest box containing both `self` and `other`.
+    pub fn union(&self, other: &BoundingBox) -> BoundingBox {
+        debug_assert_eq!(self.dim(), other.dim());
+        BoundingBox::new(
+            self.lo
+                .iter()
+                .zip(&other.lo)
+                .map(|(a, b)| a.min(*b))
+                .collect(),
+            self.hi
+                .iter()
+                .zip(&other.hi)
+                .map(|(a, b)| a.max(*b))
+                .collect(),
+        )
+    }
+
+    /// Whether the closed boxes intersect.
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((al, ah), (bl, bh))| al <= bh && bl <= ah)
+    }
+
+    /// Whether `other` is fully inside `self` (closed containment).
+    pub fn contains_box(&self, other: &BoundingBox) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((al, ah), (bl, bh))| al <= bl && bh <= ah)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hs(coeffs: &[f64], rhs: f64) -> HalfSpace {
+        HalfSpace::new(coeffs.to_vec(), rhs)
+    }
+
+    #[test]
+    fn unit_box_basics() {
+        let b = BoundingBox::unit(3);
+        assert_eq!(b.dim(), 3);
+        assert!((b.volume() - 1.0).abs() < 1e-12);
+        assert_eq!(b.center(), vec![0.5, 0.5, 0.5]);
+        assert!(b.contains(&[0.0, 1.0, 0.5]));
+        assert!(!b.contains(&[1.2, 0.5, 0.5]));
+    }
+
+    #[test]
+    fn min_max_dot() {
+        let b = BoundingBox::new(vec![0.0, 0.5], vec![1.0, 1.0]);
+        let a = [2.0, -1.0];
+        assert!((b.min_dot(&a) - (0.0 - 1.0)).abs() < 1e-12);
+        assert!((b.max_dot(&a) - (2.0 - 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relation_contained_disjoint_overlap() {
+        let b = BoundingBox::unit(2);
+        // x + y > -1 contains the unit box.
+        assert_eq!(b.relation_to(&hs(&[1.0, 1.0], -1.0)), BoxRelation::Contained);
+        // x + y > 3 is disjoint from it.
+        assert_eq!(b.relation_to(&hs(&[1.0, 1.0], 3.0)), BoxRelation::Disjoint);
+        // x + y > 1 crosses it.
+        assert_eq!(
+            b.relation_to(&hs(&[1.0, 1.0], 1.0)),
+            BoxRelation::Overlapping
+        );
+        // Touching along a face only (x > 1) counts as disjoint for an OPEN
+        // half-space.
+        assert_eq!(b.relation_to(&hs(&[1.0, 0.0], 1.0)), BoxRelation::Disjoint);
+    }
+
+    #[test]
+    fn relation_degenerate() {
+        let b = BoundingBox::unit(2);
+        assert_eq!(b.relation_to(&hs(&[0.0, 0.0], -0.5)), BoxRelation::Contained);
+        assert_eq!(b.relation_to(&hs(&[0.0, 0.0], 0.5)), BoxRelation::Disjoint);
+    }
+
+    #[test]
+    fn quadrants_partition_volume() {
+        let b = BoundingBox::new(vec![0.0, 0.0, 0.0], vec![1.0, 2.0, 4.0]);
+        let kids = b.quadrants();
+        assert_eq!(kids.len(), 8);
+        let total: f64 = kids.iter().map(|k| k.volume()).sum();
+        assert!((total - b.volume()).abs() < 1e-9);
+        for k in &kids {
+            assert!(b.contains_box(k));
+        }
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let a = BoundingBox::new(vec![0.0, 0.0], vec![0.5, 0.5]);
+        let b = BoundingBox::new(vec![0.4, 0.4], vec![1.0, 1.0]);
+        let c = BoundingBox::new(vec![0.6, 0.6], vec![1.0, 1.0]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        let u = a.union(&b);
+        assert_eq!(u, BoundingBox::unit(2));
+        assert!(u.contains_box(&a) && u.contains_box(&b));
+    }
+}

@@ -1,0 +1,186 @@
+//! Hyperplanes and open half-spaces in the reduced query space.
+//!
+//! A [`HalfSpace`] represents the open set `{ x : a · x > b }`.  In the
+//! MaxRank construction (paper, Section 5) each record `r` that is
+//! incomparable to the focal record `p` induces exactly one such half-space:
+//! the query vectors for which `S(r) > S(p)`.
+
+use crate::vector::{dot, l2_norm};
+use crate::EPS;
+
+/// The hyperplane `{ x : a · x = b }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hyperplane {
+    /// Normal coefficients `a`.
+    pub coeffs: Vec<f64>,
+    /// Offset `b`.
+    pub rhs: f64,
+}
+
+impl Hyperplane {
+    /// Creates a hyperplane `a · x = b`.
+    pub fn new(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Self { coeffs, rhs }
+    }
+
+    /// Signed evaluation `a · x − b` (positive on the "inside" of the
+    /// half-space sharing this supporting hyperplane).
+    #[inline]
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        dot(&self.coeffs, x) - self.rhs
+    }
+
+    /// Dimensionality of the ambient space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coeffs.len()
+    }
+}
+
+/// The open half-space `{ x : a · x > b }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HalfSpace {
+    /// Normal coefficients `a`.
+    pub coeffs: Vec<f64>,
+    /// Offset `b`.
+    pub rhs: f64,
+}
+
+impl HalfSpace {
+    /// Creates the half-space `a · x > b`.
+    pub fn new(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Self { coeffs, rhs }
+    }
+
+    /// The supporting hyperplane `a · x = b`.
+    pub fn boundary(&self) -> Hyperplane {
+        Hyperplane::new(self.coeffs.clone(), self.rhs)
+    }
+
+    /// Dimensionality of the ambient space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Signed slack `a · x − b`; strictly positive inside the half-space.
+    #[inline]
+    pub fn slack(&self, x: &[f64]) -> f64 {
+        dot(&self.coeffs, x) - self.rhs
+    }
+
+    /// Strict containment test with the crate tolerance.
+    #[inline]
+    pub fn contains(&self, x: &[f64]) -> bool {
+        self.slack(x) > EPS
+    }
+
+    /// The (closed complement's interior) `{ x : a · x < b }`, i.e. the open
+    /// half-space on the other side of the supporting hyperplane.
+    pub fn complement(&self) -> HalfSpace {
+        HalfSpace::new(self.coeffs.iter().map(|c| -c).collect(), -self.rhs)
+    }
+
+    /// Euclidean norm of the normal vector; zero for a degenerate half-space.
+    pub fn normal_norm(&self) -> f64 {
+        l2_norm(&self.coeffs)
+    }
+
+    /// A degenerate half-space has an (almost) zero normal: it is either the
+    /// whole space (rhs < 0) or empty (rhs ≥ 0), and corresponds to a record
+    /// whose score equals the focal record's for every query vector.
+    pub fn is_degenerate(&self) -> bool {
+        self.normal_norm() < EPS
+    }
+
+    /// For a degenerate half-space, whether it covers the whole space.
+    pub fn degenerate_is_full(&self) -> bool {
+        debug_assert!(self.is_degenerate());
+        self.rhs < -EPS
+    }
+
+    /// Returns a copy whose normal has unit Euclidean length (the geometry of
+    /// the half-space is unchanged).  Degenerate half-spaces are returned
+    /// as-is.
+    pub fn normalized(&self) -> HalfSpace {
+        let n = self.normal_norm();
+        if n < EPS {
+            return self.clone();
+        }
+        HalfSpace::new(self.coeffs.iter().map(|c| c / n).collect(), self.rhs / n)
+    }
+}
+
+/// Pairwise relationship between (the within-leaf restrictions of) two
+/// half-spaces whose supporting hyperplanes do not cross inside the leaf.
+/// Mirrors Figure 4 of the paper and drives the bit-string pruning rules of
+/// Section 5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairRelation {
+    /// The hyperplanes cross inside the leaf; no constraint between the bits.
+    Crossing,
+    /// The two half-spaces are disjoint inside the leaf: bits cannot both be 1.
+    Disjoint,
+    /// The first half-space contains the second inside the leaf: the second's
+    /// bit cannot be 1 while the first's is 0.
+    FirstContainsSecond,
+    /// The second half-space contains the first inside the leaf.
+    SecondContainsFirst,
+    /// The union covers the leaf but neither contains the other: bits cannot
+    /// both be 0.
+    CoveringOverlap,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halfspace_contains_and_complement() {
+        // x + y > 1
+        let h = HalfSpace::new(vec![1.0, 1.0], 1.0);
+        assert!(h.contains(&[0.8, 0.8]));
+        assert!(!h.contains(&[0.2, 0.2]));
+        assert!(!h.contains(&[0.5, 0.5])); // boundary: not strictly inside
+        let c = h.complement();
+        assert!(c.contains(&[0.2, 0.2]));
+        assert!(!c.contains(&[0.8, 0.8]));
+    }
+
+    #[test]
+    fn boundary_eval_sign() {
+        let h = HalfSpace::new(vec![2.0, -1.0], 0.5);
+        let b = h.boundary();
+        assert!(b.eval(&[1.0, 0.0]) > 0.0);
+        assert!(b.eval(&[0.0, 1.0]) < 0.0);
+        assert_eq!(b.dim(), 2);
+        assert_eq!(h.dim(), 2);
+    }
+
+    #[test]
+    fn normalized_preserves_geometry() {
+        let h = HalfSpace::new(vec![3.0, 4.0], 2.5);
+        let n = h.normalized();
+        assert!((n.normal_norm() - 1.0).abs() < 1e-12);
+        for p in [[0.9, 0.9], [0.1, 0.1], [0.5, 0.25]] {
+            assert_eq!(h.contains(&p), n.contains(&p));
+        }
+    }
+
+    #[test]
+    fn degenerate_halfspaces() {
+        let full = HalfSpace::new(vec![0.0, 0.0], -1.0);
+        assert!(full.is_degenerate());
+        assert!(full.degenerate_is_full());
+        let empty = HalfSpace::new(vec![0.0, 0.0], 1.0);
+        assert!(empty.is_degenerate());
+        assert!(!empty.degenerate_is_full());
+    }
+
+    #[test]
+    fn slack_matches_dot() {
+        let h = HalfSpace::new(vec![1.0, -2.0, 0.5], 0.25);
+        let x = [0.3, 0.1, 0.6];
+        assert!((h.slack(&x) - (0.3 - 0.2 + 0.3 - 0.25)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! The record → half-space mapping into the *reduced query space*.
+//!
+//! Section 5 of the paper: with the normalisation `Σ q_i = 1` the d-th weight
+//! is determined by the others (`q_d = 1 − Σ_{i<d} q_i`), so the query space
+//! can be reduced to the (d−1)-dimensional space of `(q_1, …, q_{d−1})`.
+//! For an incomparable record `r`, the score comparison `S(r) > S(p)` is
+//! equivalent to
+//!
+//! ```text
+//! Σ_{i<d} (r_i − r_d − p_i + p_d) · q_i  >  p_d − r_d
+//! ```
+//!
+//! i.e. membership of the reduced query vector in an open half-space.  The
+//! permissible region of the reduced space is the open simplex
+//! `{ q : q_i > 0, Σ_{i<d} q_i < 1 }`.
+
+use crate::boxes::BoundingBox;
+use crate::halfspace::HalfSpace;
+use crate::vector::score;
+
+/// Builds the half-space of the reduced query space in which record `r`
+/// scores strictly higher than the focal record `p`.
+///
+/// Both `r` and `p` are full-dimensional (`d ≥ 2`) records; the returned
+/// half-space lives in `d − 1` dimensions.
+///
+/// # Panics
+/// Panics if `r` and `p` have different lengths or fewer than two dimensions.
+pub fn halfspace_for_record(r: &[f64], p: &[f64]) -> HalfSpace {
+    assert_eq!(r.len(), p.len(), "record and focal record dimensions differ");
+    let d = r.len();
+    assert!(d >= 2, "MaxRank requires at least two dimensions");
+    let rd = r[d - 1];
+    let pd = p[d - 1];
+    let coeffs: Vec<f64> = (0..d - 1).map(|i| r[i] - rd - p[i] + pd).collect();
+    HalfSpace::new(coeffs, pd - rd)
+}
+
+/// The axis-parallel bounding box of the reduced query space: `[0, 1]^{d−1}`.
+///
+/// The true permissible region is the open simplex inside this box; see
+/// [`reduced_simplex_constraint`].
+pub fn reduced_space_box(d: usize) -> BoundingBox {
+    assert!(d >= 2);
+    BoundingBox::unit(d - 1)
+}
+
+/// The additional constraint `Σ_{i<d} q_i < 1` of the reduced query space,
+/// expressed as the open half-space `−Σ q_i > −1` so it can be handled
+/// uniformly with the record-induced half-spaces.
+pub fn reduced_simplex_constraint(d: usize) -> HalfSpace {
+    assert!(d >= 2);
+    HalfSpace::new(vec![-1.0; d - 1], -1.0)
+}
+
+/// Expands a reduced query vector `(q_1, …, q_{d−1})` back to the full
+/// d-dimensional permissible query vector by appending `q_d = 1 − Σ q_i`.
+pub fn expand_query(reduced: &[f64]) -> Vec<f64> {
+    let mut q = reduced.to_vec();
+    let last = 1.0 - reduced.iter().sum::<f64>();
+    q.push(last);
+    q
+}
+
+/// Checks the defining property of the mapping: `r` scores above `p` under
+/// the expanded query iff the reduced query lies in the record's half-space.
+/// Exposed for tests and the oracle implementations.
+pub fn mapping_consistent(r: &[f64], p: &[f64], reduced_q: &[f64], tol: f64) -> bool {
+    let h = halfspace_for_record(r, p);
+    let q = expand_query(reduced_q);
+    let diff = score(r, &q) - score(p, &q);
+    let slack = h.slack(reduced_q);
+    // Same sign (up to tolerance) — in fact the two quantities are equal.
+    (diff - slack).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn paper_example_d2() {
+        // Figure 1(a) / Section 6.3: p = (.5,.5).  For r2 = (.2,.7) the
+        // half-line is q1 < 0.4, for r3 = (.9,.4) it is q1 > 0.2.
+        let p = [0.5, 0.5];
+        let h2 = halfspace_for_record(&[0.2, 0.7], &p);
+        // (r1 - r2 - p1 + p2) q1 > p2 - r2  =>  -0.5 q1 > -0.2  =>  q1 < 0.4.
+        assert!(h2.contains(&[0.3]));
+        assert!(!h2.contains(&[0.5]));
+        let h3 = halfspace_for_record(&[0.9, 0.4], &p);
+        assert!(h3.contains(&[0.3]));
+        assert!(!h3.contains(&[0.1]));
+    }
+
+    #[test]
+    fn mapping_equals_score_difference() {
+        // The slack of the reduced half-space equals S(r) − S(p) exactly.
+        let mut rng = StdRng::seed_from_u64(7);
+        for d in 2..=6 {
+            for _ in 0..50 {
+                let r: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
+                let p: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
+                // Random reduced query in the open simplex.
+                let mut q: Vec<f64> = (0..d).map(|_| rng.gen::<f64>() + 1e-3).collect();
+                let s: f64 = q.iter().sum();
+                q.iter_mut().for_each(|v| *v /= s);
+                let reduced = &q[..d - 1];
+                assert!(mapping_consistent(&r, &p, reduced, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn dominator_halfspace_covers_simplex() {
+        // A record that dominates p scores above p for every permissible q, so
+        // its half-space must contain the whole open simplex.
+        let p = [0.3, 0.4, 0.2];
+        let r = [0.5, 0.6, 0.4];
+        let h = halfspace_for_record(&r, &p);
+        for q in [[0.1, 0.1], [0.8, 0.1], [0.1, 0.8], [0.33, 0.33]] {
+            assert!(h.contains(&q), "dominator must win at {q:?}");
+        }
+    }
+
+    #[test]
+    fn dominee_halfspace_misses_simplex() {
+        let p = [0.3, 0.4, 0.2];
+        let r = [0.1, 0.2, 0.05];
+        let h = halfspace_for_record(&r, &p);
+        for q in [[0.1, 0.1], [0.8, 0.1], [0.1, 0.8], [0.33, 0.33]] {
+            assert!(!h.contains(&q), "dominee must lose at {q:?}");
+        }
+    }
+
+    #[test]
+    fn expand_query_sums_to_one() {
+        let q = expand_query(&[0.2, 0.3]);
+        assert_eq!(q.len(), 3);
+        assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((q[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simplex_constraint_excludes_outside() {
+        let h = reduced_simplex_constraint(3);
+        assert!(h.contains(&[0.3, 0.3]));
+        assert!(!h.contains(&[0.7, 0.7]));
+    }
+
+    #[test]
+    fn reduced_box_dimension() {
+        assert_eq!(reduced_space_box(4).dim(), 3);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the geometric substrate.
+
+use mrq_geometry::{
+    halfspace_for_record, maximize, reduced::expand_query, BoundingBox, BoxRelation, CellSpec,
+    HalfSpace, LpOutcome,
+};
+use proptest::prelude::*;
+
+fn unit_vec(d: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, d)
+}
+
+fn query_in_simplex(d: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..1.0, d).prop_map(|v| {
+        let s: f64 = v.iter().sum();
+        v.into_iter().map(|x| x / s).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The reduced-space half-space slack equals the score difference exactly
+    /// (Section 5 derivation), for any dimensionality 2..=7.
+    #[test]
+    fn reduced_mapping_matches_score_difference(
+        d in 2usize..=7,
+        seed in any::<u64>(),
+    ) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
+        let p: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
+        let mut q: Vec<f64> = (0..d).map(|_| rng.gen::<f64>() + 1e-3).collect();
+        let s: f64 = q.iter().sum();
+        q.iter_mut().for_each(|x| *x /= s);
+        let reduced = &q[..d - 1];
+        let h = halfspace_for_record(&r, &p);
+        let expanded = expand_query(reduced);
+        let score_diff: f64 = r.iter().zip(&expanded).map(|(a, b)| a * b).sum::<f64>()
+            - p.iter().zip(&expanded).map(|(a, b)| a * b).sum::<f64>();
+        prop_assert!((h.slack(reduced) - score_diff).abs() < 1e-9);
+    }
+
+    /// Box/half-space classification agrees with exhaustive corner checks.
+    #[test]
+    fn box_relation_consistent_with_corners(
+        lo in unit_vec(3),
+        ext in prop::collection::vec(0.01f64..0.5, 3),
+        coeffs in prop::collection::vec(-1.0f64..1.0, 3),
+        rhs in -1.0f64..1.0,
+    ) {
+        let hi: Vec<f64> = lo.iter().zip(&ext).map(|(l, e)| l + e).collect();
+        let b = BoundingBox::new(lo.clone(), hi.clone());
+        let h = HalfSpace::new(coeffs, rhs);
+        prop_assume!(!h.is_degenerate());
+        // Enumerate the 8 corners.
+        let mut inside = 0;
+        let mut outside = 0;
+        for mask in 0..8u32 {
+            let corner: Vec<f64> = (0..3)
+                .map(|i| if mask >> i & 1 == 1 { hi[i] } else { lo[i] })
+                .collect();
+            if h.slack(&corner) > 1e-7 {
+                inside += 1;
+            } else if h.slack(&corner) < -1e-7 {
+                outside += 1;
+            }
+        }
+        match b.relation_to(&h) {
+            BoxRelation::Contained => prop_assert_eq!(outside, 0),
+            BoxRelation::Disjoint => prop_assert_eq!(inside, 0),
+            BoxRelation::Overlapping => {
+                // A crossing hyperplane must leave at least one corner on a
+                // non-strictly-inside side and one on a non-strictly-outside
+                // side (corner signs may be all-boundary in degenerate cases).
+                prop_assert!(inside < 8 && outside < 8);
+            }
+        }
+    }
+
+    /// The LP never reports an objective that violates a constraint, and a
+    /// randomly generated feasible system is never declared infeasible.
+    #[test]
+    fn lp_respects_constraints(
+        n in 1usize..4,
+        m in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Construct a system that is feasible by design: pick a point y0 >= 0,
+        // random rows a_i, and set b_i = a_i . y0 + margin_i with margin >= 0.
+        let y0: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 2.0).collect();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..m {
+            let row: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+            let margin = rng.gen::<f64>();
+            let rhs: f64 = row.iter().zip(&y0).map(|(x, y)| x * y).sum::<f64>() + margin;
+            a.push(row);
+            b.push(rhs);
+        }
+        // Bound the region so the LP cannot be unbounded.
+        for i in 0..n {
+            let mut row = vec![0.0; i];
+            row.push(1.0);
+            row.resize(n, 0.0);
+            a.push(row);
+            b.push(10.0);
+        }
+        let c: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        match maximize(&c, &a, &b) {
+            LpOutcome::Optimal { objective, point } => {
+                for (row, rhs) in a.iter().zip(&b) {
+                    let lhs: f64 = row.iter().zip(&point).map(|(x, y)| x * y).sum();
+                    prop_assert!(lhs <= rhs + 1e-6, "constraint violated: {lhs} > {rhs}");
+                }
+                for v in &point {
+                    prop_assert!(*v >= -1e-9);
+                }
+                let recomputed: f64 = c.iter().zip(&point).map(|(x, y)| x * y).sum();
+                prop_assert!((objective - recomputed).abs() < 1e-6);
+                // The designed feasible point bounds the optimum from below.
+                let lower: f64 = c.iter().zip(&y0).map(|(x, y)| x * y).sum();
+                prop_assert!(objective >= lower - 1e-6);
+            }
+            LpOutcome::Infeasible => prop_assert!(false, "feasible-by-design system declared infeasible"),
+            LpOutcome::Unbounded => prop_assert!(false, "bounded system declared unbounded"),
+        }
+    }
+
+    /// A cell declared non-empty has a witness satisfying every constraint;
+    /// a cell containing a half-space and its complement is always empty.
+    #[test]
+    fn cellspec_witness_is_valid(
+        dr in 1usize..4,
+        k in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inside = Vec::new();
+        let mut outside = Vec::new();
+        for _ in 0..k {
+            let coeffs: Vec<f64> = (0..dr).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+            let rhs = rng.gen::<f64>() - 0.5;
+            let h = HalfSpace::new(coeffs, rhs);
+            if rng.gen::<bool>() {
+                inside.push(h);
+            } else {
+                outside.push(h);
+            }
+        }
+        let spec = CellSpec::new(inside.clone(), outside.clone(), BoundingBox::unit(dr));
+        if let Some(region) = spec.solve() {
+            for h in &inside {
+                prop_assert!(h.contains(&region.witness));
+            }
+            for h in &outside {
+                prop_assert!(!h.contains(&region.witness));
+            }
+            prop_assert!(region.contains(&region.witness));
+        }
+        // Contradictory spec must be empty.
+        if let Some(h) = inside.first() {
+            let mut out2 = outside.clone();
+            out2.push(h.clone());
+            let spec2 = CellSpec::new(inside.clone(), out2, BoundingBox::unit(dr));
+            prop_assert!(spec2.solve().is_none());
+        }
+    }
+
+    /// Permissible queries expand to vectors that sum to 1.
+    #[test]
+    fn expanded_queries_are_permissible(q in query_in_simplex(4)) {
+        let reduced = &q[..3];
+        let full = expand_query(reduced);
+        prop_assert!((full.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,66 @@
+//! Page-access (I/O) accounting.
+//!
+//! The evaluation of the paper measures I/O as the number of disk page
+//! accesses with a 4 KB page size, one R\*-tree node per page.  Algorithms in
+//! this workspace run in memory, so the counter simulates that cost model:
+//! every R\*-tree node *read* during a query increments the counter by one.
+
+use std::cell::Cell;
+
+/// The simulated disk page size, as in the paper's experimental setup.
+pub const PAGE_SIZE_BYTES: usize = 4096;
+
+/// A cheap interior-mutable I/O counter attached to an index.
+///
+/// Interior mutability keeps query methods `&self` (reads do not logically
+/// mutate the index) while still tracking accesses; the algorithms are
+/// single-threaded, matching the paper's setting.
+#[derive(Debug, Default, Clone)]
+pub struct IoStats {
+    node_reads: Cell<u64>,
+}
+
+impl IoStats {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one node/page read.
+    #[inline]
+    pub fn record_read(&self) {
+        self.node_reads.set(self.node_reads.get() + 1);
+    }
+
+    /// Number of node/page reads since the last reset.
+    #[inline]
+    pub fn reads(&self) -> u64 {
+        self.node_reads.get()
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        self.node_reads.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_resets() {
+        let io = IoStats::new();
+        assert_eq!(io.reads(), 0);
+        io.record_read();
+        io.record_read();
+        assert_eq!(io.reads(), 2);
+        io.reset();
+        assert_eq!(io.reads(), 0);
+    }
+
+    #[test]
+    fn page_size_matches_paper() {
+        assert_eq!(PAGE_SIZE_BYTES, 4096);
+    }
+}

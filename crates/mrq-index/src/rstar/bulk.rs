@@ -1,0 +1,147 @@
+//! STR (sort-tile-recursive) bulk loading.
+//!
+//! Bulk loading packs the dataset bottom-up into nearly full nodes; it is the
+//! way the experiment harness builds the index over the large synthetic and
+//! simulated-real datasets before running queries (the paper pre-builds its
+//! R\*-trees the same way).
+
+use super::node::{Child, Entry, Node};
+use super::RStarTree;
+use mrq_data::Dataset;
+
+impl RStarTree {
+    pub(crate) fn str_bulk_load(&mut self, data: &Dataset) {
+        self.len = data.len();
+        if data.is_empty() {
+            return;
+        }
+        let mut entries: Vec<Entry> = data.iter().map(|(id, r)| Entry::record(id, r)).collect();
+        let mut level = 0u32;
+        loop {
+            let parents = self.pack_level(entries, level);
+            if parents.len() == 1 {
+                match parents[0].child {
+                    Child::Node(idx) => {
+                        self.root = idx as usize;
+                        self.height = level;
+                    }
+                    Child::Record(_) => unreachable!("pack_level always produces node entries"),
+                }
+                return;
+            }
+            entries = parents;
+            level += 1;
+        }
+    }
+
+    /// Packs one level's entries into nodes, returning the entries describing
+    /// the created nodes (for the next level up).
+    fn pack_level(&mut self, entries: Vec<Entry>, level: u32) -> Vec<Entry> {
+        let cap = self.config.max_entries;
+        let min = self.config.min_entries;
+        let groups = str_tile(entries, 0, self.dims, cap, min);
+        let mut parents = Vec::with_capacity(groups.len());
+        for group in groups {
+            debug_assert!(!group.is_empty());
+            let node = Node { level, entries: group };
+            self.nodes.push(node);
+            parents.push(self.make_node_entry(self.nodes.len() - 1));
+        }
+        parents
+    }
+}
+
+/// Recursively tiles entries along successive dimensions (classic STR),
+/// producing groups of at most `cap` entries and — except when there are too
+/// few entries overall — at least `min` entries.
+fn str_tile(mut entries: Vec<Entry>, dim: usize, dims: usize, cap: usize, min: usize) -> Vec<Vec<Entry>> {
+    if entries.len() <= cap {
+        return vec![entries];
+    }
+    let node_count = entries.len().div_ceil(cap);
+    if dim + 1 >= dims {
+        sort_by_center(&mut entries, dim);
+        return chunk_balanced(entries, cap, min);
+    }
+    // Number of slabs along this dimension ≈ node_count^(1/remaining_dims).
+    let remaining = (dims - dim) as f64;
+    let slabs = (node_count as f64).powf(1.0 / remaining).ceil() as usize;
+    let slabs = slabs.clamp(1, node_count);
+    sort_by_center(&mut entries, dim);
+    let per_slab = entries.len().div_ceil(slabs);
+    let mut out = Vec::new();
+    let mut rest = entries;
+    while !rest.is_empty() {
+        let take = per_slab.min(rest.len());
+        let slab: Vec<Entry> = rest.drain(..take).collect();
+        out.extend(str_tile(slab, dim + 1, dims, cap, min));
+    }
+    out
+}
+
+fn sort_by_center(entries: &mut [Entry], dim: usize) {
+    entries.sort_by(|a, b| {
+        let ca = a.mbr.lo[dim] + a.mbr.hi[dim];
+        let cb = b.mbr.lo[dim] + b.mbr.hi[dim];
+        ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+/// Splits a sorted run into chunks of `cap`, rebalancing the tail so no chunk
+/// falls below `min` (when the run is large enough to allow it).
+fn chunk_balanced(entries: Vec<Entry>, cap: usize, min: usize) -> Vec<Vec<Entry>> {
+    let total = entries.len();
+    let mut chunks: Vec<Vec<Entry>> = Vec::with_capacity(total.div_ceil(cap));
+    let mut it = entries.into_iter();
+    loop {
+        let chunk: Vec<Entry> = it.by_ref().take(cap).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    if chunks.len() >= 2 {
+        let last_len = chunks.last().map(|c| c.len()).unwrap_or(0);
+        if last_len < min {
+            let deficit = min - last_len;
+            let prev = chunks.len() - 2;
+            if chunks[prev].len() >= min + deficit {
+                let moved: Vec<Entry> = {
+                    let prev_chunk = &mut chunks[prev];
+                    let at = prev_chunk.len() - deficit;
+                    prev_chunk.split_off(at)
+                };
+                chunks.last_mut().unwrap().splice(0..0, moved);
+            }
+        }
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrq_data::RecordId;
+
+    fn entry(id: RecordId, x: f64) -> Entry {
+        Entry::record(id, &[x, 0.5])
+    }
+
+    #[test]
+    fn chunk_balanced_avoids_tiny_tail() {
+        let entries: Vec<Entry> = (0..21).map(|i| entry(i, i as f64 / 21.0)).collect();
+        let chunks = chunk_balanced(entries, 10, 4);
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 21);
+        assert!(sizes.iter().all(|&s| s >= 4), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn str_tile_group_sizes() {
+        let entries: Vec<Entry> = (0..137).map(|i| entry(i, (i as f64 * 0.37) % 1.0)).collect();
+        let groups = str_tile(entries, 0, 2, 16, 6);
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 137);
+        assert!(groups.iter().all(|g| g.len() <= 16));
+    }
+}

@@ -1,0 +1,184 @@
+//! k-skyband computation over the aggregate R\*-tree.
+//!
+//! The k-skyband generalises the skyline: it contains every record dominated
+//! by fewer than `k` other records.  The paper points out (Section 2) that
+//! BBS can compute it; MaxRank itself only needs the skyline, but the
+//! k-skyband is the natural pre-filter for answering *any* top-k query with
+//! `k ≤ K` (only skyband records can ever appear in a top-k result), so it is
+//! provided as part of the index layer and used by the examples and tests as
+//! an independent cross-check of the ranking machinery.
+
+use crate::rstar::{Child, RStarTree};
+use mrq_data::RecordId;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Item {
+    key: f64,
+    corner: Vec<f64>,
+    child: Child,
+}
+
+impl PartialEq for Item {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Item {}
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key
+            .partial_cmp(&other.key)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+/// Computes the `k`-skyband: the ids of all records dominated by fewer than
+/// `k` others.  `k = 1` yields the ordinary skyline.
+///
+/// The traversal is best-first on the attribute sum (as in BBS); an entry is
+/// pruned once `k` already-confirmed skyband records dominate its upper
+/// corner, which is safe because those records dominate everything inside the
+/// entry.
+pub fn k_skyband(tree: &RStarTree, k: usize) -> Vec<RecordId> {
+    assert!(k >= 1, "the 0-skyband is empty by definition");
+    let mut result: Vec<(RecordId, Vec<f64>)> = Vec::new();
+    if tree.is_empty() {
+        return Vec::new();
+    }
+    let root_mbr = tree.bounding_box().expect("non-empty tree");
+    let mut heap = BinaryHeap::new();
+    heap.push(Item {
+        key: root_mbr.hi.iter().sum(),
+        corner: root_mbr.hi.clone(),
+        child: Child::Node(tree.root as u32),
+    });
+    while let Some(item) = heap.pop() {
+        let dominated_by = result
+            .iter()
+            .filter(|(_, s)| dominates_strictly(s, &item.corner))
+            .count();
+        if dominated_by >= k {
+            continue;
+        }
+        match item.child {
+            Child::Record(id) => result.push((id, item.corner)),
+            Child::Node(idx) => {
+                tree.io().record_read();
+                let node = &tree.nodes[idx as usize];
+                for e in &node.entries {
+                    heap.push(Item {
+                        key: e.mbr.hi.iter().sum(),
+                        corner: e.mbr.hi.clone(),
+                        child: e.child,
+                    });
+                }
+            }
+        }
+    }
+    result.into_iter().map(|(id, _)| id).collect()
+}
+
+fn dominates_strictly(a: &[f64], b: &[f64]) -> bool {
+    let mut strict = false;
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strict = true;
+        }
+    }
+    strict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrq_data::{dominates, synthetic, Dataset, Distribution};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn naive_skyband(data: &Dataset, k: usize) -> Vec<RecordId> {
+        data.iter()
+            .filter(|(i, r)| {
+                data.iter()
+                    .filter(|(j, other)| i != j && dominates(other, r))
+                    .count()
+                    < k
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn skyband_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for dist in Distribution::all() {
+            let data = synthetic::generate(dist, 400, 3, &mut rng);
+            let tree = RStarTree::bulk_load(&data);
+            for k in [1usize, 2, 5] {
+                let mut got = k_skyband(&tree, k);
+                got.sort_unstable();
+                let mut expected = naive_skyband(&data, k);
+                expected.sort_unstable();
+                assert_eq!(got, expected, "dist {dist:?} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_skyband_is_skyline() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = synthetic::generate(Distribution::Independent, 500, 2, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        let ids: Vec<u32> = (0..data.len() as u32).collect();
+        let mut sky = mrq_data::naive_skyline(&data, &ids);
+        sky.sort_unstable();
+        let mut got = k_skyband(&tree, 1);
+        got.sort_unstable();
+        assert_eq!(got, sky);
+    }
+
+    #[test]
+    fn skyband_grows_with_k() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = synthetic::generate(Distribution::Correlated, 600, 3, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        let mut prev = 0usize;
+        for k in 1..=6 {
+            let cur = k_skyband(&tree, k).len();
+            assert!(cur >= prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn skyband_contains_every_topk_answer() {
+        // The classic property: any top-k result (k ≤ K) is a subset of the
+        // K-skyband.
+        let mut rng = StdRng::seed_from_u64(6);
+        let data = synthetic::generate(Distribution::AntiCorrelated, 300, 3, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        let band: std::collections::HashSet<u32> = k_skyband(&tree, 4).into_iter().collect();
+        for _ in 0..20 {
+            let mut q: Vec<f64> = (0..3).map(|_| rng.gen::<f64>() + 1e-9).collect();
+            let s: f64 = q.iter().sum();
+            q.iter_mut().for_each(|x| *x /= s);
+            let top = crate::topk::top_k(&tree, &q, 4);
+            for id in top.ids {
+                assert!(band.contains(&id), "top-4 answer {id} missing from 4-skyband");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree_empty_skyband() {
+        let tree = RStarTree::new(2);
+        assert!(k_skyband(&tree, 3).is_empty());
+    }
+}

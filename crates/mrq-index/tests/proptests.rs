@@ -1,0 +1,118 @@
+//! Property-based tests for the spatial index: whatever the data and the
+//! insertion order, queries must agree with a plain linear scan and the
+//! structural invariants must hold.
+
+use mrq_data::{dominates, naive_skyline, partition_by_focal, Dataset};
+use mrq_geometry::BoundingBox;
+use mrq_index::{k_skyband, order_of, top_k, IncrementalSkyline, RStarConfig, RStarTree};
+use proptest::prelude::*;
+
+fn dataset_strategy(d: usize) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(prop::collection::vec(0.0f64..1.0, d), 1..200)
+        .prop_map(move |rows| Dataset::from_rows(d, &rows))
+}
+
+fn build_both(data: &Dataset) -> (RStarTree, RStarTree) {
+    let config = RStarConfig { max_entries: 8, min_entries: 3, reinsert_count: 2 };
+    let bulk = RStarTree::bulk_load_with_config(data, config);
+    let mut incr = RStarTree::with_config(data.dims(), config);
+    for (id, r) in data.iter() {
+        incr.insert(id, r);
+    }
+    (bulk, incr)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Range reporting and counting agree with a linear scan for both the
+    /// bulk-loaded and the incrementally built tree, and the invariants hold.
+    #[test]
+    fn range_queries_match_scan(data in dataset_strategy(3), qlo in prop::collection::vec(0.0f64..1.0, 3), ext in prop::collection::vec(0.0f64..0.6, 3)) {
+        let (bulk, incr) = build_both(&data);
+        bulk.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        incr.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        let qhi: Vec<f64> = qlo.iter().zip(&ext).map(|(l, e)| (l + e).min(1.0)).collect();
+        let query = BoundingBox::new(qlo.clone(), qhi);
+        let mut expected: Vec<u32> = data
+            .iter()
+            .filter(|(_, r)| query.contains(r))
+            .map(|(id, _)| id)
+            .collect();
+        expected.sort_unstable();
+        for tree in [&bulk, &incr] {
+            let mut got = tree.range_ids(&query);
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected);
+            prop_assert_eq!(tree.range_count(&query) as usize, expected.len());
+        }
+    }
+
+    /// Dominator counts and incomparable-record retrieval match the dominance
+    /// definitions for an arbitrary focal point.
+    #[test]
+    fn focal_partition_queries_match(data in dataset_strategy(3), p in prop::collection::vec(0.0f64..1.0, 3)) {
+        let (bulk, _) = build_both(&data);
+        let expected_dom = data.iter().filter(|(_, r)| dominates(r, &p)).count();
+        prop_assert_eq!(bulk.count_dominators(&p, None) as usize, expected_dom);
+        let part = partition_by_focal(&data, &p, None);
+        let mut got = bulk.incomparable_ids(&p, None);
+        got.sort_unstable();
+        let mut expected = part.incomparable.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Best-first top-k returns the same score sequence as sorting, and the
+    /// aggregate order computation matches the scan-based one.
+    #[test]
+    fn topk_and_order_match_scan(data in dataset_strategy(4), seed in any::<u64>()) {
+        let (bulk, _) = build_both(&data);
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut q: Vec<f64> = (0..4).map(|_| rng.gen::<f64>() + 1e-6).collect();
+        let s: f64 = q.iter().sum();
+        q.iter_mut().for_each(|x| *x /= s);
+        let k = 1 + (seed as usize % 10).min(data.len() - 1);
+        let res = top_k(&bulk, &q, k);
+        let mut scores: Vec<f64> = data
+            .iter()
+            .map(|(_, r)| r.iter().zip(&q).map(|(a, b)| a * b).sum::<f64>())
+            .collect();
+        scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (got, want) in res.scores.iter().zip(scores.iter().take(k)) {
+            prop_assert!((got - want).abs() < 1e-9);
+        }
+        let focal = (seed % data.len() as u64) as u32;
+        let p = data.record(focal);
+        prop_assert_eq!(order_of(&bulk, p, &q), data.order_of(p, &q));
+    }
+
+    /// The incremental skyline (before any expansion) equals the naive skyline
+    /// of the incomparable records, and the k-skyband contains the skyline.
+    #[test]
+    fn skyline_and_skyband_consistent(data in dataset_strategy(3), seed in any::<u64>()) {
+        let (bulk, _) = build_both(&data);
+        let focal = (seed % data.len() as u64) as u32;
+        let p = data.record(focal).to_vec();
+        let sky = IncrementalSkyline::new(&bulk, &p, Some(focal));
+        let part = partition_by_focal(&data, &p, Some(focal));
+        let mut expected = naive_skyline(&data, &part.incomparable);
+        expected.sort_unstable();
+        let mut got: Vec<u32> = sky.skyline().iter().map(|(id, _)| *id).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+
+        let band1 = {
+            let mut b = k_skyband(&bulk, 1);
+            b.sort_unstable();
+            b
+        };
+        let ids: Vec<u32> = (0..data.len() as u32).collect();
+        let mut full_sky = naive_skyline(&data, &ids);
+        full_sky.sort_unstable();
+        prop_assert_eq!(&band1, &full_sky);
+        let band3 = k_skyband(&bulk, 3);
+        prop_assert!(band3.len() >= full_sky.len());
+    }
+}

@@ -1,0 +1,450 @@
+//! Implementation of the augmented half-space quad-tree.
+
+use mrq_geometry::{reduced_simplex_constraint, BoundingBox, BoxRelation, HalfSpace};
+
+/// Identifier of a half-space stored in the tree (insertion order).
+pub type HalfSpaceId = u32;
+
+/// Split/depth configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuadTreeConfig {
+    /// A leaf splits when its partial-overlap set grows beyond this size.
+    pub split_threshold: usize,
+    /// Maximum tree depth (the root has depth 0).  Bounds memory: a split
+    /// creates `2^(d−1)` children, so high-dimensional trees stay shallow.
+    pub max_depth: usize,
+}
+
+impl QuadTreeConfig {
+    /// A reasonable default for the given reduced dimensionality `d − 1`:
+    /// the split threshold keeps within-leaf bit-string enumeration cheap,
+    /// while the depth cap keeps the number of nodes bounded as the fan-out
+    /// (`2^(d−1)`) grows.
+    pub fn for_reduced_dims(dr: usize) -> Self {
+        let max_depth = match dr {
+            0 | 1 => 16,
+            2 => 9,
+            3 => 6,
+            4 => 5,
+            5 => 4,
+            _ => 3,
+        };
+        Self { split_threshold: 12, max_depth }
+    }
+}
+
+/// A read-only view of one leaf, as consumed by the MaxRank algorithms.
+#[derive(Debug, Clone)]
+pub struct LeafView {
+    /// Index of the leaf node inside the tree (stable across insertions that
+    /// do not split it).
+    pub node: usize,
+    /// The leaf's region.
+    pub bounds: BoundingBox,
+    /// `F_l`: ids of half-spaces fully containing the leaf (union over the
+    /// root-to-leaf path).
+    pub full: Vec<HalfSpaceId>,
+    /// `P_l`: ids of half-spaces partially overlapping the leaf.
+    pub partial: Vec<HalfSpaceId>,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Leaf { partial: Vec<HalfSpaceId> },
+    Internal { children: Vec<usize> },
+}
+
+#[derive(Debug, Clone)]
+struct QNode {
+    bounds: BoundingBox,
+    depth: usize,
+    /// Half-spaces fully containing this node but not its parent.
+    containment: Vec<HalfSpaceId>,
+    kind: NodeKind,
+}
+
+/// The augmented quad-tree over the reduced query space `[0,1]^(d−1)`.
+#[derive(Debug, Clone)]
+pub struct HalfSpaceQuadTree {
+    dr: usize,
+    config: QuadTreeConfig,
+    simplex: HalfSpace,
+    halfspaces: Vec<HalfSpace>,
+    nodes: Vec<QNode>,
+    root: usize,
+}
+
+impl HalfSpaceQuadTree {
+    /// Creates an empty tree over the `dr`-dimensional reduced query space
+    /// (for data dimensionality `d`, `dr = d − 1`).
+    pub fn new(dr: usize) -> Self {
+        Self::with_config(dr, QuadTreeConfig::for_reduced_dims(dr))
+    }
+
+    /// Creates an empty tree with an explicit configuration.
+    pub fn with_config(dr: usize, config: QuadTreeConfig) -> Self {
+        assert!(dr >= 1, "the reduced query space has at least one dimension");
+        let root = QNode {
+            bounds: BoundingBox::unit(dr),
+            depth: 0,
+            containment: Vec::new(),
+            kind: NodeKind::Leaf { partial: Vec::new() },
+        };
+        Self {
+            dr,
+            config,
+            simplex: reduced_simplex_constraint(dr + 1),
+            halfspaces: Vec::new(),
+            nodes: vec![root],
+            root: 0,
+        }
+    }
+
+    /// Dimensionality of the reduced query space.
+    pub fn reduced_dims(&self) -> usize {
+        self.dr
+    }
+
+    /// Number of half-spaces inserted so far.
+    pub fn halfspace_count(&self) -> usize {
+        self.halfspaces.len()
+    }
+
+    /// Borrow a stored half-space by id.
+    pub fn halfspace(&self, id: HalfSpaceId) -> &HalfSpace {
+        &self.halfspaces[id as usize]
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves (including leaves that are partially outside the
+    /// permissible simplex; fully outside leaves are never created).
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Leaf { .. }))
+            .count()
+    }
+
+    /// Inserts a half-space of the reduced query space, returning its id.
+    ///
+    /// # Panics
+    /// Panics if the half-space dimensionality does not match the tree's.
+    pub fn insert(&mut self, h: HalfSpace) -> HalfSpaceId {
+        assert_eq!(h.dim(), self.dr, "half-space dimensionality mismatch");
+        let id = self.halfspaces.len() as HalfSpaceId;
+        self.halfspaces.push(h);
+        self.insert_into(self.root, id);
+        id
+    }
+
+    fn insert_into(&mut self, node_idx: usize, id: HalfSpaceId) {
+        let relation = {
+            let node = &self.nodes[node_idx];
+            node.bounds.relation_to(&self.halfspaces[id as usize])
+        };
+        match relation {
+            BoxRelation::Disjoint => {}
+            BoxRelation::Contained => self.nodes[node_idx].containment.push(id),
+            BoxRelation::Overlapping => {
+                let children = match &mut self.nodes[node_idx].kind {
+                    NodeKind::Leaf { partial } => {
+                        partial.push(id);
+                        let should_split = partial.len() > self.config.split_threshold
+                            && self.nodes[node_idx].depth < self.config.max_depth;
+                        if should_split {
+                            self.split_leaf(node_idx);
+                        }
+                        return;
+                    }
+                    NodeKind::Internal { children } => children.clone(),
+                };
+                for child in children {
+                    self.insert_into(child, id);
+                }
+            }
+        }
+    }
+
+    /// Splits a leaf into its quadrants, redistributing its partial-overlap
+    /// set.  Children fully outside the permissible simplex are discarded.
+    fn split_leaf(&mut self, node_idx: usize) {
+        let (bounds, depth, partial) = {
+            let node = &mut self.nodes[node_idx];
+            let partial = match &mut node.kind {
+                NodeKind::Leaf { partial } => std::mem::take(partial),
+                NodeKind::Internal { .. } => unreachable!("split_leaf on internal node"),
+            };
+            (node.bounds.clone(), node.depth, partial)
+        };
+        let mut children = Vec::new();
+        for quadrant in bounds.quadrants() {
+            // Drop quadrants completely outside Σ q_i < 1.
+            if quadrant.relation_to(&self.simplex) == BoxRelation::Disjoint {
+                continue;
+            }
+            let mut containment = Vec::new();
+            let mut child_partial = Vec::new();
+            for &hid in &partial {
+                match quadrant.relation_to(&self.halfspaces[hid as usize]) {
+                    BoxRelation::Contained => containment.push(hid),
+                    BoxRelation::Overlapping => child_partial.push(hid),
+                    BoxRelation::Disjoint => {}
+                }
+            }
+            let child = QNode {
+                bounds: quadrant,
+                depth: depth + 1,
+                containment,
+                kind: NodeKind::Leaf { partial: child_partial },
+            };
+            self.nodes.push(child);
+            children.push(self.nodes.len() - 1);
+        }
+        self.nodes[node_idx].kind = NodeKind::Internal { children: children.clone() };
+        // Recursively split children that are still over the threshold.
+        for child in children {
+            let needs_split = match &self.nodes[child].kind {
+                NodeKind::Leaf { partial } => {
+                    partial.len() > self.config.split_threshold
+                        && self.nodes[child].depth < self.config.max_depth
+                }
+                NodeKind::Internal { .. } => false,
+            };
+            if needs_split {
+                self.split_leaf(child);
+            }
+        }
+    }
+
+    /// Collects all leaves together with their `F_l` and `P_l` sets.
+    ///
+    /// Leaves fully outside the permissible simplex never exist (discarded at
+    /// split time); the root itself always straddles the simplex boundary and
+    /// is therefore kept.
+    pub fn leaves(&self) -> Vec<LeafView> {
+        let mut out = Vec::new();
+        let mut inherited = Vec::new();
+        self.collect_leaves(self.root, &mut inherited, &mut out);
+        out
+    }
+
+    fn collect_leaves(
+        &self,
+        node_idx: usize,
+        inherited: &mut Vec<HalfSpaceId>,
+        out: &mut Vec<LeafView>,
+    ) {
+        let node = &self.nodes[node_idx];
+        let pushed = node.containment.len();
+        inherited.extend_from_slice(&node.containment);
+        match &node.kind {
+            NodeKind::Leaf { partial } => {
+                out.push(LeafView {
+                    node: node_idx,
+                    bounds: node.bounds.clone(),
+                    full: inherited.clone(),
+                    partial: partial.clone(),
+                });
+            }
+            NodeKind::Internal { children } => {
+                for &child in children {
+                    self.collect_leaves(child, inherited, out);
+                }
+            }
+        }
+        inherited.truncate(inherited.len() - pushed);
+    }
+
+    /// For a single point of the reduced query space, the ids of all inserted
+    /// half-spaces containing it (reference implementation used by tests and
+    /// oracles; linear in the number of half-spaces).
+    pub fn containing_halfspaces(&self, q: &[f64]) -> Vec<HalfSpaceId> {
+        self.halfspaces
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.contains(q))
+            .map(|(i, _)| i as HalfSpaceId)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hs(coeffs: &[f64], rhs: f64) -> HalfSpace {
+        HalfSpace::new(coeffs.to_vec(), rhs)
+    }
+
+    #[test]
+    fn empty_tree_single_leaf() {
+        let t = HalfSpaceQuadTree::new(2);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.leaf_count(), 1);
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), 1);
+        assert!(leaves[0].full.is_empty());
+        assert!(leaves[0].partial.is_empty());
+        assert_eq!(t.reduced_dims(), 2);
+    }
+
+    #[test]
+    fn containment_vs_partial_classification() {
+        let mut t = HalfSpaceQuadTree::new(2);
+        // Contains the whole unit box.
+        let a = t.insert(hs(&[1.0, 1.0], -0.5));
+        // Crosses the box.
+        let b = t.insert(hs(&[1.0, 0.0], 0.5));
+        // Disjoint from the box.
+        let c = t.insert(hs(&[1.0, 1.0], 5.0));
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), 1);
+        assert_eq!(leaves[0].full, vec![a]);
+        assert_eq!(leaves[0].partial, vec![b]);
+        assert!(!leaves[0].full.contains(&c) && !leaves[0].partial.contains(&c));
+        assert_eq!(t.halfspace_count(), 3);
+    }
+
+    #[test]
+    fn split_redistributes_and_avoids_redundancy() {
+        let mut t = HalfSpaceQuadTree::with_config(
+            2,
+            QuadTreeConfig { split_threshold: 2, max_depth: 4 },
+        );
+        // Three crossing half-spaces force a split.
+        let ids: Vec<_> = [
+            hs(&[1.0, 0.0], 0.3),
+            hs(&[0.0, 1.0], 0.6),
+            hs(&[1.0, 1.0], 0.9),
+        ]
+        .into_iter()
+        .map(|h| t.insert(h))
+        .collect();
+        assert!(t.leaf_count() > 1, "leaf must have split");
+        for leaf in t.leaves() {
+            // F_l and P_l are disjoint and never contain duplicates.
+            let mut all: Vec<_> = leaf.full.iter().chain(&leaf.partial).collect();
+            let before = all.len();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), before, "duplicate id in leaf sets");
+            // Every id must be one of the inserted ones.
+            for id in all {
+                assert!(ids.contains(id));
+            }
+            // Classification must be geometrically correct.
+            for &id in &leaf.full {
+                assert_eq!(leaf.bounds.relation_to(t.halfspace(id)), BoxRelation::Contained);
+            }
+            for &id in &leaf.partial {
+                assert_eq!(
+                    leaf.bounds.relation_to(t.halfspace(id)),
+                    BoxRelation::Overlapping
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_sets_account_for_every_overlapping_halfspace() {
+        // For any leaf and any inserted half-space: either the half-space is
+        // in F_l, in P_l, disjoint from the leaf, or it contains the leaf via
+        // an ancestor (and is then still reported in F_l by `leaves`).
+        let mut t = HalfSpaceQuadTree::with_config(
+            3,
+            QuadTreeConfig { split_threshold: 3, max_depth: 3 },
+        );
+        let mut rng_state = 123456789u64;
+        let mut next = || {
+            // Simple xorshift for reproducibility without pulling rand here.
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state % 1000) as f64 / 1000.0
+        };
+        for _ in 0..40 {
+            let coeffs = vec![next() - 0.5, next() - 0.5, next() - 0.5];
+            let rhs = next() - 0.5;
+            t.insert(HalfSpace::new(coeffs, rhs));
+        }
+        for leaf in t.leaves() {
+            for id in 0..t.halfspace_count() as HalfSpaceId {
+                let h = t.halfspace(id);
+                let rel = leaf.bounds.relation_to(h);
+                let in_full = leaf.full.contains(&id);
+                let in_partial = leaf.partial.contains(&id);
+                match rel {
+                    BoxRelation::Contained => assert!(in_full && !in_partial),
+                    BoxRelation::Overlapping => assert!(in_partial && !in_full),
+                    BoxRelation::Disjoint => assert!(!in_full && !in_partial),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn children_outside_simplex_are_discarded() {
+        // In a 2-d reduced space the permissible region is the triangle below
+        // q1 + q2 = 1; after one split the upper-right quadrant is entirely
+        // outside and must be dropped.
+        let mut t = HalfSpaceQuadTree::with_config(
+            2,
+            QuadTreeConfig { split_threshold: 1, max_depth: 2 },
+        );
+        t.insert(hs(&[1.0, -1.0], 0.0));
+        t.insert(hs(&[-1.0, 1.0], 0.0));
+        assert!(t.leaf_count() > 1);
+        for leaf in t.leaves() {
+            let lo_sum: f64 = leaf.bounds.lo.iter().sum();
+            assert!(
+                lo_sum < 1.0 - 1e-9,
+                "leaf entirely outside the simplex must not exist: {:?}",
+                leaf.bounds
+            );
+        }
+    }
+
+    #[test]
+    fn max_depth_caps_splitting() {
+        let mut t = HalfSpaceQuadTree::with_config(
+            2,
+            QuadTreeConfig { split_threshold: 1, max_depth: 1 },
+        );
+        // Many half-spaces through the centre would split forever without the
+        // depth cap.
+        for i in 0..20 {
+            let angle = i as f64 * 0.3;
+            t.insert(hs(&[angle.cos(), angle.sin()], 0.5 * (angle.cos() + angle.sin())));
+        }
+        let max_depth_seen = t
+            .leaves()
+            .iter()
+            .map(|l| {
+                // Depth can be inferred from the side length (unit box halved
+                // per level).
+                let side = l.bounds.extent(0);
+                (1.0 / side).log2().round() as usize
+            })
+            .max()
+            .unwrap();
+        assert!(max_depth_seen <= 1);
+    }
+
+    #[test]
+    fn containing_halfspaces_reference() {
+        let mut t = HalfSpaceQuadTree::new(2);
+        let a = t.insert(hs(&[1.0, 0.0], 0.2));
+        let b = t.insert(hs(&[0.0, 1.0], 0.7));
+        let got = t.containing_halfspaces(&[0.5, 0.5]);
+        assert!(got.contains(&a) && !got.contains(&b));
+    }
+
+    #[test]
+    fn default_config_scales_with_dimension() {
+        assert!(QuadTreeConfig::for_reduced_dims(1).max_depth > QuadTreeConfig::for_reduced_dims(7).max_depth);
+    }
+}

@@ -1,0 +1,192 @@
+//! `maxrank-cli` — run MaxRank / iMaxRank queries over a CSV file.
+//!
+//! ```text
+//! maxrank-cli --data options.csv --dims 4 --focal 17 [--tau 2] [--algorithm aa|ba|fca|aa2d]
+//! maxrank-cli --data options.csv --dims 4 --point 0.4,0.7,0.2,0.9
+//! maxrank-cli --demo                       # run the paper's Figure 1 example
+//! ```
+//!
+//! The CSV is plain comma-separated numeric values, one record per line (an
+//! optional header line is skipped automatically); all attributes are
+//! interpreted as "larger is better", as in the paper.
+
+use maxrank::prelude::*;
+use mrq_data::io::read_csv;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    data: Option<PathBuf>,
+    dims: Option<usize>,
+    focal: Option<u32>,
+    point: Option<Vec<f64>>,
+    tau: usize,
+    algorithm: Algorithm,
+    regions_shown: usize,
+    demo: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        data: None,
+        dims: None,
+        focal: None,
+        point: None,
+        tau: 0,
+        algorithm: Algorithm::Auto,
+        regions_shown: 10,
+        demo: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--data" => args.data = Some(PathBuf::from(it.next().ok_or("--data needs a path")?)),
+            "--dims" => {
+                args.dims = Some(
+                    it.next()
+                        .ok_or("--dims needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--dims: {e}"))?,
+                )
+            }
+            "--focal" => {
+                args.focal = Some(
+                    it.next()
+                        .ok_or("--focal needs a record id")?
+                        .parse()
+                        .map_err(|e| format!("--focal: {e}"))?,
+                )
+            }
+            "--point" => {
+                let raw = it.next().ok_or("--point needs comma-separated coordinates")?;
+                let coords: Result<Vec<f64>, _> = raw.split(',').map(|c| c.trim().parse()).collect();
+                args.point = Some(coords.map_err(|e| format!("--point: {e}"))?);
+            }
+            "--tau" => {
+                args.tau = it
+                    .next()
+                    .ok_or("--tau needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--tau: {e}"))?
+            }
+            "--algorithm" => {
+                args.algorithm = match it.next().ok_or("--algorithm needs a name")?.as_str() {
+                    "auto" => Algorithm::Auto,
+                    "fca" => Algorithm::Fca,
+                    "ba" => Algorithm::BasicApproach,
+                    "aa" => Algorithm::AdvancedApproach,
+                    "aa2d" => Algorithm::AdvancedApproach2D,
+                    other => return Err(format!("unknown algorithm '{other}'")),
+                }
+            }
+            "--regions" => {
+                args.regions_shown = it
+                    .next()
+                    .ok_or("--regions needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--regions: {e}"))?
+            }
+            "--demo" => args.demo = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() -> String {
+    "usage: maxrank-cli --data FILE.csv --dims D (--focal ID | --point x1,..,xD) \
+     [--tau T] [--algorithm auto|fca|ba|aa|aa2d] [--regions N]\n       maxrank-cli --demo"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (data, focal_point, focal_id) = if args.demo {
+        let data = Dataset::from_rows(
+            2,
+            &[
+                vec![0.8, 0.9],
+                vec![0.2, 0.7],
+                vec![0.9, 0.4],
+                vec![0.7, 0.2],
+                vec![0.4, 0.3],
+                vec![0.5, 0.5],
+            ],
+        );
+        (data, vec![0.5, 0.5], Some(5u32))
+    } else {
+        let Some(path) = &args.data else {
+            eprintln!("--data is required (or use --demo)\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let Some(dims) = args.dims else {
+            eprintln!("--dims is required\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let data = match read_csv(path, dims) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("failed to read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match (&args.point, args.focal) {
+            (Some(p), _) => {
+                if p.len() != dims {
+                    eprintln!("--point has {} coordinates, expected {dims}", p.len());
+                    return ExitCode::FAILURE;
+                }
+                (data, p.clone(), None)
+            }
+            (None, Some(id)) => {
+                if id as usize >= data.len() {
+                    eprintln!("--focal {id} out of range (dataset has {} records)", data.len());
+                    return ExitCode::FAILURE;
+                }
+                let p = data.record(id).to_vec();
+                (data, p, Some(id))
+            }
+            (None, None) => {
+                eprintln!("one of --focal or --point is required\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let tree = RStarTree::bulk_load(&data);
+    let engine = MaxRankQuery::new(&data, &tree);
+    let config = MaxRankConfig { tau: args.tau, algorithm: args.algorithm, ..MaxRankConfig::new() };
+    let result = match focal_id {
+        Some(id) => engine.evaluate(id, &config),
+        None => engine.evaluate_point(&focal_point, &config),
+    };
+
+    println!("dataset           : {} records × {} attributes", data.len(), data.dims());
+    println!("focal             : {focal_point:?}");
+    println!("k* (best rank)    : {}", result.k_star);
+    if args.tau > 0 {
+        println!("tau               : {}", args.tau);
+    }
+    println!("result regions    : {}", result.region_count());
+    println!("dominators        : {}", result.stats.dominators);
+    println!("records accessed  : {}", result.stats.halfspaces_inserted);
+    println!("page reads (I/O)  : {}", result.stats.io_reads);
+    println!("cpu time          : {:.3}s", result.stats.cpu_time.as_secs_f64());
+    for (i, region) in result.regions.iter().take(args.regions_shown).enumerate() {
+        let q = region.representative_query();
+        let rounded: Vec<f64> = q.iter().map(|w| (w * 10_000.0).round() / 10_000.0).collect();
+        println!("  region {:>3}: rank {}  example weights {:?}", i + 1, region.order, rounded);
+    }
+    if result.region_count() > args.regions_shown {
+        println!("  … {} more regions (use --regions to show more)", result.region_count() - args.regions_shown);
+    }
+    ExitCode::SUCCESS
+}

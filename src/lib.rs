@@ -1,0 +1,67 @@
+//! # maxrank — Maximum Rank Query
+//!
+//! A from-scratch Rust reproduction of **“Maximum Rank Query”** (Mouratidis,
+//! Zhang, Pang — PVLDB 8(12), 2015).
+//!
+//! Given a pool of options (records with numeric attributes) ranked by a
+//! linear top-k query, the **MaxRank** query takes a *focal* option and
+//! reports:
+//!
+//! * `k*` — the best rank the option can possibly achieve under *any*
+//!   permissible preference vector, and
+//! * all the regions of the preference space where that rank is attained
+//!   (for **iMaxRank**, all regions where the rank is within `τ` of `k*`).
+//!
+//! ```
+//! use maxrank::prelude::*;
+//!
+//! // A small catalogue of 2-attribute options (e.g. quality, value-for-money).
+//! let data = Dataset::from_rows(2, &[
+//!     vec![0.8, 0.9],
+//!     vec![0.2, 0.7],
+//!     vec![0.9, 0.4],
+//!     vec![0.7, 0.2],
+//!     vec![0.4, 0.3],
+//!     vec![0.5, 0.5], // the focal option
+//! ]);
+//! let tree = RStarTree::bulk_load(&data);
+//! let engine = MaxRankQuery::new(&data, &tree);
+//! let result = engine.evaluate(5, &MaxRankConfig::new());
+//! assert_eq!(result.k_star, 3);
+//! assert_eq!(result.region_count(), 2);
+//! // Each region carries a representative preference vector achieving k*.
+//! let q = result.regions[0].representative_query();
+//! assert_eq!(data.order_of(&[0.5, 0.5], &q), 3);
+//! ```
+//!
+//! The crate is a thin façade over the workspace members:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`mrq_geometry`] | vectors, half-spaces, LP feasibility, result regions |
+//! | [`mrq_data`] | datasets: synthetic benchmarks and simulated real data |
+//! | [`mrq_index`] | aggregate R\*-tree, BBS skyline, top-k search |
+//! | [`mrq_quadtree`] | the augmented quad-tree over the reduced query space |
+//! | [`mrq_core`] | FCA / BA / AA / iMaxRank algorithms |
+
+pub use mrq_core as core;
+pub use mrq_data as data;
+pub use mrq_geometry as geometry;
+pub use mrq_index as index;
+pub use mrq_quadtree as quadtree;
+
+pub use mrq_core::{
+    Algorithm, MaxRankConfig, MaxRankQuery, MaxRankResult, QueryStats, ResultRegion,
+};
+pub use mrq_data::{Dataset, Distribution, RealDataset, RecordId};
+pub use mrq_index::{order_of, top_k, RStarTree};
+
+/// Convenience re-exports for examples and downstream users.
+pub mod prelude {
+    pub use crate::{
+        Algorithm, Dataset, Distribution, MaxRankConfig, MaxRankQuery, MaxRankResult, RStarTree,
+        RealDataset, RecordId, ResultRegion,
+    };
+    pub use mrq_core::oracle;
+    pub use mrq_index::{order_of, top_k};
+}
