@@ -2,12 +2,12 @@
 //! the within-leaf pairwise pruning conditions (Section 5.2) and the
 //! quad-tree split threshold (Section 5.1).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrq_bench::runner::{focal_ids, synthetic_workload};
 use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery};
 use mrq_data::Distribution;
 use mrq_quadtree::QuadTreeConfig;
+use std::time::Duration;
 
 fn bench_pair_pruning(c: &mut Criterion) {
     let (data, tree) = synthetic_workload(Distribution::AntiCorrelated, 800, 3, 2015);
@@ -44,22 +44,26 @@ fn bench_split_threshold(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     for threshold in [4usize, 12, 24, 48] {
-        group.bench_with_input(BenchmarkId::from_parameter(threshold), &threshold, |b, &t| {
-            b.iter(|| {
-                engine.evaluate(
-                    ids[0],
-                    &MaxRankConfig {
-                        tau: 0,
-                        algorithm: Algorithm::AdvancedApproach,
-                        pair_pruning: true,
-                        quadtree: Some(QuadTreeConfig {
-                            split_threshold: t,
-                            max_depth: QuadTreeConfig::for_reduced_dims(2).max_depth,
-                        }),
-                    },
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &t| {
+                b.iter(|| {
+                    engine.evaluate(
+                        ids[0],
+                        &MaxRankConfig {
+                            tau: 0,
+                            algorithm: Algorithm::AdvancedApproach,
+                            pair_pruning: true,
+                            quadtree: Some(QuadTreeConfig {
+                                split_threshold: t,
+                                max_depth: QuadTreeConfig::for_reduced_dims(2).max_depth,
+                            }),
+                        },
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -4,11 +4,11 @@
 //! Sizes are kept small enough for `cargo bench` to finish in minutes; the
 //! full-scale sweep lives in the `experiments` binary.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrq_bench::runner::{focal_ids, synthetic_workload};
 use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery};
 use mrq_data::Distribution;
+use std::time::Duration;
 
 fn bench_aa_vs_ba(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_aa_vs_ba_ind_d3");

@@ -1,11 +1,11 @@
 //! Criterion bench for Figure 11: FCA versus the specialised AA in the
 //! two-dimensional special case, across the three data distributions.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrq_bench::runner::{focal_ids, synthetic_workload};
 use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery};
 use mrq_data::Distribution;
+use std::time::Duration;
 
 fn bench_d2(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_fca_vs_aa_d2");

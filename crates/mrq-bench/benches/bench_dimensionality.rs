@@ -1,11 +1,11 @@
 //! Criterion bench for Figure 9 / Table 3: MaxRank cost versus data
 //! dimensionality (AA on IND data).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrq_bench::runner::{focal_ids, synthetic_workload};
 use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery};
 use mrq_data::Distribution;
+use std::time::Duration;
 
 fn bench_dimensionality(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_aa_vs_dimensionality_ind");
@@ -16,7 +16,11 @@ fn bench_dimensionality(c: &mut Criterion) {
         let (data, tree) = synthetic_workload(Distribution::Independent, 1_000, d, 2015);
         let ids = focal_ids(&data, 1, 2015);
         let engine = MaxRankQuery::new(&data, &tree);
-        let algo = if d == 2 { Algorithm::AdvancedApproach2D } else { Algorithm::AdvancedApproach };
+        let algo = if d == 2 {
+            Algorithm::AdvancedApproach2D
+        } else {
+            Algorithm::AdvancedApproach
+        };
         group.bench_with_input(BenchmarkId::new("AA", d), &d, |b, _| {
             b.iter(|| engine.evaluate(ids[0], &MaxRankConfig::new().with_algorithm(algo)))
         });

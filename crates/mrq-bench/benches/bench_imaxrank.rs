@@ -1,11 +1,11 @@
 //! Criterion bench for Figure 10: iMaxRank cost as the slack τ grows
 //! (AA on IND data and on the simulated HOTEL dataset).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrq_bench::runner::{focal_ids, real_workload, synthetic_workload};
 use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery};
 use mrq_data::{Distribution, RealDataset};
+use std::time::Duration;
 
 fn bench_imaxrank_ind(c: &mut Criterion) {
     let (data, tree) = synthetic_workload(Distribution::Independent, 1_000, 3, 2015);
@@ -20,7 +20,11 @@ fn bench_imaxrank_ind(c: &mut Criterion) {
             b.iter(|| {
                 engine.evaluate(
                     ids[0],
-                    &MaxRankConfig { tau, algorithm: Algorithm::AdvancedApproach, ..MaxRankConfig::new() },
+                    &MaxRankConfig {
+                        tau,
+                        algorithm: Algorithm::AdvancedApproach,
+                        ..MaxRankConfig::new()
+                    },
                 )
             })
         });
@@ -41,7 +45,11 @@ fn bench_imaxrank_hotel(c: &mut Criterion) {
             b.iter(|| {
                 engine.evaluate(
                     ids[0],
-                    &MaxRankConfig { tau, algorithm: Algorithm::AdvancedApproach, ..MaxRankConfig::new() },
+                    &MaxRankConfig {
+                        tau,
+                        algorithm: Algorithm::AdvancedApproach,
+                        ..MaxRankConfig::new()
+                    },
                 )
             })
         });

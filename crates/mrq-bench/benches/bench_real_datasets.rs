@@ -1,11 +1,11 @@
 //! Criterion bench for Table 4: AA on (scaled-down samples of) the simulated
 //! real datasets HOTEL, HOUSE, NBA, PITCH and BAT.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use mrq_bench::runner::{focal_ids, real_workload};
 use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery};
 use mrq_data::RealDataset;
+use std::time::Duration;
 
 fn bench_real_datasets(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4_real_datasets");

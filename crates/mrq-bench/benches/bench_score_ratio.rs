@@ -2,12 +2,12 @@
 //! MaxScore/MinScore ratio as dimensionality grows, plus the index-accelerated
 //! order computation it relies on.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrq_bench::runner::synthetic_workload;
 use mrq_data::Distribution;
 use mrq_index::order_of;
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Duration;
 
 fn bench_score_ratio(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_score_ratio");

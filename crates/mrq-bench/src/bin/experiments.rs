@@ -85,11 +85,17 @@ fn main() -> ExitCode {
         let start = std::time::Instant::now();
         let (table, _) = f(&scale);
         print!("{table}");
-        println!("[{name} completed in {:.1}s]", start.elapsed().as_secs_f64());
+        println!(
+            "[{name} completed in {:.1}s]",
+            start.elapsed().as_secs_f64()
+        );
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("no experiment matched '{:?}' — use --list", exp_filter);
+        eprintln!(
+            "no experiment matched '{}' — use --list",
+            exp_filter.as_deref().unwrap_or("")
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

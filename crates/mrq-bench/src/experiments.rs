@@ -37,7 +37,8 @@ fn fmt_n(n: usize) -> String {
 pub fn fig8_ab(scale: &Scale) -> (String, Vec<Row>) {
     let mut rows = Vec::new();
     for &n in &scale.cardinalities {
-        let (data, tree) = synthetic_workload(Distribution::Independent, n, scale.base_d, scale.seed);
+        let (data, tree) =
+            synthetic_workload(Distribution::Independent, n, scale.base_d, scale.seed);
         let ids = focal_ids(&data, scale.queries, scale.seed);
         let aa = measure(&data, &tree, &ids, Algorithm::AdvancedApproach, 0);
         let mut row = Row::new(format!("n={}", fmt_n(n)))
@@ -51,7 +52,10 @@ pub fn fig8_ab(scale: &Scale) -> (String, Vec<Row>) {
         }
         rows.push(row);
     }
-    (render_table("Figure 8(a)(b): AA vs BA vs cardinality (IND)", &rows), rows)
+    (
+        render_table("Figure 8(a)(b): AA vs BA vs cardinality (IND)", &rows),
+        rows,
+    )
 }
 
 /// Figure 8(c)(d): AA's CPU time and I/O vs cardinality on the three
@@ -70,7 +74,10 @@ pub fn fig8_cd(scale: &Scale) -> (String, Vec<Row>) {
         }
         rows.push(row);
     }
-    (render_table("Figure 8(c)(d): AA vs cardinality per distribution", &rows), rows)
+    (
+        render_table("Figure 8(c)(d): AA vs cardinality per distribution", &rows),
+        rows,
+    )
 }
 
 /// Figure 8(e)(f): k\* and \|T\| vs cardinality per distribution.
@@ -88,7 +95,10 @@ pub fn fig8_ef(scale: &Scale) -> (String, Vec<Row>) {
         }
         rows.push(row);
     }
-    (render_table("Figure 8(e)(f): k* and |T| vs cardinality", &rows), rows)
+    (
+        render_table("Figure 8(e)(f): k* and |T| vs cardinality", &rows),
+        rows,
+    )
 }
 
 /// Figure 9(a)(b): CPU time and I/O vs dimensionality (IND, n = base_n).
@@ -96,9 +106,14 @@ pub fn fig8_ef(scale: &Scale) -> (String, Vec<Row>) {
 pub fn fig9(scale: &Scale) -> (String, Vec<Row>) {
     let mut rows = Vec::new();
     for &d in &scale.dims {
-        let (data, tree) = synthetic_workload(Distribution::Independent, scale.base_n, d, scale.seed);
+        let (data, tree) =
+            synthetic_workload(Distribution::Independent, scale.base_n, d, scale.seed);
         let ids = focal_ids(&data, scale.queries, scale.seed);
-        let aa_algo = if d == 2 { Algorithm::AdvancedApproach2D } else { Algorithm::AdvancedApproach };
+        let aa_algo = if d == 2 {
+            Algorithm::AdvancedApproach2D
+        } else {
+            Algorithm::AdvancedApproach
+        };
         let aa = measure(&data, &tree, &ids, aa_algo, 0);
         let mut row = Row::new(format!("d={d}"))
             .with("AA cpu_s", aa.cpu_s)
@@ -109,7 +124,11 @@ pub fn fig9(scale: &Scale) -> (String, Vec<Row>) {
             let nb = scale.base_n.min(scale.ba_max_n);
             let (bdata, btree) = synthetic_workload(Distribution::Independent, nb, d, scale.seed);
             let bids = focal_ids(&bdata, scale.queries, scale.seed);
-            let ba_algo = if d == 2 { Algorithm::Fca } else { Algorithm::BasicApproach };
+            let ba_algo = if d == 2 {
+                Algorithm::Fca
+            } else {
+                Algorithm::BasicApproach
+            };
             let ba = measure(&bdata, &btree, &bids, ba_algo, 0);
             row = row
                 .with(&format!("BA-{} cpu_s", fmt_n(nb)), ba.cpu_s)
@@ -119,20 +138,35 @@ pub fn fig9(scale: &Scale) -> (String, Vec<Row>) {
         }
         rows.push(row);
     }
-    (render_table("Figure 9: effect of dimensionality (IND)", &rows), rows)
+    (
+        render_table("Figure 9: effect of dimensionality (IND)", &rows),
+        rows,
+    )
 }
 
 /// Table 3: k\* and \|T\| vs dimensionality (AA, IND, n = base_n).
 pub fn table3(scale: &Scale) -> (String, Vec<Row>) {
     let mut rows = Vec::new();
     for &d in &scale.dims {
-        let (data, tree) = synthetic_workload(Distribution::Independent, scale.base_n, d, scale.seed);
+        let (data, tree) =
+            synthetic_workload(Distribution::Independent, scale.base_n, d, scale.seed);
         let ids = focal_ids(&data, scale.queries, scale.seed);
-        let algo = if d == 2 { Algorithm::AdvancedApproach2D } else { Algorithm::AdvancedApproach };
+        let algo = if d == 2 {
+            Algorithm::AdvancedApproach2D
+        } else {
+            Algorithm::AdvancedApproach
+        };
         let m = measure(&data, &tree, &ids, algo, 0);
-        rows.push(Row::new(format!("d={d}")).with("k*", m.k_star).with("|T|", m.regions));
+        rows.push(
+            Row::new(format!("d={d}"))
+                .with("k*", m.k_star)
+                .with("|T|", m.regions),
+        );
     }
-    (render_table("Table 3: effect of dimensionality on k* and |T|", &rows), rows)
+    (
+        render_table("Table 3: effect of dimensionality on k* and |T|", &rows),
+        rows,
+    )
 }
 
 /// Table 4: AA on the five (simulated) real datasets.
@@ -142,7 +176,11 @@ pub fn table4(scale: &Scale) -> (String, Vec<Row>) {
         let spec = ds.spec();
         let (data, tree) = real_workload(ds, scale.real_scale, scale.seed);
         let ids = focal_ids(&data, scale.queries, scale.seed);
-        let algo = if data.dims() == 2 { Algorithm::AdvancedApproach2D } else { Algorithm::AdvancedApproach };
+        let algo = if data.dims() == 2 {
+            Algorithm::AdvancedApproach2D
+        } else {
+            Algorithm::AdvancedApproach
+        };
         let m = measure(&data, &tree, &ids, algo, 0);
         rows.push(
             Row::new(format!("{} ({}d)", spec.name, spec.dims))
@@ -153,20 +191,39 @@ pub fn table4(scale: &Scale) -> (String, Vec<Row>) {
                 .with("io", m.io),
         );
     }
-    (render_table("Table 4: AA on the (simulated) real datasets", &rows), rows)
+    (
+        render_table("Table 4: AA on the (simulated) real datasets", &rows),
+        rows,
+    )
 }
 
 /// Figure 10: iMaxRank — effect of τ on CPU, I/O and \|T\| for HOTEL and IND.
 pub fn fig10(scale: &Scale) -> (String, Vec<Row>) {
-    let (ind_data, ind_tree) =
-        synthetic_workload(Distribution::Independent, scale.base_n, scale.base_d, scale.seed);
+    let (ind_data, ind_tree) = synthetic_workload(
+        Distribution::Independent,
+        scale.base_n,
+        scale.base_d,
+        scale.seed,
+    );
     let ind_ids = focal_ids(&ind_data, scale.queries, scale.seed);
     let (hot_data, hot_tree) = real_workload(RealDataset::Hotel, scale.real_scale, scale.seed);
     let hot_ids = focal_ids(&hot_data, scale.queries, scale.seed);
     let mut rows = Vec::new();
     for &tau in &scale.taus {
-        let ind = measure(&ind_data, &ind_tree, &ind_ids, Algorithm::AdvancedApproach, tau);
-        let hot = measure(&hot_data, &hot_tree, &hot_ids, Algorithm::AdvancedApproach, tau);
+        let ind = measure(
+            &ind_data,
+            &ind_tree,
+            &ind_ids,
+            Algorithm::AdvancedApproach,
+            tau,
+        );
+        let hot = measure(
+            &hot_data,
+            &hot_tree,
+            &hot_ids,
+            Algorithm::AdvancedApproach,
+            tau,
+        );
         rows.push(
             Row::new(format!("tau={tau}"))
                 .with("IND cpu_s", ind.cpu_s)
@@ -177,7 +234,10 @@ pub fn fig10(scale: &Scale) -> (String, Vec<Row>) {
                 .with("HOTEL |T|", hot.regions),
         );
     }
-    (render_table("Figure 10: iMaxRank, effect of tau", &rows), rows)
+    (
+        render_table("Figure 10: iMaxRank, effect of tau", &rows),
+        rows,
+    )
 }
 
 /// Figure 11: FCA vs the specialised AA for d = 2 on IND/COR/ANTI.
@@ -196,7 +256,10 @@ pub fn fig11(scale: &Scale) -> (String, Vec<Row>) {
                 .with("FCA io", fca.io),
         );
     }
-    (render_table("Figure 11: FCA vs AA in the special case d = 2", &rows), rows)
+    (
+        render_table("Figure 11: FCA vs AA in the special case d = 2", &rows),
+        rows,
+    )
 }
 
 /// Figure 12 (appendix): the MaxScore/MinScore ratio vs dimensionality —
@@ -205,7 +268,8 @@ pub fn fig12(scale: &Scale) -> (String, Vec<Row>) {
     let mut rows = Vec::new();
     let mut rng = StdRng::seed_from_u64(scale.seed);
     for &d in &scale.appendix_dims {
-        let (data, _tree) = synthetic_workload(Distribution::Independent, scale.base_n, d, scale.seed);
+        let (data, _tree) =
+            synthetic_workload(Distribution::Independent, scale.base_n, d, scale.seed);
         // Average the ratio over a few random permissible query vectors.
         let mut ratio = 0.0;
         let probes = 5usize;
@@ -218,15 +282,22 @@ pub fn fig12(scale: &Scale) -> (String, Vec<Row>) {
         }
         rows.push(Row::new(format!("d={d}")).with("MaxScore/MinScore", ratio / probes as f64));
     }
-    (render_table("Figure 12 (appendix): MaxScore/MinScore ratio vs d", &rows), rows)
+    (
+        render_table("Figure 12 (appendix): MaxScore/MinScore ratio vs d", &rows),
+        rows,
+    )
 }
 
 /// Ablation (beyond the paper's plots, motivated by Sections 5.1–5.2): the
 /// effect of the within-leaf pairwise pruning conditions and of the quad-tree
 /// split threshold on AA's cost.
 pub fn ablation(scale: &Scale) -> (String, Vec<Row>) {
-    let (data, tree) =
-        synthetic_workload(Distribution::Independent, scale.base_n, scale.base_d, scale.seed);
+    let (data, tree) = synthetic_workload(
+        Distribution::Independent,
+        scale.base_n,
+        scale.base_d,
+        scale.seed,
+    );
     let ids = focal_ids(&data, scale.queries, scale.seed);
     let engine = MaxRankQuery::new(&data, &tree);
     let mut rows = Vec::new();
@@ -266,11 +337,20 @@ pub fn ablation(scale: &Scale) -> (String, Vec<Row>) {
                 .with("leaves processed", leaves / n),
         );
     }
-    (render_table("Ablation: within-leaf pruning and quad-tree split threshold", &rows), rows)
+    (
+        render_table(
+            "Ablation: within-leaf pruning and quad-tree split threshold",
+            &rows,
+        ),
+        rows,
+    )
 }
 
+/// An experiment entry point: renders a table and returns its rows.
+pub type Experiment = fn(&Scale) -> (String, Vec<Row>);
+
 /// Every experiment, in the order they appear in the paper.
-pub const ALL: &[(&str, fn(&Scale) -> (String, Vec<Row>))] = &[
+pub const ALL: &[(&str, Experiment)] = &[
     ("fig8-ab", fig8_ab),
     ("fig8-cd", fig8_cd),
     ("fig8-ef", fig8_ef),
@@ -313,7 +393,10 @@ mod tests {
             let aa_io = row.get("AA io").unwrap();
             let ba_io = row.get("BA io").unwrap();
             if !ba_io.is_nan() {
-                assert!(aa_io <= ba_io, "AA I/O {aa_io} must not exceed BA I/O {ba_io}");
+                assert!(
+                    aa_io <= ba_io,
+                    "AA I/O {aa_io} must not exceed BA I/O {ba_io}"
+                );
             }
         }
     }
@@ -355,7 +438,10 @@ mod tests {
         let (_, rows) = fig12(&tiny_scale());
         let first = rows.first().unwrap().get("MaxScore/MinScore").unwrap();
         let last = rows.last().unwrap().get("MaxScore/MinScore").unwrap();
-        assert!(first > last, "ratio must decrease with d: {first} vs {last}");
+        assert!(
+            first > last,
+            "ratio must decrease with d: {first} vs {last}"
+        );
     }
 
     #[test]

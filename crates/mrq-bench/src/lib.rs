@@ -35,7 +35,10 @@ pub struct Row {
 impl Row {
     /// Creates a row.
     pub fn new(label: impl Into<String>) -> Self {
-        Self { label: label.into(), values: Vec::new() }
+        Self {
+            label: label.into(),
+            values: Vec::new(),
+        }
     }
 
     /// Adds a metric column.
@@ -128,7 +131,10 @@ mod tests {
         assert!(t.contains("Table 3"));
         assert!(t.contains("39199"));
         assert!(t.contains("149732"));
-        let lines: Vec<&str> = t.lines().filter(|l| !l.is_empty() && !l.starts_with("==")).collect();
+        let lines: Vec<&str> = t
+            .lines()
+            .filter(|l| !l.is_empty() && !l.starts_with("=="))
+            .collect();
         assert_eq!(lines.len(), 3);
     }
 

@@ -36,8 +36,15 @@ pub fn measure(
     tau: usize,
 ) -> Measurement {
     let engine = MaxRankQuery::new(data, tree);
-    let config = MaxRankConfig { tau, algorithm, ..MaxRankConfig::new() };
-    let mut m = Measurement { queries: focal_ids.len(), ..Measurement::default() };
+    let config = MaxRankConfig {
+        tau,
+        algorithm,
+        ..MaxRankConfig::new()
+    };
+    let mut m = Measurement {
+        queries: focal_ids.len(),
+        ..Measurement::default()
+    };
     for &focal in focal_ids {
         let res = engine.evaluate(focal, &config);
         m.cpu_s += res.stats.cpu_time.as_secs_f64();

@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn paper_preset_matches_table2() {
         let p = Scale::paper();
-        assert_eq!(p.cardinalities, vec![100_000, 500_000, 1_000_000, 5_000_000, 10_000_000]);
+        assert_eq!(
+            p.cardinalities,
+            vec![100_000, 500_000, 1_000_000, 5_000_000, 10_000_000]
+        );
         assert_eq!(p.dims, vec![2, 3, 4, 5, 6, 7, 8]);
         assert_eq!(p.taus, vec![0, 1, 2, 3, 4, 5]);
         assert_eq!(p.queries, 40);

@@ -1,0 +1,72 @@
+//! Smoke test for the experiment harness: run one experiment end-to-end at a
+//! tiny cardinality so the bench crate is exercised by the tier-1 suite
+//! (`cargo test`), not only by `cargo bench` / the `experiments` binary.
+
+use mrq_bench::experiments;
+use mrq_bench::runner::{focal_ids, measure, synthetic_workload};
+use mrq_bench::scale::Scale;
+use mrq_core::Algorithm;
+use mrq_data::Distribution;
+
+/// A sub-second preset: one cardinality, one focal record, d = 2 only.
+fn tiny() -> Scale {
+    Scale {
+        name: "tiny",
+        cardinalities: vec![60],
+        base_n: 60,
+        base_d: 2,
+        dims: vec![2],
+        appendix_dims: vec![2, 3],
+        ba_max_n: 60,
+        ba_max_d: 2,
+        taus: vec![0, 1],
+        queries: 1,
+        real_scale: 0.0002,
+        seed: 2015,
+    }
+}
+
+#[test]
+fn measure_reports_sane_metrics() {
+    let (data, tree) = synthetic_workload(Distribution::Independent, 80, 2, 9);
+    let ids = focal_ids(&data, 2, 9);
+    assert_eq!(ids.len(), 2);
+    let m = measure(&data, &tree, &ids, Algorithm::AdvancedApproach2D, 0);
+    assert_eq!(m.queries, 2);
+    assert!(
+        m.k_star >= 1.0,
+        "mean k* must be at least 1, got {}",
+        m.k_star
+    );
+    assert!(
+        m.regions >= 1.0,
+        "every query has at least one result region"
+    );
+    assert!(m.cpu_s >= 0.0 && m.cpu_s.is_finite());
+}
+
+#[test]
+fn experiment_runs_at_tiny_scale() {
+    let scale = tiny();
+    // Figure 8(a)(b) exercises workload generation, focal selection, AA and
+    // BA, and the table renderer in one call.
+    let (table, rows) = experiments::fig8_ab(&scale);
+    assert!(table.contains("Figure 8(a)(b)"));
+    assert_eq!(rows.len(), scale.cardinalities.len());
+    for row in &rows {
+        let cpu = row.get("AA cpu_s").expect("AA cpu column present");
+        assert!(cpu.is_finite() && cpu >= 0.0);
+        assert!(row.get("BA cpu_s").is_some(), "BA attempted at tiny n");
+    }
+}
+
+#[test]
+fn every_experiment_is_listed_and_named() {
+    let names: Vec<&str> = experiments::ALL.iter().map(|(n, _)| *n).collect();
+    for expected in [
+        "fig8-ab", "fig8-cd", "fig8-ef", "fig9", "table3", "table4", "fig10", "fig11", "fig12",
+        "ablation",
+    ] {
+        assert!(names.contains(&expected), "{expected} missing from ALL");
+    }
+}

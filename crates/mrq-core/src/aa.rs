@@ -314,9 +314,23 @@ mod tests {
     #[test]
     fn aa_handles_top_and_bottom_focal_points() {
         let (data, tree) = random_dataset(500, 3, Distribution::Independent, 600);
-        let best = run_point(&data, &tree, &[0.999, 0.999, 0.999], None, 0, &AlgoConfig::default());
+        let best = run_point(
+            &data,
+            &tree,
+            &[0.999, 0.999, 0.999],
+            None,
+            0,
+            &AlgoConfig::default(),
+        );
         assert_eq!(best.k_star, 1);
-        let worst = run_point(&data, &tree, &[0.001, 0.001, 0.001], None, 0, &AlgoConfig::default());
+        let worst = run_point(
+            &data,
+            &tree,
+            &[0.001, 0.001, 0.001],
+            None,
+            0,
+            &AlgoConfig::default(),
+        );
         assert!(worst.k_star > 400, "k* = {}", worst.k_star);
     }
 

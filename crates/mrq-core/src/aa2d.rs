@@ -61,7 +61,11 @@ pub fn run_point(
     tau: usize,
     _config: &AlgoConfig,
 ) -> MaxRankResult {
-    assert_eq!(data.dims(), 2, "the specialised AA handles two-dimensional data");
+    assert_eq!(
+        data.dims(),
+        2,
+        "the specialised AA handles two-dimensional data"
+    );
     assert_eq!(p.len(), 2);
     let start = Instant::now();
     tree.reset_io();
@@ -103,7 +107,11 @@ pub fn run_point(
             final_intervals = intervals;
             break;
         }
-        let min_order = intervals.iter().map(|(_, _, o, _)| *o).min().expect("non-empty");
+        let min_order = intervals
+            .iter()
+            .map(|(_, _, o, _)| *o)
+            .min()
+            .expect("non-empty");
         for (_, _, order, containing) in &intervals {
             if containing.iter().all(|&i| lines[i].singular) {
                 o_star = Some(o_star.map_or(*order, |o| o.min(*order)));
@@ -161,7 +169,13 @@ pub fn run_point(
         })
         .collect();
     stats.cpu_time = start.elapsed();
-    MaxRankResult { dims: 2, k_star: base + min_order + 1, tau, regions, stats }
+    MaxRankResult {
+        dims: 2,
+        k_star: base + min_order + 1,
+        tau,
+        regions,
+        stats,
+    }
 }
 
 /// Maps newly surfaced skyline records into half-lines (expanding degenerate
@@ -190,7 +204,12 @@ fn insert_records(
                     } else if t >= 1.0 - EPS {
                         // Never wins inside (0, 1): irrelevant, as are its dominees.
                     } else {
-                        lines.push(HalfLine { t, wins_right: true, record: rid, singular: false });
+                        lines.push(HalfLine {
+                            t,
+                            wins_right: true,
+                            record: rid,
+                            singular: false,
+                        });
                     }
                 } else if t >= 1.0 - EPS {
                     *always_above += 1;
@@ -199,7 +218,12 @@ fn insert_records(
                 } else if t <= EPS {
                     // Never wins.
                 } else {
-                    lines.push(HalfLine { t, wins_right: false, record: rid, singular: false });
+                    lines.push(HalfLine {
+                        t,
+                        wins_right: false,
+                        record: rid,
+                        singular: false,
+                    });
                 }
             }
             MappedHalfSpace::AlwaysAbove => {

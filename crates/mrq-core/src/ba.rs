@@ -30,7 +30,10 @@ pub struct AlgoConfig {
 
 impl Default for AlgoConfig {
     fn default() -> Self {
-        Self { quadtree: None, pair_pruning: true }
+        Self {
+            quadtree: None,
+            pair_pruning: true,
+        }
     }
 }
 
@@ -60,8 +63,10 @@ pub fn run_point(
     assert!(d >= 2);
     let start = Instant::now();
     tree.reset_io();
-    let mut stats = QueryStats::default();
-    stats.iterations = 1;
+    let mut stats = QueryStats {
+        iterations: 1,
+        ..QueryStats::default()
+    };
 
     let dominators = tree.count_dominators(p, focal_id) as usize;
     stats.dominators = dominators;
@@ -128,7 +133,11 @@ mod tests {
     fn witness_orders_match_dataset() {
         let (data, tree) = figure1_3d_like();
         let res = run(&data, &tree, 0, 0, &AlgoConfig::default());
-        assert!(res.k_star >= 2, "a dominator forces k* ≥ 2, got {}", res.k_star);
+        assert!(
+            res.k_star >= 2,
+            "a dominator forces k* ≥ 2, got {}",
+            res.k_star
+        );
         assert!(!res.regions.is_empty());
         for region in &res.regions {
             let q = region.representative_query();
@@ -156,7 +165,11 @@ mod tests {
                 q.iter_mut().for_each(|x| *x /= s);
                 best = best.min(data.order_of(p, &q));
             }
-            assert!(best >= res.k_star, "sampling found {best} < k* {} (focal {focal})", res.k_star);
+            assert!(
+                best >= res.k_star,
+                "sampling found {best} < k* {} (focal {focal})",
+                res.k_star
+            );
             for region in &res.regions {
                 let q = region.representative_query();
                 assert_eq!(data.order_of(p, &q), res.k_star, "focal {focal}");
@@ -169,7 +182,10 @@ mod tests {
         let (data, tree) = figure1_3d_like();
         let tau = 2;
         let res = run(&data, &tree, 0, tau, &AlgoConfig::default());
-        assert!(res.regions.iter().all(|r| r.order >= res.k_star && r.order <= res.k_star + tau));
+        assert!(res
+            .regions
+            .iter()
+            .all(|r| r.order >= res.k_star && r.order <= res.k_star + tau));
         // Every region's witness must achieve exactly the region's order.
         for region in &res.regions {
             let q = region.representative_query();
@@ -183,7 +199,14 @@ mod tests {
     #[test]
     fn dominating_focal_point_is_rank_one() {
         let (data, tree) = figure1_3d_like();
-        let res = run_point(&data, &tree, &[0.99, 0.99, 0.99], None, 0, &AlgoConfig::default());
+        let res = run_point(
+            &data,
+            &tree,
+            &[0.99, 0.99, 0.99],
+            None,
+            0,
+            &AlgoConfig::default(),
+        );
         assert_eq!(res.k_star, 1);
         assert_eq!(res.region_count(), 1);
     }
@@ -193,8 +216,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let data = synthetic::generate(Distribution::AntiCorrelated, 80, 3, &mut rng);
         let tree = RStarTree::bulk_load(&data);
-        let with = run(&data, &tree, 3, 1, &AlgoConfig { pair_pruning: true, quadtree: None });
-        let without = run(&data, &tree, 3, 1, &AlgoConfig { pair_pruning: false, quadtree: None });
+        let with = run(
+            &data,
+            &tree,
+            3,
+            1,
+            &AlgoConfig {
+                pair_pruning: true,
+                quadtree: None,
+            },
+        );
+        let without = run(
+            &data,
+            &tree,
+            3,
+            1,
+            &AlgoConfig {
+                pair_pruning: false,
+                quadtree: None,
+            },
+        );
         assert_eq!(with.k_star, without.k_star);
         assert_eq!(with.region_count(), without.region_count());
     }
@@ -211,7 +252,10 @@ mod tests {
             11,
             0,
             &AlgoConfig {
-                quadtree: Some(QuadTreeConfig { split_threshold: 20, max_depth: 3 }),
+                quadtree: Some(QuadTreeConfig {
+                    split_threshold: 20,
+                    max_depth: 3,
+                }),
                 pair_pruning: true,
             },
         );

@@ -4,7 +4,8 @@
 //! records (one per candidate configuration in a what-if study, or one per
 //! catalogue item when profiling a whole portfolio).  Individual MaxRank
 //! evaluations are read-only and independent, so they parallelise trivially;
-//! this module fans the work out over scoped threads (crossbeam) and offers a
+//! this module fans the work out over scoped threads (`std::thread::scope`)
+//! and offers a
 //! convenience ranking of the evaluated records by their best attainable
 //! rank.
 
@@ -30,7 +31,10 @@ pub fn evaluate_batch(
     }
     if threads == 1 || focal_ids.len() == 1 {
         let engine = MaxRankQuery::new(data, tree);
-        return focal_ids.iter().map(|&id| engine.evaluate(id, config)).collect();
+        return focal_ids
+            .iter()
+            .map(|&id| engine.evaluate(id, config))
+            .collect();
     }
 
     // Shared page-access counters are per-tree; to keep I/O statistics
@@ -59,7 +63,10 @@ pub fn evaluate_batch(
             offset += chunk.min(focal_ids.len() - offset);
         }
     });
-    results.into_iter().map(|r| r.expect("every focal record evaluated")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every focal record evaluated"))
+        .collect()
 }
 
 /// Ranks the given records by their best attainable rank (ascending `k*`),

@@ -48,7 +48,11 @@ pub(crate) struct HalfSpaceRegistry {
 
 impl HalfSpaceRegistry {
     pub(crate) fn push(&mut self, id: HalfSpaceId, record: RecordId) {
-        debug_assert_eq!(id as usize, self.records.len(), "ids must be assigned in order");
+        debug_assert_eq!(
+            id as usize,
+            self.records.len(),
+            "ids must be assigned in order"
+        );
         self.records.push(record);
     }
 
@@ -91,8 +95,13 @@ pub(crate) fn build_result(
         .into_iter()
         .filter(|c| c.order <= min_order + tau)
         .map(|c| {
-            let outranking: Vec<RecordId> = c.containing_ids().map(|id| registry.record(id)).collect();
-            ResultRegion { order: base + c.order + 1, region: c.region, outranking }
+            let outranking: Vec<RecordId> =
+                c.containing_ids().map(|id| registry.record(id)).collect();
+            ResultRegion {
+                order: base + c.order + 1,
+                region: c.region,
+                outranking,
+            }
         })
         .collect();
     // Deterministic output: sort regions by order, then by witness.
@@ -104,18 +113,33 @@ pub(crate) fn build_result(
                 .unwrap_or(std::cmp::Ordering::Equal)
         })
     });
-    MaxRankResult { dims, k_star, tau, regions, stats }
+    MaxRankResult {
+        dims,
+        k_star,
+        tau,
+        regions,
+        stats,
+    }
 }
 
 /// Builds the trivial result for a focal record with no incomparable records:
 /// a single region covering the entire permissible simplex.
-pub(crate) fn trivial_result(dims: usize, base: usize, tau: usize, stats: QueryStats) -> MaxRankResult {
+pub(crate) fn trivial_result(
+    dims: usize,
+    base: usize,
+    tau: usize,
+    stats: QueryStats,
+) -> MaxRankResult {
     let region = whole_simplex_region(dims - 1);
     MaxRankResult {
         dims,
         k_star: base + 1,
         tau,
-        regions: vec![ResultRegion { region, order: base + 1, outranking: Vec::new() }],
+        regions: vec![ResultRegion {
+            region,
+            order: base + 1,
+            outranking: Vec::new(),
+        }],
         stats,
     }
 }
@@ -127,11 +151,20 @@ mod tests {
     #[test]
     fn map_record_cases() {
         let p = [0.5, 0.5, 0.5];
-        assert!(matches!(map_record(&[0.9, 0.2, 0.5], &p), MappedHalfSpace::Usable(_)));
+        assert!(matches!(
+            map_record(&[0.9, 0.2, 0.5], &p),
+            MappedHalfSpace::Usable(_)
+        ));
         // A record offset from p by the same amount in every coordinate is
         // degenerate: (0.6,0.6,0.6) always outranks (0.5,0.5,0.5).
-        assert!(matches!(map_record(&[0.6, 0.6, 0.6], &p), MappedHalfSpace::AlwaysAbove));
-        assert!(matches!(map_record(&[0.4, 0.4, 0.4], &p), MappedHalfSpace::NeverAbove));
+        assert!(matches!(
+            map_record(&[0.6, 0.6, 0.6], &p),
+            MappedHalfSpace::AlwaysAbove
+        ));
+        assert!(matches!(
+            map_record(&[0.4, 0.4, 0.4], &p),
+            MappedHalfSpace::NeverAbove
+        ));
     }
 
     #[test]

@@ -33,7 +33,11 @@ pub fn run_point(
     focal_id: Option<RecordId>,
     tau: usize,
 ) -> MaxRankResult {
-    assert_eq!(data.dims(), 2, "FCA is defined for two-dimensional data only");
+    assert_eq!(
+        data.dims(),
+        2,
+        "FCA is defined for two-dimensional data only"
+    );
     assert_eq!(p.len(), 2);
     let start = Instant::now();
     tree.reset_io();
@@ -145,7 +149,13 @@ pub fn run_point(
     stats.iterations = 1;
     stats.cells_tested = orders.len();
 
-    MaxRankResult { dims: 2, k_star: dominators + min_order + 1, tau, regions, stats }
+    MaxRankResult {
+        dims: 2,
+        k_star: dominators + min_order + 1,
+        tau,
+        regions,
+        stats,
+    }
 }
 
 /// Builds a 1-dimensional [`Region`] for the open interval `(lo, hi)` of the

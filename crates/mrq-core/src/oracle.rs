@@ -50,12 +50,19 @@ pub fn sampled_min_order<R: Rng>(
 /// with the number of incomparable records **and** with `k*` (all bit-strings
 /// of Hamming weight up to the answer are enumerated), so callers should use
 /// it only for focal records that can rank well.
-pub fn exhaustive(data: &Dataset, p: &[f64], focal_id: Option<RecordId>, tau: usize) -> MaxRankResult {
+pub fn exhaustive(
+    data: &Dataset,
+    p: &[f64],
+    focal_id: Option<RecordId>,
+    tau: usize,
+) -> MaxRankResult {
     let d = data.dims();
     assert_eq!(p.len(), d);
     let start = Instant::now();
-    let mut stats = QueryStats::default();
-    stats.iterations = 1;
+    let mut stats = QueryStats {
+        iterations: 1,
+        ..QueryStats::default()
+    };
 
     let part = partition_by_focal(data, p, focal_id);
     stats.dominators = part.dominators.len();
@@ -83,7 +90,15 @@ pub fn exhaustive(data: &Dataset, p: &[f64], focal_id: Option<RecordId>, tau: us
     let simplex = reduced_simplex_constraint(d);
     let bounds = BoundingBox::unit(d - 1);
     stats.leaves_processed = 1;
-    let cells = process_leaf(&bounds, &halfspaces, &simplex, usize::MAX, tau, true, &mut stats);
+    let cells = process_leaf(
+        &bounds,
+        &halfspaces,
+        &simplex,
+        usize::MAX,
+        tau,
+        true,
+        &mut stats,
+    );
     let cells: Vec<ArrangementCell> = cells
         .into_iter()
         .map(|c| ArrangementCell {
@@ -157,7 +172,11 @@ mod tests {
         assert!(sampled >= exact.k_star);
         assert_eq!(data.order_of(data.record(focal), &q), sampled);
         // With this many samples on 4-d data the bound is usually tight.
-        assert!(sampled <= exact.k_star + 1, "sampled {sampled} vs exact {}", exact.k_star);
+        assert!(
+            sampled <= exact.k_star + 1,
+            "sampled {sampled} vs exact {}",
+            exact.k_star
+        );
     }
 
     #[test]

@@ -40,7 +40,12 @@ pub struct MaxRankConfig {
 impl MaxRankConfig {
     /// Plain MaxRank with the default (Auto) algorithm.
     pub fn new() -> Self {
-        Self { tau: 0, algorithm: Algorithm::Auto, pair_pruning: true, quadtree: None }
+        Self {
+            tau: 0,
+            algorithm: Algorithm::Auto,
+            pair_pruning: true,
+            quadtree: None,
+        }
     }
 
     /// iMaxRank with slack `tau`.
@@ -55,7 +60,10 @@ impl MaxRankConfig {
     }
 
     fn algo_config(&self) -> AlgoConfig {
-        AlgoConfig { quadtree: self.quadtree, pair_pruning: self.pair_pruning }
+        AlgoConfig {
+            quadtree: self.quadtree,
+            pair_pruning: self.pair_pruning,
+        }
     }
 }
 
@@ -71,7 +79,11 @@ impl<'a> MaxRankQuery<'a> {
     /// # Panics
     /// Panics if the index dimensionality differs from the dataset's.
     pub fn new(data: &'a Dataset, tree: &'a RStarTree) -> Self {
-        assert_eq!(data.dims(), tree.dims(), "index and dataset dimensionality differ");
+        assert_eq!(
+            data.dims(),
+            tree.dims(),
+            "index and dataset dimensionality differ"
+        );
         Self { data, tree }
     }
 
@@ -97,7 +109,12 @@ impl<'a> MaxRankQuery<'a> {
         self.dispatch(p, None, config)
     }
 
-    fn dispatch(&self, p: &[f64], focal_id: Option<RecordId>, config: &MaxRankConfig) -> MaxRankResult {
+    fn dispatch(
+        &self,
+        p: &[f64],
+        focal_id: Option<RecordId>,
+        config: &MaxRankConfig,
+    ) -> MaxRankResult {
         let d = self.data.dims();
         let algo = match (config.algorithm, d) {
             (Algorithm::Auto, 2) => Algorithm::AdvancedApproach2D,
@@ -150,7 +167,10 @@ mod tests {
         let tree = RStarTree::bulk_load(&data);
         let engine = MaxRankQuery::new(&data, &tree);
         let aa = engine.evaluate(9, &MaxRankConfig::new());
-        let ba = engine.evaluate(9, &MaxRankConfig::new().with_algorithm(Algorithm::BasicApproach));
+        let ba = engine.evaluate(
+            9,
+            &MaxRankConfig::new().with_algorithm(Algorithm::BasicApproach),
+        );
         assert_eq!(aa.k_star, ba.k_star);
     }
 

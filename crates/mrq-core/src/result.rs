@@ -107,7 +107,11 @@ mod tests {
             vec![],
             BoundingBox::unit(1),
         );
-        ResultRegion { region: spec.solve().unwrap(), order, outranking: vec![] }
+        ResultRegion {
+            region: spec.solve().unwrap(),
+            order,
+            outranking: vec![],
+        }
     }
 
     #[test]

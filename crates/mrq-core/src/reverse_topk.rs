@@ -31,7 +31,12 @@ pub struct ReverseTopK {
 
 /// Evaluates the monochromatic reverse top-k query for a focal record of a
 /// two-dimensional dataset.
-pub fn reverse_top_k(data: &Dataset, tree: &RStarTree, focal_id: RecordId, k: usize) -> ReverseTopK {
+pub fn reverse_top_k(
+    data: &Dataset,
+    tree: &RStarTree,
+    focal_id: RecordId,
+    k: usize,
+) -> ReverseTopK {
     let p = data.record(focal_id).to_vec();
     reverse_top_k_point(data, tree, &p, Some(focal_id), k)
 }
@@ -49,7 +54,11 @@ pub fn reverse_top_k_point(
     k: usize,
 ) -> ReverseTopK {
     assert!(k >= 1, "k must be positive");
-    assert_eq!(data.dims(), 2, "the monochromatic reverse top-k solution is 2-d only");
+    assert_eq!(
+        data.dims(),
+        2,
+        "the monochromatic reverse top-k solution is 2-d only"
+    );
     // Sweep identical to FCA, but instead of keeping the minimum order we keep
     // every interval whose order is ≤ k.
     let dominators = tree.count_dominators(p, focal_id) as usize;
@@ -113,7 +122,11 @@ pub fn reverse_top_k_point(
             });
         }
     }
-    ReverseTopK { k, regions, influence }
+    ReverseTopK {
+        k,
+        regions,
+        influence,
+    }
 }
 
 #[cfg(test)]
@@ -178,7 +191,10 @@ mod tests {
                 .any(|r| q1 > r.region.bounds.lo[0] && q1 < r.region.bounds.hi[0]);
             if !covered {
                 let order = data.order_of(p, &[q1, 1.0 - q1]);
-                assert!(order > 10, "q1 {q1} gives order {order} but was not reported");
+                assert!(
+                    order > 10,
+                    "q1 {q1} gives order {order} but was not reported"
+                );
             }
         }
     }

@@ -129,7 +129,11 @@ pub fn process_leaf(
             let spec = CellSpec::new(inside, outside, bounds.clone());
             if let Some(region) = spec.solve() {
                 any_at_this_weight = true;
-                found.push(FoundCell { p_order: chosen.len(), inside: inside_ids, region });
+                found.push(FoundCell {
+                    p_order: chosen.len(),
+                    inside: inside_ids,
+                    region,
+                });
             }
         });
         if any_at_this_weight && first_nonempty.is_none() {
@@ -238,8 +242,13 @@ impl CellEnumerator {
                         pair_pruning,
                         stats,
                     );
-                    self.cache
-                        .insert(key, CachedLeaf { max_weight, cells: computed.clone() });
+                    self.cache.insert(
+                        key,
+                        CachedLeaf {
+                            max_weight,
+                            cells: computed.clone(),
+                        },
+                    );
                     computed
                 }
             };
@@ -310,7 +319,9 @@ fn compute_pair_conditions(
         stats.cells_tested += 1;
         let mut inside = inside;
         inside.push(simplex.clone());
-        CellSpec::new(inside, outside, bounds.clone()).solve().is_some()
+        CellSpec::new(inside, outside, bounds.clone())
+            .solve()
+            .is_some()
     };
     for i in 0..m {
         for j in i + 1..m {
@@ -398,12 +409,24 @@ mod tests {
         let h7 = hs(&[0.0, 1.0], 0.05); // y > 0.05
         let partial = vec![(0u32, h1), (1u32, h2.clone()), (2u32, h6), (3u32, h7)];
         let mut stats = QueryStats::default();
-        let cells = process_leaf(&bounds, &partial, &simplex2(), usize::MAX, 0, true, &mut stats);
+        let cells = process_leaf(
+            &bounds,
+            &partial,
+            &simplex2(),
+            usize::MAX,
+            0,
+            true,
+            &mut stats,
+        );
         assert!(!cells.is_empty());
         let min_order = cells.iter().map(|c| c.p_order).min().unwrap();
         assert_eq!(min_order, 1);
         for c in cells.iter().filter(|c| c.p_order == 1) {
-            assert_eq!(c.inside, vec![1], "the p-order-1 cell must be inside h2 only");
+            assert_eq!(
+                c.inside,
+                vec![1],
+                "the p-order-1 cell must be inside h2 only"
+            );
             assert!(h2.contains(&c.region.witness));
         }
     }
@@ -414,7 +437,15 @@ mod tests {
         let bounds = BoundingBox::unit(2);
         let partial = vec![(0u32, hs(&[1.0, 1.0], 1.5))];
         let mut stats = QueryStats::default();
-        let cells = process_leaf(&bounds, &partial, &simplex2(), usize::MAX, 0, true, &mut stats);
+        let cells = process_leaf(
+            &bounds,
+            &partial,
+            &simplex2(),
+            usize::MAX,
+            0,
+            true,
+            &mut stats,
+        );
         assert_eq!(cells.len(), 1);
         assert_eq!(cells[0].p_order, 0);
         assert!(cells[0].inside.is_empty());
@@ -425,14 +456,27 @@ mod tests {
         // Two nested half-spaces: weight-0 cell exists; with collect_extra = 2
         // the weight-1 and weight-2 cells are returned too.
         let bounds = BoundingBox::unit(2);
-        let partial = vec![
-            (0u32, hs(&[1.0, 1.0], 0.6)),
-            (1u32, hs(&[1.0, 1.0], 1.2)),
-        ];
+        let partial = vec![(0u32, hs(&[1.0, 1.0], 0.6)), (1u32, hs(&[1.0, 1.0], 1.2))];
         let mut stats = QueryStats::default();
-        let plain = process_leaf(&bounds, &partial, &simplex2(), usize::MAX, 0, true, &mut stats);
+        let plain = process_leaf(
+            &bounds,
+            &partial,
+            &simplex2(),
+            usize::MAX,
+            0,
+            true,
+            &mut stats,
+        );
         assert!(plain.iter().all(|c| c.p_order == 0));
-        let extended = process_leaf(&bounds, &partial, &simplex2(), usize::MAX, 2, true, &mut stats);
+        let extended = process_leaf(
+            &bounds,
+            &partial,
+            &simplex2(),
+            usize::MAX,
+            2,
+            true,
+            &mut stats,
+        );
         let weights: Vec<usize> = extended.iter().map(|c| c.p_order).collect();
         assert!(weights.contains(&0) && weights.contains(&1));
         // Note: the weight-2 combination {inside h0, inside h1} is feasible
@@ -446,10 +490,7 @@ mod tests {
         // finding them.
         let bounds = BoundingBox::unit(2);
         // Two complementary half-spaces covering the leaf: weight-0 cell empty.
-        let partial = vec![
-            (0u32, hs(&[1.0, 0.0], 0.4)),
-            (1u32, hs(&[-1.0, 0.0], -0.6)),
-        ];
+        let partial = vec![(0u32, hs(&[1.0, 0.0], 0.4)), (1u32, hs(&[-1.0, 0.0], -0.6))];
         let mut stats = QueryStats::default();
         let capped = process_leaf(&bounds, &partial, &simplex2(), 0, 0, true, &mut stats);
         assert!(capped.is_empty());
@@ -473,7 +514,15 @@ mod tests {
         let mut s1 = QueryStats::default();
         let mut s2 = QueryStats::default();
         let with = process_leaf(&bounds, &partial, &simplex2(), usize::MAX, 3, true, &mut s1);
-        let without = process_leaf(&bounds, &partial, &simplex2(), usize::MAX, 3, false, &mut s2);
+        let without = process_leaf(
+            &bounds,
+            &partial,
+            &simplex2(),
+            usize::MAX,
+            3,
+            false,
+            &mut s2,
+        );
         let key = |c: &FoundCell| (c.p_order, c.inside.clone());
         let mut a: Vec<_> = with.iter().map(key).collect();
         let mut b: Vec<_> = without.iter().map(key).collect();

@@ -22,13 +22,19 @@ impl Dataset {
     /// Panics if `dims < 2`: MaxRank is defined for two or more dimensions.
     pub fn new(dims: usize) -> Self {
         assert!(dims >= 2, "MaxRank datasets need at least 2 dimensions");
-        Self { dims, values: Vec::new() }
+        Self {
+            dims,
+            values: Vec::new(),
+        }
     }
 
     /// Creates an empty dataset with capacity for `n` records.
     pub fn with_capacity(dims: usize, n: usize) -> Self {
         assert!(dims >= 2, "MaxRank datasets need at least 2 dimensions");
-        Self { dims, values: Vec::with_capacity(dims * n) }
+        Self {
+            dims,
+            values: Vec::with_capacity(dims * n),
+        }
     }
 
     /// Builds a dataset from explicit rows.

@@ -109,8 +109,14 @@ mod tests {
         assert!(dominates(&[0.8, 0.9], &[0.5, 0.5]));
         assert!(!dominates(&[0.5, 0.5], &[0.8, 0.9]));
         assert!(!dominates(&[0.8, 0.3], &[0.5, 0.5]));
-        assert!(!dominates(&[0.5, 0.5], &[0.5, 0.5]), "equal records do not dominate");
-        assert!(dominates(&[0.5, 0.6], &[0.5, 0.5]), "weak dominance with one strict attr");
+        assert!(
+            !dominates(&[0.5, 0.5], &[0.5, 0.5]),
+            "equal records do not dominate"
+        );
+        assert!(
+            dominates(&[0.5, 0.6], &[0.5, 0.5]),
+            "weak dominance with one strict attr"
+        );
     }
 
     #[test]

@@ -255,8 +255,12 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let a = RealDataset::Bat.spec().generate(200, &mut StdRng::seed_from_u64(7));
-        let b = RealDataset::Bat.spec().generate(200, &mut StdRng::seed_from_u64(7));
+        let a = RealDataset::Bat
+            .spec()
+            .generate(200, &mut StdRng::seed_from_u64(7));
+        let b = RealDataset::Bat
+            .spec()
+            .generate(200, &mut StdRng::seed_from_u64(7));
         assert_eq!(a, b);
     }
 }

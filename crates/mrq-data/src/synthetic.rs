@@ -181,8 +181,18 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let a = generate(Distribution::Independent, 50, 3, &mut StdRng::seed_from_u64(9));
-        let b = generate(Distribution::Independent, 50, 3, &mut StdRng::seed_from_u64(9));
+        let a = generate(
+            Distribution::Independent,
+            50,
+            3,
+            &mut StdRng::seed_from_u64(9),
+        );
+        let b = generate(
+            Distribution::Independent,
+            50,
+            3,
+            &mut StdRng::seed_from_u64(9),
+        );
         assert_eq!(a, b);
     }
 

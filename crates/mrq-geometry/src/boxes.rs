@@ -141,13 +141,13 @@ impl BoundingBox {
         for mask in 0..count {
             let mut lo = Vec::with_capacity(d);
             let mut hi = Vec::with_capacity(d);
-            for i in 0..d {
+            for (i, &m) in mid.iter().enumerate() {
                 if mask >> i & 1 == 1 {
-                    lo.push(mid[i]);
+                    lo.push(m);
                     hi.push(self.hi[i]);
                 } else {
                     lo.push(self.lo[i]);
-                    hi.push(mid[i]);
+                    hi.push(m);
                 }
             }
             out.push(BoundingBox::new(lo, hi));
@@ -223,7 +223,10 @@ mod tests {
     fn relation_contained_disjoint_overlap() {
         let b = BoundingBox::unit(2);
         // x + y > -1 contains the unit box.
-        assert_eq!(b.relation_to(&hs(&[1.0, 1.0], -1.0)), BoxRelation::Contained);
+        assert_eq!(
+            b.relation_to(&hs(&[1.0, 1.0], -1.0)),
+            BoxRelation::Contained
+        );
         // x + y > 3 is disjoint from it.
         assert_eq!(b.relation_to(&hs(&[1.0, 1.0], 3.0)), BoxRelation::Disjoint);
         // x + y > 1 crosses it.
@@ -239,7 +242,10 @@ mod tests {
     #[test]
     fn relation_degenerate() {
         let b = BoundingBox::unit(2);
-        assert_eq!(b.relation_to(&hs(&[0.0, 0.0], -0.5)), BoxRelation::Contained);
+        assert_eq!(
+            b.relation_to(&hs(&[0.0, 0.0], -0.5)),
+            BoxRelation::Contained
+        );
         assert_eq!(b.relation_to(&hs(&[0.0, 0.0], 0.5)), BoxRelation::Disjoint);
     }
 

@@ -27,7 +27,7 @@ pub mod vector;
 pub use boxes::{BoundingBox, BoxRelation};
 pub use halfspace::{HalfSpace, Hyperplane};
 pub use lp::{maximize, LpOutcome};
-pub use reduced::{halfspace_for_record, reduced_space_box, reduced_simplex_constraint};
+pub use reduced::{halfspace_for_record, reduced_simplex_constraint, reduced_space_box};
 pub use region::{CellSpec, Region};
 pub use vector::{dot, l1_norm, l2_norm, score, sub};
 

@@ -190,8 +190,8 @@ pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
     for i in 0..m {
         let negate = b[i] < 0.0;
         let sign = if negate { -1.0 } else { 1.0 };
-        for j in 0..n {
-            *t.at_mut(i, j) = sign * a[i][j];
+        for (j, &aij) in a[i].iter().enumerate() {
+            *t.at_mut(i, j) = sign * aij;
         }
         *t.at_mut(i, n + i) = sign; // slack
         *t.at_mut(i, cols - 1) = sign * b[i];
@@ -255,8 +255,8 @@ pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
     // Phase 2 objective row: reduced costs of `maximise c·y`.
     {
         let obj_row = rows - 1;
-        for j in 0..n {
-            *t.at_mut(obj_row, j) = c[j];
+        for (j, &cj) in c.iter().enumerate() {
+            *t.at_mut(obj_row, j) = cj;
         }
         // Express in terms of the current basis: subtract c_B * row for every
         // basic structural variable.
@@ -289,7 +289,10 @@ pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
     // The tableau's objective cell holds -(c·y) + constant bookkeeping; compute
     // the objective directly from the point for clarity and robustness.
     let objective = c.iter().zip(&y).map(|(ci, yi)| ci * yi).sum();
-    LpOutcome::Optimal { objective, point: y }
+    LpOutcome::Optimal {
+        objective,
+        point: y,
+    }
 }
 
 #[cfg(test)]
@@ -305,11 +308,7 @@ mod tests {
         // max x + y  s.t. x <= 2, y <= 3, x + y <= 4 => 4.
         let out = maximize(
             &[1.0, 1.0],
-            &[
-                vec![1.0, 0.0],
-                vec![0.0, 1.0],
-                vec![1.0, 1.0],
-            ],
+            &[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]],
             &[2.0, 3.0, 4.0],
         );
         assert_close(out.objective().unwrap(), 4.0);
@@ -364,12 +363,16 @@ mod tests {
     #[test]
     fn objective_zero_vector() {
         // Pure feasibility query.
-        let out = maximize(&[0.0, 0.0], &[vec![1.0, 1.0], vec![-1.0, -1.0]], &[1.0, -0.25]);
+        let out = maximize(
+            &[0.0, 0.0],
+            &[vec![1.0, 1.0], vec![-1.0, -1.0]],
+            &[1.0, -0.25],
+        );
         match out {
             LpOutcome::Optimal { objective, point } => {
                 assert_close(objective, 0.0);
                 let s = point[0] + point[1];
-                assert!(s <= 1.0 + 1e-7 && s >= 0.25 - 1e-7);
+                assert!((0.25 - 1e-7..=1.0 + 1e-7).contains(&s));
             }
             other => panic!("expected optimal, got {other:?}"),
         }

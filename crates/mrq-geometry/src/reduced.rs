@@ -27,7 +27,11 @@ use crate::vector::score;
 /// # Panics
 /// Panics if `r` and `p` have different lengths or fewer than two dimensions.
 pub fn halfspace_for_record(r: &[f64], p: &[f64]) -> HalfSpace {
-    assert_eq!(r.len(), p.len(), "record and focal record dimensions differ");
+    assert_eq!(
+        r.len(),
+        p.len(),
+        "record and focal record dimensions differ"
+    );
     let d = r.len();
     assert!(d >= 2, "MaxRank requires at least two dimensions");
     let rd = r[d - 1];

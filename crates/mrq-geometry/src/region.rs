@@ -30,7 +30,11 @@ pub struct CellSpec {
 impl CellSpec {
     /// Creates a cell specification.
     pub fn new(inside: Vec<HalfSpace>, outside: Vec<HalfSpace>, bounds: BoundingBox) -> Self {
-        Self { inside, outside, bounds }
+        Self {
+            inside,
+            outside,
+            bounds,
+        }
     }
 
     /// All constraints in a uniform `a · x > b` form (complements are negated,

@@ -43,7 +43,10 @@ impl RStarTree {
         let mut parents = Vec::with_capacity(groups.len());
         for group in groups {
             debug_assert!(!group.is_empty());
-            let node = Node { level, entries: group };
+            let node = Node {
+                level,
+                entries: group,
+            };
             self.nodes.push(node);
             parents.push(self.make_node_entry(self.nodes.len() - 1));
         }
@@ -54,7 +57,13 @@ impl RStarTree {
 /// Recursively tiles entries along successive dimensions (classic STR),
 /// producing groups of at most `cap` entries and — except when there are too
 /// few entries overall — at least `min` entries.
-fn str_tile(mut entries: Vec<Entry>, dim: usize, dims: usize, cap: usize, min: usize) -> Vec<Vec<Entry>> {
+fn str_tile(
+    mut entries: Vec<Entry>,
+    dim: usize,
+    dims: usize,
+    cap: usize,
+    min: usize,
+) -> Vec<Vec<Entry>> {
     if entries.len() <= cap {
         return vec![entries];
     }
@@ -138,7 +147,9 @@ mod tests {
 
     #[test]
     fn str_tile_group_sizes() {
-        let entries: Vec<Entry> = (0..137).map(|i| entry(i, (i as f64 * 0.37) % 1.0)).collect();
+        let entries: Vec<Entry> = (0..137)
+            .map(|i| entry(i, (i as f64 * 0.37) % 1.0))
+            .collect();
         let groups = str_tile(entries, 0, 2, 16, 6);
         let total: usize = groups.iter().map(|g| g.len()).sum();
         assert_eq!(total, 137);

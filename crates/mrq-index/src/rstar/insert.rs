@@ -54,8 +54,7 @@ impl RStarTree {
                 best = Some(match best {
                     None => candidate,
                     Some(b) => {
-                        let better = (candidate.1, candidate.2, candidate.3)
-                            < (b.1, b.2, b.3);
+                        let better = (candidate.1, candidate.2, candidate.3) < (b.1, b.2, b.3);
                         if better {
                             candidate
                         } else {
@@ -130,7 +129,9 @@ impl RStarTree {
     pub(crate) fn make_node_entry(&self, node_idx: usize) -> Entry {
         let node = &self.nodes[node_idx];
         Entry {
-            mbr: node.mbr().expect("nodes referenced by entries are never empty"),
+            mbr: node
+                .mbr()
+                .expect("nodes referenced by entries are never empty"),
             count: node.total_count(),
             child: Child::Node(node_idx as u32),
         }
@@ -234,7 +235,9 @@ impl RStarTree {
                 let area = m1.volume() + m2.volume();
                 let better = match &best {
                     None => true,
-                    Some((_, _, bo, ba)) => ov < *bo - 1e-15 || ((ov - bo).abs() <= 1e-15 && area < *ba),
+                    Some((_, _, bo, ba)) => {
+                        ov < *bo - 1e-15 || ((ov - bo).abs() <= 1e-15 && area < *ba)
+                    }
                 };
                 if better {
                     best = Some((order.clone(), k, ov, area));
@@ -253,7 +256,10 @@ impl RStarTree {
             }
         }
         self.nodes[idx].entries = first;
-        let new_node = Node { level, entries: second };
+        let new_node = Node {
+            level,
+            entries: second,
+        };
         self.nodes.push(new_node);
         let new_idx = self.nodes.len() - 1;
         self.make_node_entry(new_idx)
@@ -283,7 +289,11 @@ mod tests {
 
     #[test]
     fn split_respects_min_entries() {
-        let config = RStarConfig { max_entries: 4, min_entries: 2, reinsert_count: 1 };
+        let config = RStarConfig {
+            max_entries: 4,
+            min_entries: 2,
+            reinsert_count: 1,
+        };
         let mut tree = RStarTree::with_config(2, config);
         // Fill a single node beyond capacity manually, then split.
         for i in 0..5u32 {

@@ -56,7 +56,10 @@ impl RStarTree {
     pub fn with_config(dims: usize, config: RStarConfig) -> Self {
         assert!(dims >= 1, "dimensionality must be positive");
         config.validate();
-        let root_node = Node { level: 0, entries: Vec::new() };
+        let root_node = Node {
+            level: 0,
+            entries: Vec::new(),
+        };
         Self {
             dims,
             config,
@@ -70,7 +73,10 @@ impl RStarTree {
 
     /// Builds a tree over an entire dataset using STR bulk loading.
     pub fn bulk_load(data: &Dataset) -> Self {
-        Self::bulk_load_with_config(data, RStarConfig::for_page_size(data.dims(), PAGE_SIZE_BYTES))
+        Self::bulk_load_with_config(
+            data,
+            RStarConfig::for_page_size(data.dims(), PAGE_SIZE_BYTES),
+        )
     }
 
     /// Bulk loads with an explicit configuration.
@@ -145,10 +151,17 @@ impl RStarTree {
         Ok(())
     }
 
-    fn check_node(&self, idx: usize, expected_level: u32) -> Result<(usize, Option<BoundingBox>), String> {
+    fn check_node(
+        &self,
+        idx: usize,
+        expected_level: u32,
+    ) -> Result<(usize, Option<BoundingBox>), String> {
         let node = &self.nodes[idx];
         if node.level != expected_level {
-            return Err(format!("node {idx} level {} expected {expected_level}", node.level));
+            return Err(format!(
+                "node {idx} level {} expected {expected_level}",
+                node.level
+            ));
         }
         if idx != self.root && node.entries.len() < self.config.min_entries {
             return Err(format!(
@@ -194,7 +207,11 @@ impl RStarTree {
                             .iter()
                             .zip(&e.mbr.lo)
                             .all(|(a, b)| (a - b).abs() < tol)
-                            && tight.hi.iter().zip(&e.mbr.hi).all(|(a, b)| (a - b).abs() < tol);
+                            && tight
+                                .hi
+                                .iter()
+                                .zip(&e.mbr.hi)
+                                .all(|(a, b)| (a - b).abs() < tol);
                         if !ok {
                             return Err(format!("entry MBR of node {idx} not tight"));
                         }
@@ -233,7 +250,14 @@ mod tests {
 
     #[test]
     fn insert_small_and_query() {
-        let mut t = RStarTree::with_config(2, RStarConfig { max_entries: 4, min_entries: 2, reinsert_count: 1 });
+        let mut t = RStarTree::with_config(
+            2,
+            RStarConfig {
+                max_entries: 4,
+                min_entries: 2,
+                reinsert_count: 1,
+            },
+        );
         let pts = [
             [0.1, 0.2],
             [0.5, 0.5],
@@ -302,7 +326,11 @@ mod tests {
         t.reset_io();
         let c = t.range_count(&BoundingBox::unit(2));
         assert_eq!(c as usize, 3000);
-        assert_eq!(t.io().reads(), 1, "whole-space count must touch only the root");
+        assert_eq!(
+            t.io().reads(),
+            1,
+            "whole-space count must touch only the root"
+        );
         // Reporting ids, in contrast, must touch every leaf.
         t.reset_io();
         let ids = t.range_ids(&BoundingBox::unit(2));
@@ -347,7 +375,10 @@ mod tests {
             t.insert(i, &[0.5, 0.5]);
         }
         t.check_invariants().unwrap();
-        assert_eq!(t.range_count(&BoundingBox::new(vec![0.5, 0.5], vec![0.5, 0.5])), 20);
+        assert_eq!(
+            t.range_count(&BoundingBox::new(vec![0.5, 0.5], vec![0.5, 0.5])),
+            20
+        );
         assert_eq!(t.count_dominators(&[0.5, 0.5], None), 0);
     }
 

@@ -24,7 +24,11 @@ impl RStarConfig {
         let max_entries = (page_size_bytes / entry_bytes).clamp(4, 256);
         let min_entries = (max_entries * 2 / 5).max(2);
         let reinsert_count = (max_entries * 3 / 10).max(1);
-        Self { max_entries, min_entries, reinsert_count }
+        Self {
+            max_entries,
+            min_entries,
+            reinsert_count,
+        }
     }
 
     /// Panics if the configuration is internally inconsistent.
@@ -119,8 +123,7 @@ impl Node {
 
 /// Overlap (intersection volume) of two boxes.
 pub(crate) fn overlap(a: &BoundingBox, b: &BoundingBox) -> f64 {
-    a.lo
-        .iter()
+    a.lo.iter()
         .zip(&a.hi)
         .zip(b.lo.iter().zip(&b.hi))
         .map(|((al, ah), (bl, bh))| (ah.min(*bh) - al.max(*bl)).max(0.0))
@@ -150,7 +153,10 @@ mod tests {
         assert_eq!(mbr.lo, vec![0.1, 0.2]);
         assert_eq!(mbr.hi, vec![0.6, 0.9]);
         assert_eq!(n.total_count(), 2);
-        let empty = Node { level: 0, entries: vec![] };
+        let empty = Node {
+            level: 0,
+            entries: vec![],
+        };
         assert!(empty.mbr().is_none());
     }
 
@@ -166,12 +172,22 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        RStarConfig { max_entries: 10, min_entries: 4, reinsert_count: 3 }.validate();
+        RStarConfig {
+            max_entries: 10,
+            min_entries: 4,
+            reinsert_count: 3,
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "min_entries")]
     fn config_invalid_min() {
-        RStarConfig { max_entries: 10, min_entries: 6, reinsert_count: 3 }.validate();
+        RStarConfig {
+            max_entries: 10,
+            min_entries: 6,
+            reinsert_count: 3,
+        }
+        .validate();
     }
 }

@@ -106,7 +106,13 @@ impl RStarTree {
         out
     }
 
-    fn incomparable_rec(&self, idx: usize, p: &[f64], skip: Option<RecordId>, out: &mut Vec<RecordId>) {
+    fn incomparable_rec(
+        &self,
+        idx: usize,
+        p: &[f64],
+        skip: Option<RecordId>,
+        out: &mut Vec<RecordId>,
+    ) {
         self.io.record_read();
         let node = &self.nodes[idx];
         for e in &node.entries {
@@ -148,7 +154,11 @@ mod tests {
         let data = synthetic::generate(Distribution::Independent, 400, 2, &mut rng);
         let tree = RStarTree::bulk_load_with_config(
             &data,
-            RStarConfig { max_entries: 8, min_entries: 3, reinsert_count: 2 },
+            RStarConfig {
+                max_entries: 8,
+                min_entries: 3,
+                reinsert_count: 2,
+            },
         );
         (data, tree)
     }
@@ -178,7 +188,10 @@ mod tests {
         tree.reset_io();
         let _ = tree.range_ids(&q);
         let report_io = tree.io().reads();
-        assert!(count_io < report_io, "count {count_io} vs report {report_io}");
+        assert!(
+            count_io < report_io,
+            "count {count_io} vs report {report_io}"
+        );
     }
 
     #[test]
@@ -222,9 +235,7 @@ mod tests {
         assert_eq!(tree.count_dominators(&p, None) as usize, expected_dom);
         let expected_inc = data
             .iter()
-            .filter(|(_, r)| {
-                !mrq_data::dominates(r, &p) && !mrq_data::dominates(&p, r) && *r != p
-            })
+            .filter(|(_, r)| !mrq_data::dominates(r, &p) && !mrq_data::dominates(&p, r) && *r != p)
             .count();
         assert_eq!(tree.incomparable_ids(&p, None).len(), expected_inc);
     }

@@ -171,7 +171,10 @@ mod tests {
             q.iter_mut().for_each(|x| *x /= s);
             let top = crate::topk::top_k(&tree, &q, 4);
             for id in top.ids {
-                assert!(band.contains(&id), "top-4 answer {id} missing from 4-skyband");
+                assert!(
+                    band.contains(&id),
+                    "top-4 answer {id} missing from 4-skyband"
+                );
             }
         }
     }

@@ -53,12 +53,18 @@ pub fn top_k(tree: &RStarTree, q: &[f64], k: usize) -> TopKResult {
         q.iter().all(|w| *w >= 0.0),
         "top-k requires non-negative weights"
     );
-    let mut result = TopKResult { ids: Vec::with_capacity(k), scores: Vec::with_capacity(k) };
+    let mut result = TopKResult {
+        ids: Vec::with_capacity(k),
+        scores: Vec::with_capacity(k),
+    };
     if tree.is_empty() || k == 0 {
         return result;
     }
     let mut heap = BinaryHeap::new();
-    heap.push(QueueItem { key: f64::INFINITY, child: Child::Node(tree.root as u32) });
+    heap.push(QueueItem {
+        key: f64::INFINITY,
+        child: Child::Node(tree.root as u32),
+    });
     while let Some(item) = heap.pop() {
         match item.child {
             Child::Record(id) => {
@@ -73,7 +79,10 @@ pub fn top_k(tree: &RStarTree, q: &[f64], k: usize) -> TopKResult {
                 let node = &tree.nodes[idx as usize];
                 for e in &node.entries {
                     let bound: f64 = e.mbr.hi.iter().zip(q).map(|(x, w)| x * w).sum();
-                    heap.push(QueueItem { key: bound, child: e.child });
+                    heap.push(QueueItem {
+                        key: bound,
+                        child: e.child,
+                    });
                 }
             }
         }
@@ -174,10 +183,12 @@ mod tests {
             // And the id multiset must agree up to ties; verify by score
             // membership.
             for id in &res.ids {
-                assert!(expected.contains(id) || {
-                    let s: f64 = data.record(*id).iter().zip(&q).map(|(a, b)| a * b).sum();
-                    expected_scores.iter().any(|e| (e - s).abs() < 1e-12)
-                });
+                assert!(
+                    expected.contains(id) || {
+                        let s: f64 = data.record(*id).iter().zip(&q).map(|(a, b)| a * b).sum();
+                        expected_scores.iter().any(|e| (e - s).abs() < 1e-12)
+                    }
+                );
             }
         }
     }

@@ -13,7 +13,11 @@ fn dataset_strategy(d: usize) -> impl Strategy<Value = Dataset> {
 }
 
 fn build_both(data: &Dataset) -> (RStarTree, RStarTree) {
-    let config = RStarConfig { max_entries: 8, min_entries: 3, reinsert_count: 2 };
+    let config = RStarConfig {
+        max_entries: 8,
+        min_entries: 3,
+        reinsert_count: 2,
+    };
     let bulk = RStarTree::bulk_load_with_config(data, config);
     let mut incr = RStarTree::with_config(data.dims(), config);
     for (id, r) in data.iter() {
@@ -30,8 +34,8 @@ proptest! {
     #[test]
     fn range_queries_match_scan(data in dataset_strategy(3), qlo in prop::collection::vec(0.0f64..1.0, 3), ext in prop::collection::vec(0.0f64..0.6, 3)) {
         let (bulk, incr) = build_both(&data);
-        bulk.check_invariants().map_err(|e| TestCaseError::fail(e))?;
-        incr.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        bulk.check_invariants().map_err(TestCaseError::fail)?;
+        incr.check_invariants().map_err(TestCaseError::fail)?;
         let qhi: Vec<f64> = qlo.iter().zip(&ext).map(|(l, e)| (l + e).min(1.0)).collect();
         let query = BoundingBox::new(qlo.clone(), qhi);
         let mut expected: Vec<u32> = data

@@ -29,7 +29,10 @@ impl QuadTreeConfig {
             5 => 4,
             _ => 3,
         };
-        Self { split_threshold: 12, max_depth }
+        Self {
+            split_threshold: 12,
+            max_depth,
+        }
     }
 }
 
@@ -83,12 +86,17 @@ impl HalfSpaceQuadTree {
 
     /// Creates an empty tree with an explicit configuration.
     pub fn with_config(dr: usize, config: QuadTreeConfig) -> Self {
-        assert!(dr >= 1, "the reduced query space has at least one dimension");
+        assert!(
+            dr >= 1,
+            "the reduced query space has at least one dimension"
+        );
         let root = QNode {
             bounds: BoundingBox::unit(dr),
             depth: 0,
             containment: Vec::new(),
-            kind: NodeKind::Leaf { partial: Vec::new() },
+            kind: NodeKind::Leaf {
+                partial: Vec::new(),
+            },
         };
         Self {
             dr,
@@ -199,12 +207,16 @@ impl HalfSpaceQuadTree {
                 bounds: quadrant,
                 depth: depth + 1,
                 containment,
-                kind: NodeKind::Leaf { partial: child_partial },
+                kind: NodeKind::Leaf {
+                    partial: child_partial,
+                },
             };
             self.nodes.push(child);
             children.push(self.nodes.len() - 1);
         }
-        self.nodes[node_idx].kind = NodeKind::Internal { children: children.clone() };
+        self.nodes[node_idx].kind = NodeKind::Internal {
+            children: children.clone(),
+        };
         // Recursively split children that are still over the threshold.
         for child in children {
             let needs_split = match &self.nodes[child].kind {
@@ -313,7 +325,10 @@ mod tests {
     fn split_redistributes_and_avoids_redundancy() {
         let mut t = HalfSpaceQuadTree::with_config(
             2,
-            QuadTreeConfig { split_threshold: 2, max_depth: 4 },
+            QuadTreeConfig {
+                split_threshold: 2,
+                max_depth: 4,
+            },
         );
         // Three crossing half-spaces force a split.
         let ids: Vec<_> = [
@@ -338,7 +353,10 @@ mod tests {
             }
             // Classification must be geometrically correct.
             for &id in &leaf.full {
-                assert_eq!(leaf.bounds.relation_to(t.halfspace(id)), BoxRelation::Contained);
+                assert_eq!(
+                    leaf.bounds.relation_to(t.halfspace(id)),
+                    BoxRelation::Contained
+                );
             }
             for &id in &leaf.partial {
                 assert_eq!(
@@ -356,7 +374,10 @@ mod tests {
         // an ancestor (and is then still reported in F_l by `leaves`).
         let mut t = HalfSpaceQuadTree::with_config(
             3,
-            QuadTreeConfig { split_threshold: 3, max_depth: 3 },
+            QuadTreeConfig {
+                split_threshold: 3,
+                max_depth: 3,
+            },
         );
         let mut rng_state = 123456789u64;
         let mut next = || {
@@ -393,7 +414,10 @@ mod tests {
         // outside and must be dropped.
         let mut t = HalfSpaceQuadTree::with_config(
             2,
-            QuadTreeConfig { split_threshold: 1, max_depth: 2 },
+            QuadTreeConfig {
+                split_threshold: 1,
+                max_depth: 2,
+            },
         );
         t.insert(hs(&[1.0, -1.0], 0.0));
         t.insert(hs(&[-1.0, 1.0], 0.0));
@@ -412,13 +436,19 @@ mod tests {
     fn max_depth_caps_splitting() {
         let mut t = HalfSpaceQuadTree::with_config(
             2,
-            QuadTreeConfig { split_threshold: 1, max_depth: 1 },
+            QuadTreeConfig {
+                split_threshold: 1,
+                max_depth: 1,
+            },
         );
         // Many half-spaces through the centre would split forever without the
         // depth cap.
         for i in 0..20 {
             let angle = i as f64 * 0.3;
-            t.insert(hs(&[angle.cos(), angle.sin()], 0.5 * (angle.cos() + angle.sin())));
+            t.insert(hs(
+                &[angle.cos(), angle.sin()],
+                0.5 * (angle.cos() + angle.sin()),
+            ));
         }
         let max_depth_seen = t
             .leaves()
@@ -445,6 +475,9 @@ mod tests {
 
     #[test]
     fn default_config_scales_with_dimension() {
-        assert!(QuadTreeConfig::for_reduced_dims(1).max_depth > QuadTreeConfig::for_reduced_dims(7).max_depth);
+        assert!(
+            QuadTreeConfig::for_reduced_dims(1).max_depth
+                > QuadTreeConfig::for_reduced_dims(7).max_depth
+        );
     }
 }

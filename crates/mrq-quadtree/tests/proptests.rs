@@ -9,10 +9,7 @@ use proptest::prelude::*;
 
 fn halfspaces_strategy(dr: usize) -> impl Strategy<Value = Vec<HalfSpace>> {
     prop::collection::vec(
-        (
-            prop::collection::vec(-1.0f64..1.0, dr),
-            -0.8f64..0.8,
-        ),
+        (prop::collection::vec(-1.0f64..1.0, dr), -0.8f64..0.8),
         1..40,
     )
     .prop_map(|specs| {

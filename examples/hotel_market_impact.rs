@@ -62,5 +62,8 @@ fn main() {
     println!("\nwhat-if: improving attribute 'price' by 0.1");
     println!("  current best rank : {}", result.k_star);
     println!("  what-if best rank : {}", what_if.k_star);
-    assert!(what_if.k_star <= result.k_star, "improving an attribute can never hurt the best rank");
+    assert!(
+        what_if.k_star <= result.k_star,
+        "improving an attribute can never hurt the best rank"
+    );
 }

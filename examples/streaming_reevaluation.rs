@@ -30,7 +30,10 @@ fn main() {
 
     println!("initial market: {} options, d = {dims}", data.len());
     println!("focal option  : {focal_point:?}\n");
-    println!("{:>8} {:>8} {:>10} {:>12} {:>10}", "arrivals", "k*", "|T|", "records", "page I/O");
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>10}",
+        "arrivals", "k*", "|T|", "records", "page I/O"
+    );
 
     let mut arrivals = 0usize;
     for batch in 0..6 {
@@ -41,14 +44,17 @@ fn main() {
             for _ in 0..500 {
                 let r: Vec<f64> = {
                     let level: f64 = 0.5 + 0.2 * (rng.gen::<f64>() - 0.5);
-                    (0..dims).map(|_| (level + 0.15 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0)).collect()
+                    (0..dims)
+                        .map(|_| (level + 0.15 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0))
+                        .collect()
                 };
                 let id = data.push(&r);
                 tree.insert(id, &r);
                 arrivals += 1;
             }
         }
-        tree.check_invariants().expect("index stays consistent under insertions");
+        tree.check_invariants()
+            .expect("index stays consistent under insertions");
         let engine = MaxRankQuery::new(&data, &tree);
         let result = engine.evaluate(focal_id, &MaxRankConfig::new());
         println!(

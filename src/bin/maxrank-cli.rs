@@ -58,8 +58,11 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--point" => {
-                let raw = it.next().ok_or("--point needs comma-separated coordinates")?;
-                let coords: Result<Vec<f64>, _> = raw.split(',').map(|c| c.trim().parse()).collect();
+                let raw = it
+                    .next()
+                    .ok_or("--point needs comma-separated coordinates")?;
+                let coords: Result<Vec<f64>, _> =
+                    raw.split(',').map(|c| c.trim().parse()).collect();
                 args.point = Some(coords.map_err(|e| format!("--point: {e}"))?);
             }
             "--tau" => {
@@ -148,7 +151,10 @@ fn main() -> ExitCode {
             }
             (None, Some(id)) => {
                 if id as usize >= data.len() {
-                    eprintln!("--focal {id} out of range (dataset has {} records)", data.len());
+                    eprintln!(
+                        "--focal {id} out of range (dataset has {} records)",
+                        data.len()
+                    );
                     return ExitCode::FAILURE;
                 }
                 let p = data.record(id).to_vec();
@@ -161,15 +167,37 @@ fn main() -> ExitCode {
         }
     };
 
+    if matches!(
+        args.algorithm,
+        Algorithm::Fca | Algorithm::AdvancedApproach2D
+    ) && data.dims() != 2
+    {
+        eprintln!(
+            "--algorithm {:?} only supports 2-dimensional data (the dataset has {} attributes); \
+             use auto, ba or aa",
+            args.algorithm,
+            data.dims()
+        );
+        return ExitCode::FAILURE;
+    }
+
     let tree = RStarTree::bulk_load(&data);
     let engine = MaxRankQuery::new(&data, &tree);
-    let config = MaxRankConfig { tau: args.tau, algorithm: args.algorithm, ..MaxRankConfig::new() };
+    let config = MaxRankConfig {
+        tau: args.tau,
+        algorithm: args.algorithm,
+        ..MaxRankConfig::new()
+    };
     let result = match focal_id {
         Some(id) => engine.evaluate(id, &config),
         None => engine.evaluate_point(&focal_point, &config),
     };
 
-    println!("dataset           : {} records × {} attributes", data.len(), data.dims());
+    println!(
+        "dataset           : {} records × {} attributes",
+        data.len(),
+        data.dims()
+    );
     println!("focal             : {focal_point:?}");
     println!("k* (best rank)    : {}", result.k_star);
     if args.tau > 0 {
@@ -179,14 +207,28 @@ fn main() -> ExitCode {
     println!("dominators        : {}", result.stats.dominators);
     println!("records accessed  : {}", result.stats.halfspaces_inserted);
     println!("page reads (I/O)  : {}", result.stats.io_reads);
-    println!("cpu time          : {:.3}s", result.stats.cpu_time.as_secs_f64());
+    println!(
+        "cpu time          : {:.3}s",
+        result.stats.cpu_time.as_secs_f64()
+    );
     for (i, region) in result.regions.iter().take(args.regions_shown).enumerate() {
         let q = region.representative_query();
-        let rounded: Vec<f64> = q.iter().map(|w| (w * 10_000.0).round() / 10_000.0).collect();
-        println!("  region {:>3}: rank {}  example weights {:?}", i + 1, region.order, rounded);
+        let rounded: Vec<f64> = q
+            .iter()
+            .map(|w| (w * 10_000.0).round() / 10_000.0)
+            .collect();
+        println!(
+            "  region {:>3}: rank {}  example weights {:?}",
+            i + 1,
+            region.order,
+            rounded
+        );
     }
     if result.region_count() > args.regions_shown {
-        println!("  … {} more regions (use --regions to show more)", result.region_count() - args.regions_shown);
+        println!(
+            "  … {} more regions (use --regions to show more)",
+            result.region_count() - args.regions_shown
+        );
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,493 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no route to crates.io, so the workspace vendors
+//! the API surface its test suites use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]` header),
+//! * the [`Strategy`] trait with [`Strategy::prop_map`],
+//! * strategies for numeric ranges, tuples, [`collection::vec`] and
+//!   [`any`],
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * [`ProptestConfig`] and [`TestCaseError`].
+//!
+//! Semantics: each property runs `cases` times against a **deterministic**
+//! PRNG (seeded from the property's name), so failures are reproducible
+//! run-to-run. Unlike the real crate there is **no shrinking** and no failure
+//! persistence — a failing case reports the panic from the first offending
+//! input. That trade-off keeps the shim tiny while preserving the tests'
+//! power to find counterexamples.
+
+use rand::prelude::*;
+
+/// The RNG handed to strategies. A type alias so the [`proptest!`] macro can
+/// name it as `$crate::TestRng` from any call site.
+pub type TestRng = StdRng;
+
+/// Seeds the deterministic RNG for one property. The property name is folded
+/// in (FNV-1a) so distinct properties explore distinct input streams.
+pub fn rng_for(name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Run-control knobs (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Error type test bodies may return with `?` (mirrors
+/// `proptest::test_runner::TestCaseError` loosely). A `Reject` is an
+/// assumption failure — the case is skipped, not failed — and the driver
+/// counts rejects so a property whose assumption rejects everything aborts
+/// instead of passing vacuously.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed.
+    Fail(String),
+    /// The case's precondition did not hold; draw another input.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An explicit failure with a message.
+    pub fn fail(msg: impl core::fmt::Display) -> Self {
+        TestCaseError::Fail(msg.to_string())
+    }
+
+    /// An explicit assumption rejection with a message.
+    pub fn reject(msg: impl core::fmt::Display) -> Self {
+        TestCaseError::Reject(msg.to_string())
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// A generator of random values. The real crate's `Strategy` also drives
+/// shrinking; here it is just generation.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values; draws are retried (up to a cap) until `f`
+    /// accepts one.
+    fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive draws");
+    }
+}
+
+/// A strategy producing a fixed value (mirror of `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// Types with a canonical "any value" strategy (mirror of
+/// `proptest::arbitrary::Arbitrary`, generation only).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_std {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_std!(f64, bool, u32, u64, usize);
+
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<u32>() as u16
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<u64>() as i64
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Sizes accepted by [`collection::vec`]: a fixed length or a length range.
+pub trait SizeRange {
+    /// Draws a concrete length.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for core::ops::Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for core::ops::RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    /// Generates a `Vec` whose elements come from `elem` and whose length is
+    /// drawn from `len` (a `usize` or a range of `usize`).
+    pub fn vec<S: Strategy, L: SizeRange>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so call sites can write `prop::collection::vec(..)`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property; on failure the offending case
+/// panics with the formatted message (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Skips the current case when its precondition does not hold. The driver
+/// draws a replacement input; too many consecutive rejections abort the
+/// property instead of letting it pass vacuously.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Defines property tests. Supported grammar (the subset this workspace
+/// uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///
+///     /// doc comments and attributes are allowed
+///     #[test]
+///     fn my_property(x in 0usize..10, (a, b) in my_strategy()) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+///
+/// Each property becomes a `#[test]` that draws `cases` inputs from a
+/// deterministic RNG and runs the body, which may use `?` on
+/// `Result<_, TestCaseError>`.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                let mut __accepted: u32 = 0;
+                let mut __rejected: u32 = 0;
+                // Matches the real crate's global-reject budget in spirit:
+                // a property whose assumption rejects (almost) every input
+                // aborts rather than passing without testing anything.
+                let __max_rejects = __config.cases.saturating_mul(20).max(1_000);
+                while __accepted < __config.cases {
+                    let __outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                        $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::core::result::Result::Ok(()) => __accepted += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                            __rejected += 1;
+                            if __rejected > __max_rejects {
+                                panic!(
+                                    "property {}: too many assumption rejections \
+                                     ({} rejected, only {}/{} cases executed)",
+                                    stringify!($name), __rejected, __accepted, __config.cases
+                                );
+                            }
+                        }
+                        ::core::result::Result::Err(e) => {
+                            panic!(
+                                "property {} failed at case {}/{}: {}",
+                                stringify!($name), __accepted + 1, __config.cases, e
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_streams_per_property() {
+        let mut a = crate::rng_for("x::p");
+        let mut b = crate::rng_for("x::p");
+        let s = crate::collection::vec(0.0f64..1.0, 3usize);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds; prop_map and tuples compose.
+        #[test]
+        fn shim_machinery_works(
+            x in 1usize..10,
+            (lo, delta) in (0.0f64..1.0, 0.0f64..0.5),
+            v in prop::collection::vec(0u32..100, 1..8),
+        ) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(lo + delta < 1.5);
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|e| *e < 100));
+        }
+
+        /// prop_assume skips cases without failing them, and the driver
+        /// draws replacements so the property still runs `cases` times.
+        #[test]
+        fn assume_skips(y in 0usize..4) {
+            prop_assume!(y != 3);
+            prop_assert!(y < 3);
+        }
+
+        /// An assumption that rejects every input aborts the property
+        /// instead of passing vacuously.
+        #[test]
+        #[should_panic(expected = "too many assumption rejections")]
+        fn impossible_assumption_aborts(x in 0usize..4) {
+            prop_assume!(x > 100);
+            prop_assert!(x > 100);
+        }
+
+        /// `?` on TestCaseError works in bodies.
+        #[test]
+        fn question_mark_works(z in 0usize..5) {
+            Ok::<(), &str>(()).map_err(TestCaseError::fail)?;
+            prop_assert!(z < 5);
+        }
+    }
+}
