@@ -4,13 +4,18 @@
 //! ```text
 //! cargo run --release -p mrq-bench --bin experiments -- [--exp NAME] [--scale quick|default|paper]
 //!                                                       [--queries N] [--seed S] [--list]
+//!                                                       [--json PATH]
 //! ```
 //!
 //! With no arguments every experiment runs at the `quick` scale.  The output
-//! of a full run is what EXPERIMENTS.md is based on.
+//! of a full run is what EXPERIMENTS.md is based on.  `--json PATH` (e.g.
+//! `--json BENCH_baseline.json`) additionally writes a machine-readable
+//! summary — per-experiment wall time, the median of every per-query CPU
+//! latency column, and the full metric rows — so successive runs can be
+//! diffed as a perf trajectory.
 
 use mrq_bench::experiments::ALL;
-use mrq_bench::Scale;
+use mrq_bench::{Row, Scale};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -19,6 +24,7 @@ fn main() -> ExitCode {
     let mut exp_filter: Option<String> = None;
     let mut queries: Option<usize> = None;
     let mut seed: Option<u64> = None;
+    let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -44,6 +50,16 @@ fn main() -> ExitCode {
             "--seed" => {
                 i += 1;
                 seed = args.get(i).and_then(|v| v.parse().ok());
+            }
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => json_path = Some(path.clone()),
+                    None => {
+                        eprintln!("--json needs an output path (e.g. BENCH_baseline.json)");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             "--help" | "-h" => {
                 print_usage();
@@ -76,6 +92,7 @@ fn main() -> ExitCode {
     );
 
     let mut ran = 0;
+    let mut completed: Vec<(&str, f64, Vec<Row>)> = Vec::new();
     for (name, f) in ALL {
         if let Some(filter) = &exp_filter {
             if filter != "all" && filter != name {
@@ -83,12 +100,11 @@ fn main() -> ExitCode {
             }
         }
         let start = std::time::Instant::now();
-        let (table, _) = f(&scale);
+        let (table, rows) = f(&scale);
         print!("{table}");
-        println!(
-            "[{name} completed in {:.1}s]",
-            start.elapsed().as_secs_f64()
-        );
+        let wall_s = start.elapsed().as_secs_f64();
+        println!("[{name} completed in {wall_s:.1}s]");
+        completed.push((name, wall_s, rows));
         ran += 1;
     }
     if ran == 0 {
@@ -98,11 +114,99 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if let Some(path) = json_path {
+        let json = render_json(&scale, &completed);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote machine-readable summary to {path}");
+    }
     ExitCode::SUCCESS
+}
+
+/// Median of a non-empty slice (already-filtered finite values).
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    }
+}
+
+/// Renders the run as JSON.  String escaping and finite-number formatting
+/// are delegated to `mrq_service::protocol::json` (the workspace's one JSON
+/// implementation — no serde in the container); only the indentation layout
+/// is laid out by hand so rows stay one-per-line and diff cleanly.
+fn render_json(scale: &Scale, completed: &[(&str, f64, Vec<Row>)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"maxrank-bench-v1\",\n");
+    out.push_str(&format!(
+        "  \"scale\": {{\"name\": {}, \"base_n\": {}, \"base_d\": {}, \"queries\": {}, \"seed\": {}}},\n",
+        json_str(scale.name),
+        scale.base_n,
+        scale.base_d,
+        scale.queries,
+        scale.seed
+    ));
+    out.push_str("  \"experiments\": [\n");
+    for (e, (name, wall_s, rows)) in completed.iter().enumerate() {
+        // The perf-trajectory headline: the median over every per-query CPU
+        // latency cell of the experiment ("... cpu_s" columns), NaN-filtered.
+        let mut cpu_cells: Vec<f64> = rows
+            .iter()
+            .flat_map(|r| r.values.iter())
+            .filter(|(name, v)| name.contains("cpu_s") && v.is_finite())
+            .map(|(_, v)| *v)
+            .collect();
+        let median_cpu = if cpu_cells.is_empty() {
+            "null".to_string()
+        } else {
+            json_num(median(&mut cpu_cells))
+        };
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"wall_s\": {}, \"median_cpu_s\": {}, \"rows\": [\n",
+            json_str(name),
+            json_num(*wall_s),
+            median_cpu
+        ));
+        for (r, row) in rows.iter().enumerate() {
+            let metrics: Vec<String> = row
+                .values
+                .iter()
+                .map(|(name, v)| format!("{}: {}", json_str(name), json_num(*v)))
+                .collect();
+            out.push_str(&format!(
+                "      {{\"label\": {}, \"metrics\": {{{}}}}}{}\n",
+                json_str(&row.label),
+                metrics.join(", "),
+                if r + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if e + 1 < completed.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    mrq_service::protocol::json::Json::Str(s.to_string()).to_string()
+}
+
+/// Finite numbers in Rust's round-trip format; NaN/inf (e.g. the "BA did not
+/// run at this n" sentinel) become JSON null.
+fn json_num(v: f64) -> String {
+    mrq_service::protocol::json::Json::Num(v).to_string()
 }
 
 fn print_usage() {
     println!(
-        "usage: experiments [--exp NAME|all] [--scale quick|default|paper] [--queries N] [--seed S] [--list]"
+        "usage: experiments [--exp NAME|all] [--scale quick|default|paper] [--queries N] [--seed S] \
+         [--json PATH] [--list]"
     );
 }

@@ -63,7 +63,10 @@ pub fn run_point(
     assert_eq!(p.len(), d);
     assert!(d >= 2);
     let start = Instant::now();
-    tree.reset_io();
+    // Delta-based accounting: no reset, so concurrent queries sharing this
+    // tree cannot zero each other's counter mid-flight (they may still
+    // inflate each other's delta; see IoStats).
+    let io_base = tree.io().reads();
     let mut stats = QueryStats::default();
 
     let dominators = tree.count_dominators(p, focal_id) as usize;
@@ -89,7 +92,7 @@ pub fn run_point(
 
     let base = dominators + state.always_above;
     if state.qt.halfspace_count() == 0 {
-        stats.io_reads = tree.io().reads();
+        stats.io_reads = tree.io().reads().saturating_sub(io_base);
         stats.cpu_time = start.elapsed();
         stats.iterations = 1;
         return trivial_result(d, base, tau, stats);
@@ -149,7 +152,7 @@ pub fn run_point(
     }
 
     let base = dominators + state.always_above;
-    stats.io_reads = tree.io().reads();
+    stats.io_reads = tree.io().reads().saturating_sub(io_base);
     stats.halfspaces_inserted = state.registry.len();
     if final_cells.is_empty() {
         stats.cpu_time = start.elapsed();

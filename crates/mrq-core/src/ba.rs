@@ -62,7 +62,10 @@ pub fn run_point(
     assert_eq!(p.len(), d);
     assert!(d >= 2);
     let start = Instant::now();
-    tree.reset_io();
+    // Delta-based accounting: no reset, so concurrent queries sharing this
+    // tree cannot zero each other's counter mid-flight (they may still
+    // inflate each other's delta; see IoStats).
+    let io_base = tree.io().reads();
     let mut stats = QueryStats {
         iterations: 1,
         ..QueryStats::default()
@@ -94,13 +97,13 @@ pub fn run_point(
     let base = dominators + always_above;
 
     if qt.halfspace_count() == 0 {
-        stats.io_reads = tree.io().reads();
+        stats.io_reads = tree.io().reads().saturating_sub(io_base);
         stats.cpu_time = start.elapsed();
         return trivial_result(d, base, tau, stats);
     }
 
     let (cells, _) = enumerate_cells(&qt, None, tau, config.pair_pruning, &mut stats);
-    stats.io_reads = tree.io().reads();
+    stats.io_reads = tree.io().reads().saturating_sub(io_base);
     let mut result = build_result(d, base, tau, cells, &registry, stats);
     result.stats.cpu_time = start.elapsed();
     result

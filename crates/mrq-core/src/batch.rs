@@ -37,9 +37,11 @@ pub fn evaluate_batch(
             .collect();
     }
 
-    // Shared page-access counters are per-tree; to keep I/O statistics
-    // meaningful each worker clones the (in-memory) index once.  The clone
-    // cost is negligible next to the MaxRank evaluations themselves.
+    // The tree is `Sync` (atomic I/O counter) and could be shared directly,
+    // but the page-access counter is per-tree: concurrent queries on one tree
+    // interleave their reads and garble the per-query `io_reads` statistic.
+    // Each worker therefore clones the (in-memory) index once; the clone cost
+    // is negligible next to the MaxRank evaluations themselves.
     let workers = threads.min(focal_ids.len());
     let chunk = focal_ids.len().div_ceil(workers);
     let mut results: Vec<Option<MaxRankResult>> = vec![None; focal_ids.len()];

@@ -40,7 +40,10 @@ pub fn run_point(
     );
     assert_eq!(p.len(), 2);
     let start = Instant::now();
-    tree.reset_io();
+    // Delta-based accounting: no reset, so concurrent queries sharing this
+    // tree cannot zero each other's counter mid-flight (they may still
+    // inflate each other's delta; see IoStats).
+    let io_base = tree.io().reads();
     let mut stats = QueryStats::default();
 
     let dominators = tree.count_dominators(p, focal_id) as usize;
@@ -91,7 +94,7 @@ pub fn run_point(
 
     let base = dominators + always_above;
     if events.is_empty() {
-        stats.io_reads = tree.io().reads();
+        stats.io_reads = tree.io().reads().saturating_sub(io_base);
         stats.cpu_time = start.elapsed();
         stats.iterations = 1;
         // The order is the same everywhere: base + initial (initial == 0 here).
@@ -144,7 +147,7 @@ pub fn run_point(
         });
     }
 
-    stats.io_reads = tree.io().reads();
+    stats.io_reads = tree.io().reads().saturating_sub(io_base);
     stats.cpu_time = start.elapsed();
     stats.iterations = 1;
     stats.cells_tested = orders.len();

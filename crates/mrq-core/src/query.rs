@@ -8,7 +8,7 @@ use mrq_index::RStarTree;
 use mrq_quadtree::QuadTreeConfig;
 
 /// Which algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Algorithm {
     /// The paper's recommendation: the specialised AA for `d = 2`, the
     /// general AA otherwise.
@@ -22,6 +22,47 @@ pub enum Algorithm {
     AdvancedApproach,
     /// Advanced approach specialised for `d = 2` (Section 6.3).
     AdvancedApproach2D,
+}
+
+impl Algorithm {
+    /// The short name used by the CLI and the service protocol.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Auto => "auto",
+            Algorithm::Fca => "fca",
+            Algorithm::BasicApproach => "ba",
+            Algorithm::AdvancedApproach => "aa",
+            Algorithm::AdvancedApproach2D => "aa2d",
+        }
+    }
+
+    /// Parses a short algorithm name (`auto`, `fca`, `ba`, `aa`, `aa2d`).
+    pub fn from_name(name: &str) -> Option<Algorithm> {
+        match name {
+            "auto" => Some(Algorithm::Auto),
+            "fca" => Some(Algorithm::Fca),
+            "ba" => Some(Algorithm::BasicApproach),
+            "aa" => Some(Algorithm::AdvancedApproach),
+            "aa2d" => Some(Algorithm::AdvancedApproach2D),
+            _ => None,
+        }
+    }
+
+    /// Resolves `Auto` to the concrete algorithm the engine would pick for
+    /// dimensionality `d` (the paper's recommendation: the specialised AA for
+    /// `d = 2`, the general AA otherwise).
+    pub fn resolve(&self, dims: usize) -> Algorithm {
+        match (self, dims) {
+            (Algorithm::Auto, 2) => Algorithm::AdvancedApproach2D,
+            (Algorithm::Auto, _) => Algorithm::AdvancedApproach,
+            (other, _) => *other,
+        }
+    }
+
+    /// Whether the algorithm only supports two-dimensional data.
+    pub fn requires_2d(&self) -> bool {
+        matches!(self, Algorithm::Fca | Algorithm::AdvancedApproach2D)
+    }
 }
 
 /// Configuration of one MaxRank evaluation.
@@ -116,11 +157,7 @@ impl<'a> MaxRankQuery<'a> {
         config: &MaxRankConfig,
     ) -> MaxRankResult {
         let d = self.data.dims();
-        let algo = match (config.algorithm, d) {
-            (Algorithm::Auto, 2) => Algorithm::AdvancedApproach2D,
-            (Algorithm::Auto, _) => Algorithm::AdvancedApproach,
-            (other, _) => other,
-        };
+        let algo = config.algorithm.resolve(d);
         let ac = config.algo_config();
         match algo {
             Algorithm::Fca => fca::run_point(self.data, self.tree, p, focal_id, config.tau),

@@ -5,7 +5,7 @@
 //! this workspace run in memory, so the counter simulates that cost model:
 //! every R\*-tree node *read* during a query increments the counter by one.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The simulated disk page size, as in the paper's experimental setup.
 pub const PAGE_SIZE_BYTES: usize = 4096;
@@ -13,11 +13,27 @@ pub const PAGE_SIZE_BYTES: usize = 4096;
 /// A cheap interior-mutable I/O counter attached to an index.
 ///
 /// Interior mutability keeps query methods `&self` (reads do not logically
-/// mutate the index) while still tracking accesses; the algorithms are
-/// single-threaded, matching the paper's setting.
-#[derive(Debug, Default, Clone)]
+/// mutate the index).  The counter is a relaxed [`AtomicU64`] so a tree can be
+/// shared across threads (`RStarTree: Send + Sync`), which the serving layer
+/// relies on.  Note that the counter is *per tree*: the algorithms charge a
+/// query by snapshotting the counter and reporting the delta (never calling
+/// [`IoStats::reset`] on a shared tree), so when several queries run
+/// concurrently against one tree a query's `io_reads` can be *inflated* by
+/// its neighbours' page reads, but never zeroed mid-flight.  Figures are
+/// exact for non-overlapping queries — the bench harness runs
+/// single-threaded, and `evaluate_batch` clones the tree per worker,
+/// precisely to keep those numbers meaningful.
+#[derive(Debug, Default)]
 pub struct IoStats {
-    node_reads: Cell<u64>,
+    node_reads: AtomicU64,
+}
+
+impl Clone for IoStats {
+    fn clone(&self) -> Self {
+        Self {
+            node_reads: AtomicU64::new(self.reads()),
+        }
+    }
 }
 
 impl IoStats {
@@ -29,18 +45,18 @@ impl IoStats {
     /// Records one node/page read.
     #[inline]
     pub fn record_read(&self) {
-        self.node_reads.set(self.node_reads.get() + 1);
+        self.node_reads.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of node/page reads since the last reset.
     #[inline]
     pub fn reads(&self) -> u64 {
-        self.node_reads.get()
+        self.node_reads.load(Ordering::Relaxed)
     }
 
     /// Resets the counter to zero.
     pub fn reset(&self) {
-        self.node_reads.set(0);
+        self.node_reads.store(0, Ordering::Relaxed);
     }
 }
 
@@ -57,6 +73,31 @@ mod tests {
         assert_eq!(io.reads(), 2);
         io.reset();
         assert_eq!(io.reads(), 0);
+    }
+
+    #[test]
+    fn clone_snapshots_the_count() {
+        let io = IoStats::new();
+        io.record_read();
+        let copy = io.clone();
+        io.record_read();
+        assert_eq!(copy.reads(), 1);
+        assert_eq!(io.reads(), 2);
+    }
+
+    #[test]
+    fn counter_is_shareable_across_threads() {
+        let io = IoStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        io.record_read();
+                    }
+                });
+            }
+        });
+        assert_eq!(io.reads(), 4000);
     }
 
     #[test]

@@ -1,0 +1,362 @@
+//! The result cache: an LRU map from `(dataset, focal, algorithm, tau)` to a
+//! shared [`MaxRankResult`], with hit/miss/eviction counters for the `STATS`
+//! command.
+//!
+//! MaxRank evaluations are deterministic functions of the key — the service
+//! always runs with the default engine tuning (`pair_pruning = true`, default
+//! quad-tree configuration), and `Algorithm::Auto` is resolved to the
+//! concrete algorithm *before* keying — so a cached answer is byte-identical
+//! to a fresh one (`tests/cache_props.rs` proves this property).  Values are
+//! `Arc`s: a hit never copies the region list.
+//!
+//! The LRU itself is a classic intrusive doubly-linked list threaded through
+//! a slab, with a `HashMap` from key to slab slot: `get`, `insert` and
+//! eviction are all O(1).  No `unsafe`, no external crates.
+
+use mrq_core::{Algorithm, MaxRankResult};
+use mrq_data::RecordId;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+
+/// Cache key of one service answer.
+///
+/// `algorithm` must be pre-resolved (never [`Algorithm::Auto`]) so that
+/// `auto` requests and explicit requests for the same concrete algorithm
+/// share entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Registered dataset name.
+    pub dataset: String,
+    /// Focal record id.
+    pub focal: RecordId,
+    /// Concrete (resolved) algorithm.
+    pub algorithm: Algorithm,
+    /// iMaxRank slack.
+    pub tau: usize,
+}
+
+/// Counter snapshot reported by `STATS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Current number of cached entries.
+    pub len: usize,
+    /// Maximum number of entries (0 = caching disabled).
+    pub capacity: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A minimal O(1) LRU map (not thread safe; [`ResultCache`] wraps it in a
+/// mutex).  Kept generic so the unit tests can exercise it with small keys.
+struct Lru<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            evictions: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Unlinks slot `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    /// Links slot `i` at the head (most recently used).
+    fn link_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<&V> {
+        let i = *self.map.get(key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.link_front(i);
+        }
+        Some(&self.slots[i].value)
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.link_front(i);
+            }
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            self.unlink(lru);
+            self.map.remove(&self.slots[lru].key);
+            self.free.push(lru);
+            self.evictions += 1;
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.link_front(i);
+    }
+
+    /// Keys from most to least recently used (tests only).
+    #[cfg(test)]
+    fn keys_by_recency(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut i = self.head;
+        while i != NIL {
+            out.push(self.slots[i].key.clone());
+            i = self.slots[i].next;
+        }
+        out
+    }
+}
+
+/// The thread-safe LRU result cache used by the worker pool.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+}
+
+struct CacheInner {
+    lru: Lru<CacheKey, Arc<MaxRankResult>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl std::fmt::Debug for CacheInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheInner")
+            .field("len", &self.lru.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` answers (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner {
+                lru: Lru::new(capacity),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Looks up a key, counting a hit or a miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<MaxRankResult>> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        match inner.lru.get(key).cloned() {
+            Some(v) => {
+                inner.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores an answer (no-op when the cache is disabled).
+    pub fn insert(&self, key: CacheKey, value: Arc<MaxRankResult>) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.lru.insert(key, value);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.lru.evictions,
+            len: inner.lru.len(),
+            capacity: inner.lru.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru: Lru<u32, u32> = Lru::new(3);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.insert(3, 30);
+        assert_eq!(lru.keys_by_recency(), vec![3, 2, 1]);
+        // Touch 1 so 2 becomes the LRU.
+        assert_eq!(lru.get(&1), Some(&10));
+        lru.insert(4, 40);
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.keys_by_recency(), vec![4, 1, 3]);
+        assert_eq!(lru.evictions, 1);
+    }
+
+    #[test]
+    fn lru_update_existing_key() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.insert(1, 11);
+        assert_eq!(lru.get(&1), Some(&11));
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.evictions, 0);
+        // Slot reuse after eviction.
+        lru.insert(3, 30);
+        lru.insert(4, 40);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.evictions, 2);
+        assert_eq!(lru.keys_by_recency(), vec![4, 3]);
+    }
+
+    #[test]
+    fn lru_capacity_one_and_zero() {
+        let mut one: Lru<u32, u32> = Lru::new(1);
+        one.insert(1, 10);
+        one.insert(2, 20);
+        assert_eq!(one.get(&1), None);
+        assert_eq!(one.get(&2), Some(&20));
+        assert_eq!(one.evictions, 1);
+
+        let mut zero: Lru<u32, u32> = Lru::new(0);
+        zero.insert(1, 10);
+        assert_eq!(zero.get(&1), None);
+        assert_eq!(zero.len(), 0);
+    }
+
+    fn dummy_result() -> Arc<MaxRankResult> {
+        Arc::new(MaxRankResult {
+            dims: 2,
+            k_star: 3,
+            tau: 0,
+            regions: Vec::new(),
+            stats: Default::default(),
+        })
+    }
+
+    fn key(focal: RecordId) -> CacheKey {
+        CacheKey {
+            dataset: "demo".into(),
+            focal,
+            algorithm: Algorithm::AdvancedApproach2D,
+            tau: 0,
+        }
+    }
+
+    #[test]
+    fn result_cache_counts_hits_misses_evictions() {
+        let cache = ResultCache::new(2);
+        assert!(cache.get(&key(0)).is_none());
+        cache.insert(key(0), dummy_result());
+        assert!(cache.get(&key(0)).is_some());
+        cache.insert(key(1), dummy_result());
+        cache.insert(key(2), dummy_result());
+        assert!(cache.get(&key(1)).is_some());
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.len, 2);
+        assert_eq!(s.capacity, 2);
+    }
+
+    #[test]
+    fn result_cache_shared_across_threads() {
+        let cache = Arc::new(ResultCache::new(64));
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let k = key(t * 50 + i);
+                        cache.insert(k.clone(), dummy_result());
+                        assert!(cache.get(&k).is_some());
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits, 200);
+        assert_eq!(s.len, 64);
+        assert_eq!(s.evictions, 200 - 64);
+    }
+}

@@ -1,0 +1,359 @@
+//! A small blocking client for the loopback protocol, used by the
+//! `maxrank-client` binary, the integration tests and the CI smoke check.
+
+use crate::cache::CacheStats;
+use crate::pool::PoolStats;
+use crate::protocol::json::Json;
+use crate::protocol::{read_frame, write_frame, Request};
+use mrq_core::Algorithm;
+use mrq_data::RecordId;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server sent something the client cannot make sense of.
+    Protocol(String),
+    /// The server answered with an error frame.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Options of one `query` call beyond dataset + focal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryOptions {
+    /// Requested algorithm.
+    pub algorithm: Algorithm,
+    /// iMaxRank slack.
+    pub tau: usize,
+    /// Per-request deadline.
+    pub timeout: Option<Duration>,
+    /// Bypass the server's result cache.
+    pub no_cache: bool,
+    /// Cap on the number of regions returned (None = all).
+    pub max_regions: Option<usize>,
+}
+
+/// A decoded `query` answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// Best attainable rank.
+    pub k_star: usize,
+    /// iMaxRank slack the query ran with.
+    pub tau: usize,
+    /// Concrete algorithm that produced the answer.
+    pub algorithm: String,
+    /// Total number of result regions.
+    pub region_count: usize,
+    /// Whether the answer came from the server's result cache.
+    pub cached: bool,
+    /// Simulated page reads of the evaluation.
+    pub io_reads: u64,
+    /// CPU time of the evaluation, in microseconds.
+    pub cpu_us: u64,
+    /// Per-returned-region order (rank).
+    pub orders: Vec<usize>,
+    /// Per-returned-region representative preference vector.
+    pub witnesses: Vec<Vec<f64>>,
+}
+
+/// A decoded `stats` answer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsReply {
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Worker-pool counters.
+    pub pool: PoolStats,
+    /// Registered dataset names.
+    pub datasets: Vec<String>,
+}
+
+/// A blocking protocol client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Json, ClientError> {
+        write_frame(&mut self.writer, &request.encode())?;
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
+        let value = crate::protocol::json::parse(&payload).map_err(ClientError::Protocol)?;
+        match value.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(value),
+            Some(false) => Err(ClientError::Server(
+                value
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified error")
+                    .to_string(),
+            )),
+            None => Err(ClientError::Protocol("response lacks 'ok'".into())),
+        }
+    }
+
+    /// Runs a MaxRank query with default options.
+    pub fn query(&mut self, dataset: &str, focal: RecordId) -> Result<QueryReply, ClientError> {
+        self.query_with(dataset, focal, QueryOptions::default())
+    }
+
+    /// Runs a MaxRank / iMaxRank query.
+    pub fn query_with(
+        &mut self,
+        dataset: &str,
+        focal: RecordId,
+        options: QueryOptions,
+    ) -> Result<QueryReply, ClientError> {
+        let request = Request::Query {
+            dataset: dataset.to_string(),
+            focal,
+            algorithm: options.algorithm,
+            tau: options.tau,
+            timeout_ms: options.timeout.map(|t| t.as_millis() as u64),
+            no_cache: options.no_cache,
+            max_regions: options.max_regions,
+        };
+        let value = self.roundtrip(&request)?;
+        let field_usize = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ClientError::Protocol(format!("missing numeric '{key}'")))
+        };
+        let orders = value
+            .get("orders")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("missing 'orders'".into()))?
+            .iter()
+            .map(|v| {
+                v.as_usize()
+                    .ok_or_else(|| ClientError::Protocol("non-integer order".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let witnesses = value
+            .get("witnesses")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("missing 'witnesses'".into()))?
+            .iter()
+            .map(|w| {
+                w.as_array()
+                    .ok_or_else(|| ClientError::Protocol("non-array witness".into()))?
+                    .iter()
+                    .map(|x| {
+                        x.as_f64()
+                            .ok_or_else(|| ClientError::Protocol("non-numeric weight".into()))
+                    })
+                    .collect::<Result<Vec<f64>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(QueryReply {
+            k_star: field_usize("k_star")?,
+            tau: field_usize("tau")?,
+            algorithm: value
+                .get("algorithm")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            region_count: field_usize("region_count")?,
+            cached: value
+                .get("cached")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| ClientError::Protocol("missing 'cached'".into()))?,
+            io_reads: field_usize("io_reads")? as u64,
+            cpu_us: field_usize("cpu_us")? as u64,
+            orders,
+            witnesses,
+        })
+    }
+
+    /// Fetches the server's counters.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        let value = self.roundtrip(&Request::Stats)?;
+        let section = |name: &str| {
+            value
+                .get(name)
+                .cloned()
+                .ok_or_else(|| ClientError::Protocol(format!("missing '{name}'")))
+        };
+        let num = |obj: &Json, key: &str| {
+            obj.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ClientError::Protocol(format!("missing numeric '{key}'")))
+        };
+        let cache = section("cache")?;
+        let pool = section("pool")?;
+        Ok(StatsReply {
+            cache: CacheStats {
+                hits: num(&cache, "hits")? as u64,
+                misses: num(&cache, "misses")? as u64,
+                evictions: num(&cache, "evictions")? as u64,
+                len: num(&cache, "len")? as usize,
+                capacity: num(&cache, "capacity")? as usize,
+            },
+            pool: PoolStats {
+                workers: num(&pool, "workers")? as usize,
+                queue_capacity: num(&pool, "queue_capacity")? as usize,
+                queue_depth: num(&pool, "queue_depth")? as usize,
+                executed: num(&pool, "executed")? as u64,
+                coalesced: num(&pool, "coalesced")? as u64,
+                timed_out: num(&pool, "timed_out")? as u64,
+            },
+            datasets: value
+                .get("datasets")
+                .and_then(Json::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect(),
+        })
+    }
+
+    /// Lists registered datasets as `(name, records, dims)`.
+    pub fn list(&mut self) -> Result<Vec<(String, usize, usize)>, ClientError> {
+        let value = self.roundtrip(&Request::List)?;
+        value
+            .get("datasets")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("missing 'datasets'".into()))?
+            .iter()
+            .map(|d| {
+                let name = d
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ClientError::Protocol("dataset without name".into()))?;
+                let records = d.get("records").and_then(Json::as_usize).unwrap_or(0);
+                let dims = d.get("dims").and_then(Json::as_usize).unwrap_or(0);
+                Ok((name.to_string(), records, dims))
+            })
+            .collect()
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(&Request::Ping).map(|_| ())
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(&Request::Shutdown).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{DatasetRegistry, DatasetSpec};
+    use crate::server::Server;
+    use crate::service::{MrqService, ServiceConfig};
+    use std::sync::Arc;
+
+    fn demo_server() -> Server {
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.register("demo", &DatasetSpec::Demo).unwrap();
+        let service = Arc::new(MrqService::new(
+            registry,
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        ));
+        Server::start(service, "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn client_query_stats_list_ping() {
+        let server = demo_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.ping().unwrap();
+
+        let reply = client.query("demo", 5).unwrap();
+        assert_eq!(reply.k_star, 3);
+        assert_eq!(reply.region_count, 2);
+        assert_eq!(reply.orders.len(), 2);
+        assert_eq!(reply.algorithm, "aa2d");
+        assert!(!reply.cached);
+        // Witnesses are full-dimensional permissible vectors.
+        for w in &reply.witnesses {
+            assert_eq!(w.len(), 2);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+
+        let again = client.query("demo", 5).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.k_star, 3);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.datasets, vec!["demo".to_string()]);
+        assert_eq!(stats.pool.workers, 2);
+
+        assert_eq!(client.list().unwrap(), vec![("demo".to_string(), 6, 2)]);
+
+        // Errors surface as ClientError::Server.
+        let err = client.query("demo", 99).unwrap_err();
+        assert!(matches!(err, ClientError::Server(_)), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_max_regions_caps_payload_not_count() {
+        let server = demo_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let reply = client
+            .query_with(
+                "demo",
+                5,
+                QueryOptions {
+                    max_regions: Some(1),
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(reply.region_count, 2);
+        assert_eq!(reply.orders.len(), 1);
+        assert_eq!(reply.witnesses.len(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_shutdown_round_trip() {
+        let server = demo_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.shutdown_server().unwrap();
+        server.wait();
+    }
+}

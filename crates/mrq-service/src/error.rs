@@ -1,0 +1,52 @@
+//! Service error type shared by the pool, the in-process service, the TCP
+//! server and the client.
+
+/// Everything that can go wrong with a service request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The named dataset is not registered.
+    UnknownDataset(String),
+    /// The request is malformed (focal out of range, algorithm/dims
+    /// mismatch, unparseable payload, …).
+    BadRequest(String),
+    /// The bounded request queue is full — backpressure, try again.
+    QueueFull,
+    /// The request's deadline passed before an answer was produced.
+    DeadlineExceeded,
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// An unexpected internal failure (worker panic, lost channel, I/O).
+    Internal(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownDataset(name) => write!(f, "unknown dataset '{name}'"),
+            ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServiceError::QueueFull => write!(f, "request queue is full"),
+            ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            ServiceError::UnknownDataset("x".into()).to_string(),
+            "unknown dataset 'x'"
+        );
+        assert!(ServiceError::QueueFull.to_string().contains("queue"));
+        assert!(ServiceError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+    }
+}

@@ -1,0 +1,98 @@
+//! # mrq-service — a long-lived, concurrent MaxRank query service
+//!
+//! The algorithm crates answer *one* query per process: load data, bulk-load
+//! the R\*-tree, evaluate, exit.  This crate keeps the expensive state
+//! resident and streams requests through it:
+//!
+//! ```text
+//!            ┌───────────────────────────── MrqService ─────────────────────────────┐
+//! client ──► │ DatasetRegistry ──► bounded queue ──► WorkerPool ──► ResultCache │ ──► answer
+//!            │  (Dataset + R*-tree    (backpressure,    (N threads,     (LRU keyed by │
+//!            │   behind Arc, loaded    deadlines)        coalescing)     dataset/focal/ │
+//!            │   once per name)                                          algo/tau)    │
+//!            └──────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! * [`registry`] — load/generate each named dataset once, share `Arc`s.
+//! * [`pool`] — fixed worker threads over a bounded queue; same-dataset
+//!   requests are coalesced through `mrq_core::evaluate_batch`; per-request
+//!   deadlines; graceful drain-then-join shutdown.
+//! * [`cache`] — an O(1) LRU over `(dataset, focal, algorithm, tau)` with
+//!   hit/miss/eviction counters (the `STATS` command).
+//! * [`service`] — the in-process composition ([`MrqService`]).
+//! * [`protocol`] — length-prefixed JSON-ish frames ([`protocol::Request`]).
+//! * [`server`] / [`client`] — a std-only loopback TCP layer
+//!   (`std::net::TcpListener` + `std::thread`; the build environment has no
+//!   route to crates.io, so no async runtime is involved).
+//!
+//! The `maxrank-serve` and `maxrank-client` binaries in the root crate are
+//! thin wrappers over [`Server`] and [`Client`].
+//!
+//! ## Why sharing engines across threads is sound
+//!
+//! Everything a query touches is immutable after registration: [`Dataset`]
+//! is plain memory, the R\*-tree's only interior mutability is its relaxed
+//! atomic I/O counter, and each evaluation builds its own quad-tree privately.
+//! The assertions below pin that property down at compile time — if a future
+//! change reintroduces a non-`Sync` cell anywhere in an engine, this crate
+//! stops compiling rather than racing.
+
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod pool;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod service;
+
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use client::{Client, ClientError, QueryOptions, QueryReply, StatsReply};
+pub use error::ServiceError;
+pub use pool::{PoolConfig, PoolStats, WorkerPool};
+pub use registry::{DatasetEntry, DatasetRegistry, DatasetSpec};
+pub use server::Server;
+pub use service::{MrqService, QueryAnswer, QueryRequest, ServiceConfig, ServiceStats};
+
+use mrq_data::Dataset;
+
+/// Compile-time `Send + Sync` audit of every type the service shares across
+/// threads (see the crate docs).  `MaxRankQuery` borrows a dataset and an
+/// index; with `'static` borrows it must itself be shareable.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Dataset>();
+    assert_send_sync::<mrq_index::RStarTree>();
+    assert_send_sync::<mrq_index::IoStats>();
+    assert_send_sync::<mrq_core::MaxRankQuery<'static>>();
+    assert_send_sync::<mrq_core::MaxRankConfig>();
+    assert_send_sync::<mrq_core::MaxRankResult>();
+    assert_send_sync::<mrq_quadtree::HalfSpaceQuadTree>();
+    assert_send_sync::<DatasetEntry>();
+    assert_send_sync::<DatasetRegistry>();
+    assert_send_sync::<ResultCache>();
+    assert_send_sync::<WorkerPool>();
+    assert_send_sync::<MrqService>();
+    assert_send_sync::<Server>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// The crate-level data-flow claim, end to end and in process: register
+    /// once, query through the pool, hit the cache on the second round.
+    #[test]
+    fn registry_pool_cache_compose() {
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.register("demo", &DatasetSpec::Demo).unwrap();
+        let service = MrqService::new(registry, ServiceConfig::default());
+        let cold = service.query(&QueryRequest::new("demo", 5)).unwrap();
+        let warm = service.query(&QueryRequest::new("demo", 5)).unwrap();
+        assert_eq!(cold.result.k_star, 3);
+        assert!(!cold.cached);
+        assert!(warm.cached);
+        service.shutdown();
+    }
+}

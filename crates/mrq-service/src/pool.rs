@@ -1,0 +1,528 @@
+//! The fixed-size worker pool: a bounded request queue drained by `N`
+//! threads, with per-request deadlines, same-dataset coalescing through
+//! `mrq_core::evaluate_batch`, and graceful shutdown.
+//!
+//! Threading model (also documented in `docs/ARCHITECTURE.md`):
+//!
+//! * Producers (connection handlers, the CLI) enqueue [`QueryJob`]s.
+//!   [`WorkerPool::submit`] blocks while the queue is at capacity;
+//!   [`WorkerPool::try_submit`] instead fails fast with
+//!   [`ServiceError::QueueFull`] so a server can apply backpressure.
+//! * Each worker pops the oldest job, then *coalesces*: it steals every other
+//!   queued job for the same `(dataset, algorithm, tau)` group (up to
+//!   `coalesce_limit`) and runs the whole group through one engine via
+//!   [`mrq_core::evaluate_batch`], so a burst of requests against one dataset
+//!   pays for one engine setup and keeps its index pages hot.
+//! * Deadlines are checked when a job is dequeued: a job whose deadline has
+//!   already passed is answered with [`ServiceError::DeadlineExceeded`]
+//!   without being evaluated.  A job that *starts* before its deadline runs
+//!   to completion (MaxRank evaluation is not cooperatively cancellable);
+//!   the waiting side stops listening at the deadline, so the late answer is
+//!   simply dropped.
+//! * [`WorkerPool::shutdown`] closes the queue, lets the workers drain every
+//!   already-accepted job, and joins them.  Submissions after shutdown fail
+//!   with [`ServiceError::ShuttingDown`].
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::error::ServiceError;
+use crate::registry::DatasetEntry;
+use mrq_core::{evaluate_batch, Algorithm, MaxRankConfig, MaxRankResult};
+use mrq_data::RecordId;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One unit of work: evaluate MaxRank for `focal` on `entry`.
+#[derive(Debug)]
+pub struct QueryJob {
+    /// The dataset + index the job runs against.
+    pub entry: Arc<DatasetEntry>,
+    /// Focal record id (validated against the dataset by the service).
+    pub focal: RecordId,
+    /// Concrete (resolved, never `Auto`) algorithm.
+    pub algorithm: Algorithm,
+    /// iMaxRank slack.
+    pub tau: usize,
+    /// Absolute deadline; `None` = no deadline.
+    pub deadline: Option<Instant>,
+    /// Cache key; `None` bypasses the result cache for this job.
+    pub cache_key: Option<CacheKey>,
+    /// Where the outcome is delivered.
+    pub responder: mpsc::Sender<JobOutcome>,
+}
+
+impl QueryJob {
+    fn same_group(&self, other: &QueryJob) -> bool {
+        self.algorithm == other.algorithm
+            && self.tau == other.tau
+            && Arc::ptr_eq(&self.entry, &other.entry)
+    }
+}
+
+/// The outcome delivered to a job's responder channel.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The answer, or why there is none.
+    pub result: Result<Arc<MaxRankResult>, ServiceError>,
+    /// Whether the answer came from the result cache.
+    pub cached: bool,
+}
+
+/// Pool sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Number of worker threads (>= 1).
+    pub workers: usize,
+    /// Maximum number of queued jobs before submitters block / are rejected.
+    pub queue_capacity: usize,
+    /// Maximum number of same-group jobs one worker batches together.
+    pub coalesce_limit: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            queue_capacity: 256,
+            coalesce_limit: 16,
+        }
+    }
+}
+
+/// Counter snapshot reported by `STATS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Queue capacity.
+    pub queue_capacity: usize,
+    /// Jobs currently queued.
+    pub queue_depth: usize,
+    /// Jobs evaluated (cache hits and timed-out jobs not included).
+    pub executed: u64,
+    /// Jobs that rode along in a coalesced batch (batch size − 1, summed).
+    pub coalesced: u64,
+    /// Jobs answered `DeadlineExceeded` at dequeue time.
+    pub timed_out: u64,
+}
+
+struct Queue {
+    jobs: VecDeque<QueryJob>,
+    closed: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    config: PoolConfig,
+    cache: Arc<ResultCache>,
+    executed: AtomicU64,
+    coalesced: AtomicU64,
+    timed_out: AtomicU64,
+}
+
+/// The worker pool.  Dropping it shuts it down gracefully.
+#[derive(Debug)]
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns the workers.
+    ///
+    /// # Panics
+    /// Panics if `workers`, `queue_capacity` or `coalesce_limit` is zero.
+    pub fn new(config: PoolConfig, cache: Arc<ResultCache>) -> Self {
+        assert!(config.workers >= 1, "at least one worker is required");
+        assert!(
+            config.queue_capacity >= 1,
+            "queue capacity must be positive"
+        );
+        assert!(
+            config.coalesce_limit >= 1,
+            "coalesce limit must be positive"
+        );
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            config,
+            cache,
+            executed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+        });
+        let handles = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mrq-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueues a job, blocking while the queue is at capacity.
+    pub fn submit(&self, job: QueryJob) -> Result<(), ServiceError> {
+        let mut q = self.shared.queue.lock().expect("pool queue lock poisoned");
+        loop {
+            if q.closed {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if q.jobs.len() < self.shared.config.queue_capacity {
+                q.jobs.push_back(job);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            q = self
+                .shared
+                .not_full
+                .wait(q)
+                .expect("pool queue lock poisoned");
+        }
+    }
+
+    /// Enqueues a job, failing fast with [`ServiceError::QueueFull`] when the
+    /// queue is at capacity (the server's backpressure path).
+    pub fn try_submit(&self, job: QueryJob) -> Result<(), ServiceError> {
+        let mut q = self.shared.queue.lock().expect("pool queue lock poisoned");
+        if q.closed {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if q.jobs.len() >= self.shared.config.queue_capacity {
+            return Err(ServiceError::QueueFull);
+        }
+        q.jobs.push_back(job);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        let depth = self
+            .shared
+            .queue
+            .lock()
+            .expect("pool queue lock poisoned")
+            .jobs
+            .len();
+        PoolStats {
+            workers: self.shared.config.workers,
+            queue_capacity: self.shared.config.queue_capacity,
+            queue_depth: depth,
+            executed: self.shared.executed.load(Ordering::Relaxed),
+            coalesced: self.shared.coalesced.load(Ordering::Relaxed),
+            timed_out: self.shared.timed_out.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting jobs, drain the queue, join the
+    /// workers.  Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue lock poisoned");
+            q.closed = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        let handles: Vec<_> = self
+            .handles
+            .lock()
+            .expect("pool handle lock poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().expect("pool queue lock poisoned");
+            while q.jobs.is_empty() && !q.closed {
+                q = shared.not_empty.wait(q).expect("pool queue lock poisoned");
+            }
+            let Some(first) = q.jobs.pop_front() else {
+                debug_assert!(q.closed);
+                return;
+            };
+            // Coalesce: steal every queued job for the same (dataset,
+            // algorithm, tau) group, preserving the relative order of the
+            // rest of the queue.
+            let mut batch = vec![first];
+            let mut i = 0;
+            while batch.len() < shared.config.coalesce_limit && i < q.jobs.len() {
+                if q.jobs[i].same_group(&batch[0]) {
+                    let job = q.jobs.remove(i).expect("index checked");
+                    batch.push(job);
+                } else {
+                    i += 1;
+                }
+            }
+            batch
+        };
+        shared.not_full.notify_all();
+        shared
+            .coalesced
+            .fetch_add(batch.len() as u64 - 1, Ordering::Relaxed);
+        run_batch(shared, batch);
+    }
+}
+
+/// Answers one coalesced batch: deadline triage, cache lookups, then a
+/// single `evaluate_batch` call for the remaining misses.
+fn run_batch(shared: &Shared, batch: Vec<QueryJob>) {
+    let now = Instant::now();
+    let mut pending: Vec<QueryJob> = Vec::with_capacity(batch.len());
+    for job in batch {
+        if job.deadline.is_some_and(|d| d <= now) {
+            shared.timed_out.fetch_add(1, Ordering::Relaxed);
+            respond(&job, Err(ServiceError::DeadlineExceeded), false);
+            continue;
+        }
+        if let Some(key) = &job.cache_key {
+            if let Some(hit) = shared.cache.get(key) {
+                respond(&job, Ok(hit), true);
+                continue;
+            }
+        }
+        pending.push(job);
+    }
+    if pending.is_empty() {
+        return;
+    }
+
+    let entry = Arc::clone(&pending[0].entry);
+    let config = MaxRankConfig {
+        tau: pending[0].tau,
+        algorithm: pending[0].algorithm,
+        ..MaxRankConfig::new()
+    };
+    let focals: Vec<RecordId> = pending.iter().map(|j| j.focal).collect();
+    // `threads = 1`: the pool's workers *are* the parallelism; the batch path
+    // is used for its single engine setup, not for nested fan-out.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        evaluate_batch(entry.data(), entry.tree(), &focals, &config, 1)
+    }));
+    match outcome {
+        Ok(results) => {
+            shared
+                .executed
+                .fetch_add(pending.len() as u64, Ordering::Relaxed);
+            for (job, result) in pending.iter().zip(results) {
+                let result = Arc::new(result);
+                if let Some(key) = &job.cache_key {
+                    shared.cache.insert(key.clone(), Arc::clone(&result));
+                }
+                respond(job, Ok(result), false);
+            }
+        }
+        Err(_) => {
+            for job in &pending {
+                respond(
+                    job,
+                    Err(ServiceError::Internal(format!(
+                        "evaluation panicked (dataset '{}', focal {})",
+                        job.entry.name(),
+                        job.focal
+                    ))),
+                    false,
+                );
+            }
+        }
+    }
+}
+
+fn respond(job: &QueryJob, result: Result<Arc<MaxRankResult>, ServiceError>, cached: bool) {
+    // The waiter may have given up (deadline) — a closed channel is fine.
+    let _ = job.responder.send(JobOutcome { result, cached });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{DatasetRegistry, DatasetSpec};
+    use std::time::Duration;
+
+    fn demo_entry() -> Arc<DatasetEntry> {
+        let reg = DatasetRegistry::new();
+        reg.register("demo", &DatasetSpec::Demo).unwrap()
+    }
+
+    fn job(
+        entry: &Arc<DatasetEntry>,
+        focal: RecordId,
+        deadline: Option<Instant>,
+        cache_key: Option<CacheKey>,
+    ) -> (QueryJob, mpsc::Receiver<JobOutcome>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            QueryJob {
+                entry: Arc::clone(entry),
+                focal,
+                algorithm: Algorithm::AdvancedApproach2D,
+                tau: 0,
+                deadline,
+                cache_key,
+                responder: tx,
+            },
+            rx,
+        )
+    }
+
+    fn pool(workers: usize, queue: usize, cache: Arc<ResultCache>) -> WorkerPool {
+        WorkerPool::new(
+            PoolConfig {
+                workers,
+                queue_capacity: queue,
+                coalesce_limit: 16,
+            },
+            cache,
+        )
+    }
+
+    #[test]
+    fn evaluates_and_caches() {
+        let entry = demo_entry();
+        let cache = Arc::new(ResultCache::new(8));
+        let pool = pool(2, 8, Arc::clone(&cache));
+        let key = CacheKey {
+            dataset: "demo".into(),
+            focal: 5,
+            algorithm: Algorithm::AdvancedApproach2D,
+            tau: 0,
+        };
+        let (j1, rx1) = job(&entry, 5, None, Some(key.clone()));
+        pool.submit(j1).unwrap();
+        let out1 = rx1.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(out1.result.unwrap().k_star, 3);
+        assert!(!out1.cached);
+
+        let (j2, rx2) = job(&entry, 5, None, Some(key));
+        pool.submit(j2).unwrap();
+        let out2 = rx2.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(out2.result.unwrap().k_star, 3);
+        assert!(out2.cached);
+        assert_eq!(cache.stats().hits, 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_without_evaluation() {
+        let entry = demo_entry();
+        let pool = pool(1, 8, Arc::new(ResultCache::new(0)));
+        let past = Instant::now() - Duration::from_millis(1);
+        let (j, rx) = job(&entry, 5, Some(past), None);
+        pool.submit(j).unwrap();
+        let out = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(out.result.unwrap_err(), ServiceError::DeadlineExceeded);
+        let stats = pool.stats();
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.executed, 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn try_submit_applies_backpressure() {
+        // One worker, capacity-1 queue: flood it and expect QueueFull.
+        let entry = demo_entry();
+        let pool = pool(1, 1, Arc::new(ResultCache::new(0)));
+        let mut receivers = Vec::new();
+        let mut saw_full = false;
+        for _ in 0..200 {
+            let (j, rx) = job(&entry, 5, None, None);
+            match pool.try_submit(j) {
+                Ok(()) => receivers.push(rx),
+                Err(ServiceError::QueueFull) => saw_full = true,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_full, "a capacity-1 queue must reject under flood");
+        for rx in receivers {
+            assert!(rx
+                .recv_timeout(Duration::from_secs(30))
+                .unwrap()
+                .result
+                .is_ok());
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs_and_rejects_new_ones() {
+        let entry = demo_entry();
+        let pool = pool(2, 64, Arc::new(ResultCache::new(0)));
+        let receivers: Vec<_> = (0..6u32)
+            .map(|f| {
+                let (j, rx) = job(&entry, f % 6, None, None);
+                pool.submit(j).unwrap();
+                rx
+            })
+            .collect();
+        pool.shutdown();
+        for rx in receivers {
+            assert!(rx
+                .recv_timeout(Duration::from_secs(30))
+                .unwrap()
+                .result
+                .is_ok());
+        }
+        let (j, _rx) = job(&entry, 5, None, None);
+        assert_eq!(pool.submit(j).unwrap_err(), ServiceError::ShuttingDown);
+        // Idempotent.
+        pool.shutdown();
+    }
+
+    #[test]
+    fn coalescing_counter_moves_under_burst() {
+        let entry = demo_entry();
+        let pool = pool(1, 64, Arc::new(ResultCache::new(0)));
+        let receivers: Vec<_> = (0..32u32)
+            .map(|f| {
+                let (j, rx) = job(&entry, f % 6, None, None);
+                pool.submit(j).unwrap();
+                rx
+            })
+            .collect();
+        for rx in receivers {
+            assert!(rx
+                .recv_timeout(Duration::from_secs(30))
+                .unwrap()
+                .result
+                .is_ok());
+        }
+        // With a single worker and a 32-job burst on one dataset, at least
+        // one dequeue must have found group-mates waiting.
+        assert!(pool.stats().coalesced > 0, "burst should coalesce");
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,876 @@
+//! The wire protocol: length-prefixed frames carrying one-line JSON-ish
+//! payloads, plus the request/response vocabulary.
+//!
+//! # Frame grammar
+//!
+//! ```text
+//! frame   := length "\n" payload
+//! length  := ASCII decimal byte count of payload (<= 16 MiB)
+//! payload := a JSON object, UTF-8, no trailing newline required
+//! ```
+//!
+//! The length prefix makes framing trivial and the newline keeps a captured
+//! byte stream human-readable (`nc` output looks like lines).  The payload
+//! is a strict subset of JSON — objects, arrays, strings, finite numbers,
+//! booleans, `null` — implemented in [`json`] with no external crates.
+//!
+//! # Requests
+//!
+//! ```text
+//! {"cmd":"query","dataset":"hotels","focal":17,"algorithm":"auto","tau":0,
+//!  "timeout_ms":5000,"no_cache":false,"max_regions":16}
+//! {"cmd":"stats"}   {"cmd":"list"}   {"cmd":"ping"}   {"cmd":"shutdown"}
+//! ```
+//!
+//! Only `dataset` and `focal` are required for `query`; `max_regions` caps
+//! how many regions the response carries (default: all).
+//!
+//! # Responses
+//!
+//! Every response object carries `"ok"`.  Errors: `{"ok":false,"error":m}`.
+//! `query` answers carry `k_star`, `tau`, `algorithm`, `region_count`,
+//! `cached`, `io_reads`, `cpu_us` and per-region `orders` / `witnesses`
+//! (the representative full-dimensional preference vectors).
+
+use crate::error::ServiceError;
+use crate::service::{QueryAnswer, ServiceStats};
+use json::Json;
+use mrq_core::Algorithm;
+use mrq_data::RecordId;
+use std::io::{BufRead, Read, Write};
+
+/// Maximum accepted payload size (defends the server against bogus prefixes).
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Maximum accepted frame-header (length prefix + newline) size.  A peer
+/// that streams bytes without ever sending the newline must not be able to
+/// grow the header buffer without bound.
+pub const MAX_HEADER_BYTES: usize = 32;
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    w.write_all(payload.len().to_string().as_bytes())?;
+    w.write_all(b"\n")?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF before any byte of a frame.
+pub fn read_frame(r: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut header = Vec::new();
+    r.by_ref()
+        .take(MAX_HEADER_BYTES as u64)
+        .read_until(b'\n', &mut header)?;
+    if header.is_empty() {
+        return Ok(None);
+    }
+    if header.last() != Some(&b'\n') && header.len() >= MAX_HEADER_BYTES {
+        return Err(bad_data("frame length prefix too long"));
+    }
+    let text = std::str::from_utf8(&header)
+        .map_err(|_| bad_data("frame length prefix is not UTF-8"))?
+        .trim();
+    let len: usize = text
+        .parse()
+        .map_err(|_| bad_data(&format!("bad frame length prefix '{text}'")))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(bad_data(&format!("frame of {len} bytes exceeds limit")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| bad_data("frame payload is not UTF-8"))
+}
+
+fn bad_data(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Evaluate MaxRank / iMaxRank for a focal record.
+    Query {
+        /// Registered dataset name.
+        dataset: String,
+        /// Focal record id.
+        focal: RecordId,
+        /// Requested algorithm.
+        algorithm: Algorithm,
+        /// iMaxRank slack.
+        tau: usize,
+        /// Optional per-request deadline in milliseconds.
+        timeout_ms: Option<u64>,
+        /// Bypass the result cache.
+        no_cache: bool,
+        /// Cap on the number of regions in the response (None = all).
+        max_regions: Option<usize>,
+    },
+    /// Cache / pool / registry counters.
+    Stats,
+    /// Registered dataset names and shapes.
+    List,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes the request as a payload string.
+    pub fn encode(&self) -> String {
+        let mut obj: Vec<(String, Json)> = Vec::new();
+        let cmd = match self {
+            Request::Query {
+                dataset,
+                focal,
+                algorithm,
+                tau,
+                timeout_ms,
+                no_cache,
+                max_regions,
+            } => {
+                obj.push(("dataset".into(), Json::Str(dataset.clone())));
+                obj.push(("focal".into(), Json::Num(*focal as f64)));
+                obj.push(("algorithm".into(), Json::Str(algorithm.name().into())));
+                obj.push(("tau".into(), Json::Num(*tau as f64)));
+                if let Some(ms) = timeout_ms {
+                    obj.push(("timeout_ms".into(), Json::Num(*ms as f64)));
+                }
+                if *no_cache {
+                    obj.push(("no_cache".into(), Json::Bool(true)));
+                }
+                if let Some(m) = max_regions {
+                    obj.push(("max_regions".into(), Json::Num(*m as f64)));
+                }
+                "query"
+            }
+            Request::Stats => "stats",
+            Request::List => "list",
+            Request::Ping => "ping",
+            Request::Shutdown => "shutdown",
+        };
+        obj.insert(0, ("cmd".into(), Json::Str(cmd.into())));
+        Json::Obj(obj).to_string()
+    }
+
+    /// Parses a payload string.
+    pub fn parse(payload: &str) -> Result<Request, String> {
+        let value = json::parse(payload)?;
+        let cmd = value
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string 'cmd' field")?;
+        match cmd {
+            "stats" => Ok(Request::Stats),
+            "list" => Ok(Request::List),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            "query" => {
+                let dataset = value
+                    .get("dataset")
+                    .and_then(Json::as_str)
+                    .ok_or("query needs a string 'dataset'")?
+                    .to_string();
+                let focal = value
+                    .get("focal")
+                    .and_then(Json::as_usize)
+                    .ok_or("query needs a non-negative integer 'focal'")?;
+                if focal > RecordId::MAX as usize {
+                    return Err(format!("focal {focal} exceeds the record id range"));
+                }
+                let algorithm = match value.get("algorithm") {
+                    None => Algorithm::Auto,
+                    Some(v) => {
+                        let name = v.as_str().ok_or("'algorithm' must be a string")?;
+                        Algorithm::from_name(name)
+                            .ok_or_else(|| format!("unknown algorithm '{name}'"))?
+                    }
+                };
+                let tau = match value.get("tau") {
+                    None => 0,
+                    Some(v) => v.as_usize().ok_or("'tau' must be a non-negative integer")?,
+                };
+                let timeout_ms = match value.get("timeout_ms") {
+                    None => None,
+                    Some(v) => Some(
+                        v.as_usize()
+                            .ok_or("'timeout_ms' must be a non-negative integer")?
+                            as u64,
+                    ),
+                };
+                let no_cache = match value.get("no_cache") {
+                    None => false,
+                    Some(v) => v.as_bool().ok_or("'no_cache' must be a boolean")?,
+                };
+                let max_regions = match value.get("max_regions") {
+                    None => None,
+                    Some(v) => Some(
+                        v.as_usize()
+                            .ok_or("'max_regions' must be a non-negative integer")?,
+                    ),
+                };
+                Ok(Request::Query {
+                    dataset,
+                    focal: focal as RecordId,
+                    algorithm,
+                    tau,
+                    timeout_ms,
+                    no_cache,
+                    max_regions,
+                })
+            }
+            other => Err(format!("unknown command '{other}'")),
+        }
+    }
+}
+
+/// Renders an error response payload.
+pub fn error_payload(err: &ServiceError) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Str(err.to_string())),
+    ])
+    .to_string()
+}
+
+/// Renders a `query` answer payload.
+pub fn query_payload(answer: &QueryAnswer, max_regions: Option<usize>) -> String {
+    let result = &answer.result;
+    let shown = max_regions.unwrap_or(result.region_count());
+    let mut orders = Vec::new();
+    let mut witnesses = Vec::new();
+    for region in result.regions.iter().take(shown) {
+        orders.push(Json::Num(region.order as f64));
+        witnesses.push(Json::Arr(
+            region
+                .representative_query()
+                .into_iter()
+                .map(Json::Num)
+                .collect(),
+        ));
+    }
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("k_star".into(), Json::Num(result.k_star as f64)),
+        ("tau".into(), Json::Num(result.tau as f64)),
+        (
+            "algorithm".into(),
+            Json::Str(answer.algorithm.name().into()),
+        ),
+        (
+            "region_count".into(),
+            Json::Num(result.region_count() as f64),
+        ),
+        ("cached".into(), Json::Bool(answer.cached)),
+        ("io_reads".into(), Json::Num(result.stats.io_reads as f64)),
+        (
+            "cpu_us".into(),
+            Json::Num(result.stats.cpu_time.as_micros() as f64),
+        ),
+        ("orders".into(), Json::Arr(orders)),
+        ("witnesses".into(), Json::Arr(witnesses)),
+    ])
+    .to_string()
+}
+
+/// Renders a `stats` payload.
+pub fn stats_payload(stats: &ServiceStats) -> String {
+    let cache = Json::Obj(vec![
+        ("hits".into(), Json::Num(stats.cache.hits as f64)),
+        ("misses".into(), Json::Num(stats.cache.misses as f64)),
+        ("evictions".into(), Json::Num(stats.cache.evictions as f64)),
+        ("len".into(), Json::Num(stats.cache.len as f64)),
+        ("capacity".into(), Json::Num(stats.cache.capacity as f64)),
+    ]);
+    let pool = Json::Obj(vec![
+        ("workers".into(), Json::Num(stats.pool.workers as f64)),
+        (
+            "queue_capacity".into(),
+            Json::Num(stats.pool.queue_capacity as f64),
+        ),
+        (
+            "queue_depth".into(),
+            Json::Num(stats.pool.queue_depth as f64),
+        ),
+        ("executed".into(), Json::Num(stats.pool.executed as f64)),
+        ("coalesced".into(), Json::Num(stats.pool.coalesced as f64)),
+        ("timed_out".into(), Json::Num(stats.pool.timed_out as f64)),
+    ]);
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("cache".into(), cache),
+        ("pool".into(), pool),
+        (
+            "datasets".into(),
+            Json::Arr(
+                stats
+                    .datasets
+                    .iter()
+                    .map(|n| Json::Str(n.clone()))
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string()
+}
+
+/// Renders a `list` payload from `(name, records, dims)` triples.
+pub fn list_payload(datasets: &[(String, usize, usize)]) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        (
+            "datasets".into(),
+            Json::Arr(
+                datasets
+                    .iter()
+                    .map(|(name, n, d)| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(name.clone())),
+                            ("records".into(), Json::Num(*n as f64)),
+                            ("dims".into(), Json::Num(*d as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string()
+}
+
+/// Renders the `ping` reply.
+pub fn pong_payload() -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("pong".into(), Json::Bool(true)),
+    ])
+    .to_string()
+}
+
+/// Renders the `shutdown` acknowledgement.
+pub fn bye_payload() -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("bye".into(), Json::Bool(true)),
+    ])
+    .to_string()
+}
+
+/// A minimal JSON subset: objects, arrays, strings, finite `f64` numbers,
+/// booleans and `null`.  Object key order is preserved.  This exists because
+/// the container has no route to crates.io (see the workspace `Cargo.toml`);
+/// it intentionally implements only what the protocol needs.
+pub mod json {
+    use std::fmt;
+
+    /// A JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        /// `null` (also produced for non-finite numbers on write).
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A finite double.
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Json>),
+        /// An object with preserved key order.
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The string value, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric value, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The value as a non-negative integer, if it is one exactly.
+        pub fn as_usize(&self) -> Option<usize> {
+            let n = self.as_f64()?;
+            (n >= 0.0 && n.fract() == 0.0 && n <= usize::MAX as f64).then_some(n as usize)
+        }
+
+        /// The boolean value, if this is a boolean.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    impl fmt::Display for Json {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Json::Null => write!(f, "null"),
+                Json::Bool(b) => write!(f, "{b}"),
+                Json::Num(n) => {
+                    if n.is_finite() {
+                        // Rust's shortest round-trip float formatting; never
+                        // scientific notation, so it stays in our grammar.
+                        write!(f, "{n}")
+                    } else {
+                        write!(f, "null")
+                    }
+                }
+                Json::Str(s) => write_escaped(f, s),
+                Json::Arr(items) => {
+                    write!(f, "[")?;
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{item}")?;
+                    }
+                    write!(f, "]")
+                }
+                Json::Obj(fields) => {
+                    write!(f, "{{")?;
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write_escaped(f, k)?;
+                        write!(f, ":{v}")?;
+                    }
+                    write!(f, "}}")
+                }
+            }
+        }
+    }
+
+    fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+        write!(f, "\"")?;
+        for c in s.chars() {
+            match c {
+                '"' => write!(f, "\\\"")?,
+                '\\' => write!(f, "\\\\")?,
+                '\n' => write!(f, "\\n")?,
+                '\r' => write!(f, "\\r")?,
+                '\t' => write!(f, "\\t")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => write!(f, "{c}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+
+    /// Parses a payload into a [`Json`] value (must consume the whole input).
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Maximum container nesting the parser accepts (the protocol itself
+    /// needs 3 levels; the cap only exists to bound recursion).
+    const MAX_DEPTH: usize = 64;
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+        depth: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), String> {
+            if self.peek() == Some(byte) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+            }
+        }
+
+        fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+                self.pos += text.len();
+                Ok(value)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Json, String> {
+            match self.peek() {
+                None => Err("unexpected end of input".into()),
+                Some(b'n') => self.literal("null", Json::Null),
+                Some(b't') => self.literal("true", Json::Bool(true)),
+                Some(b'f') => self.literal("false", Json::Bool(false)),
+                Some(b'"') => self.string().map(Json::Str),
+                Some(b'[') => self.nested(Parser::array),
+                Some(b'{') => self.nested(Parser::object),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                Some(c) => Err(format!("unexpected byte '{}' at {}", c as char, self.pos)),
+            }
+        }
+
+        /// The parser recurses once per nesting level; without a cap a tiny
+        /// hostile frame like `"[".repeat(50_000)` would overflow the
+        /// connection thread's stack and abort the whole server.
+        fn nested(&mut self, f: fn(&mut Self) -> Result<Json, String>) -> Result<Json, String> {
+            if self.depth >= MAX_DEPTH {
+                return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+            }
+            self.depth += 1;
+            let result = f(self);
+            self.depth -= 1;
+            result
+        }
+
+        fn array(&mut self) -> Result<Json, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let start = self.pos;
+                // Fast path: run of plain bytes.
+                while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                    self.pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?,
+                );
+                match self.peek() {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let code = self.hex4()?;
+                                let c = if (0xD800..0xDC00).contains(&code) {
+                                    // High surrogate: conforming encoders
+                                    // (e.g. json.dumps) emit non-BMP chars as
+                                    // \uD8xx\uDCxx pairs — combine them.
+                                    if self.bytes.get(self.pos + 1..self.pos + 3)
+                                        != Some(b"\\u".as_slice())
+                                    {
+                                        return Err("unpaired high surrogate".into());
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err("unpaired high surrogate".into());
+                                    }
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined).expect("valid surrogate pair")
+                                } else {
+                                    // Rejects lone low surrogates.
+                                    char::from_u32(code)
+                                        .ok_or("\\u escape is not a scalar value")?
+                                };
+                                out.push(c);
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                        self.pos += 1;
+                    }
+                    None => return Err("unterminated string".into()),
+                    _ => unreachable!("loop stops only on quote or backslash"),
+                }
+            }
+        }
+
+        /// Reads the 4 hex digits of a `\u` escape (cursor on the `u` or on
+        /// the second `u` of a pair), leaving the cursor on the last digit.
+        fn hex4(&mut self) -> Result<u32, String> {
+            let hex = self
+                .bytes
+                .get(self.pos + 1..self.pos + 5)
+                .ok_or("truncated \\u escape")?;
+            let code = u32::from_str_radix(
+                std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?,
+                16,
+            )
+            .map_err(|_| "bad \\u escape".to_string())?;
+            self.pos += 4;
+            Ok(code)
+        }
+
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-')
+            {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII");
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number '{text}' at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::{parse, Json};
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn json_round_trips() {
+        let value = Json::Obj(vec![
+            ("a".into(), Json::Num(1.5)),
+            ("b".into(), Json::Str("x \"y\"\nz\\".into())),
+            (
+                "c".into(),
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::Num(-0.25)]),
+            ),
+            ("d".into(), Json::Obj(vec![])),
+        ]);
+        let text = value.to_string();
+        assert_eq!(parse(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn json_float_precision_round_trips() {
+        for x in [0.1 + 0.2, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -12345.678] {
+            let text = Json::Num(x).to_string();
+            assert_eq!(parse(&text).unwrap().as_f64().unwrap(), x, "{text}");
+        }
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} x").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn json_depth_is_bounded() {
+        // A deep-but-legal document parses…
+        let deep = format!("{}1{}", "[".repeat(60), "]".repeat(60));
+        assert!(parse(&deep).is_ok());
+        // …while a hostile 50k-bracket frame errors instead of overflowing
+        // the connection thread's stack.
+        let hostile = "[".repeat(50_000);
+        assert!(parse(&hostile).unwrap_err().contains("nesting"));
+    }
+
+    #[test]
+    fn json_parses_whitespace_and_escapes() {
+        let v = parse(" { \"k\" : [ 1 , \"a\\u0041\" ] } ").unwrap();
+        let arr = v.get("k").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_usize(), Some(1));
+        assert_eq!(arr[1].as_str(), Some("aA"));
+    }
+
+    #[test]
+    fn json_surrogate_pairs() {
+        // Conforming encoders (json.dumps, ensure_ascii=True) send non-BMP
+        // characters as surrogate pairs.
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("\u{1F600}")
+        );
+        assert_eq!(
+            parse("\"a\\uD83D\\uDE00b\"").unwrap().as_str(),
+            Some("a\u{1F600}b")
+        );
+        assert!(parse("\"\\ud83d\"").is_err(), "unpaired high surrogate");
+        assert!(
+            parse("\"\\ud83dxx\"").is_err(),
+            "high surrogate without \\u"
+        );
+        assert!(parse("\"\\ud83d\\u0041\"").is_err(), "high + non-low");
+        assert!(parse("\"\\ude00\"").is_err(), "lone low surrogate");
+        // Raw (unescaped) non-BMP text round-trips through the writer.
+        let text = Json::Str("emoji \u{1F600}".into()).to_string();
+        assert_eq!(parse(&text).unwrap().as_str(), Some("emoji \u{1F600}"));
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"cmd\":\"ping\"}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut reader = BufReader::new(buf.as_slice());
+        assert_eq!(
+            read_frame(&mut reader).unwrap().as_deref(),
+            Some("{\"cmd\":\"ping\"}")
+        );
+        assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn frame_rejects_bad_prefix_and_oversize() {
+        let mut reader = BufReader::new(&b"xyz\n{}"[..]);
+        assert!(read_frame(&mut reader).is_err());
+        let huge = format!("{}\n", MAX_FRAME_BYTES + 1);
+        let mut reader = BufReader::new(huge.as_bytes());
+        assert!(read_frame(&mut reader).is_err());
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let requests = [
+            Request::Query {
+                dataset: "hotels".into(),
+                focal: 17,
+                algorithm: Algorithm::AdvancedApproach,
+                tau: 2,
+                timeout_ms: Some(5000),
+                no_cache: true,
+                max_regions: Some(4),
+            },
+            Request::Query {
+                dataset: "d".into(),
+                focal: 0,
+                algorithm: Algorithm::Auto,
+                tau: 0,
+                timeout_ms: None,
+                no_cache: false,
+                max_regions: None,
+            },
+            Request::Stats,
+            Request::List,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            assert_eq!(Request::parse(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn request_parse_errors() {
+        assert!(Request::parse("{}").is_err());
+        assert!(Request::parse("{\"cmd\":\"nope\"}").is_err());
+        assert!(Request::parse("{\"cmd\":\"query\"}").is_err());
+        assert!(Request::parse("{\"cmd\":\"query\",\"dataset\":\"d\",\"focal\":-1}").is_err());
+        assert!(
+            Request::parse("{\"cmd\":\"query\",\"dataset\":\"d\",\"focal\":1.5}").is_err(),
+            "fractional focal must be rejected"
+        );
+        assert!(Request::parse(
+            "{\"cmd\":\"query\",\"dataset\":\"d\",\"focal\":1,\"algorithm\":\"qp\"}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn error_payload_is_parseable() {
+        let text = error_payload(&ServiceError::QueueFull);
+        let v = parse(&text).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert!(v.get("error").unwrap().as_str().unwrap().contains("queue"));
+    }
+}

@@ -1,0 +1,372 @@
+//! The dataset registry: load or generate each named dataset **once**, build
+//! its R\*-tree index once, and hand out `Arc` handles that every worker
+//! thread (and every request) shares.
+//!
+//! This is the piece that turns the one-shot CLI shape ("load CSV, build
+//! tree, answer one query, exit") into a serving shape: index construction is
+//! amortised over the lifetime of the process.  Entries are immutable after
+//! registration — MaxRank queries are read-only — so no locking is needed
+//! beyond the registry map itself.
+
+use mrq_core::MaxRankQuery;
+use mrq_data::io::read_csv;
+use mrq_data::{synthetic, Dataset, Distribution, RealDataset};
+use mrq_index::RStarTree;
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, RwLock};
+
+/// A loaded dataset together with its index, shared immutably.
+#[derive(Debug)]
+pub struct DatasetEntry {
+    name: String,
+    data: Dataset,
+    tree: RStarTree,
+}
+
+impl DatasetEntry {
+    /// Builds an entry by bulk-loading the R\*-tree over `data`.
+    pub fn build(name: impl Into<String>, data: Dataset) -> Self {
+        let tree = RStarTree::bulk_load(&data);
+        Self {
+            name: name.into(),
+            data,
+            tree,
+        }
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dataset.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// The shared R\*-tree index.
+    pub fn tree(&self) -> &RStarTree {
+        &self.tree
+    }
+
+    /// A query engine borrowing this entry's dataset and index.
+    pub fn engine(&self) -> MaxRankQuery<'_> {
+        MaxRankQuery::new(&self.data, &self.tree)
+    }
+}
+
+/// How to materialise a named dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetSpec {
+    /// The paper's Figure 1 six-record example (focal record id 5).
+    Demo,
+    /// A synthetic benchmark distribution.
+    Synthetic {
+        /// IND / COR / ANTI.
+        dist: Distribution,
+        /// Cardinality.
+        n: usize,
+        /// Dimensionality.
+        d: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A simulated real dataset, scaled.
+    Real {
+        /// Which of the five paper datasets.
+        which: RealDataset,
+        /// Cardinality scale factor (1.0 = paper cardinality).
+        scale: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A CSV file on disk (one record per line, optional header).
+    Csv {
+        /// File path.
+        path: PathBuf,
+        /// Dimensionality.
+        dims: usize,
+    },
+}
+
+impl DatasetSpec {
+    /// Parses the spec grammar used by `maxrank-serve --dataset NAME=SPEC`:
+    ///
+    /// ```text
+    /// demo
+    /// ind:n=1000,d=3,seed=42        (also cor: / anti:)
+    /// hotel:scale=0.01,seed=1       (also house / nba / pitch / bat)
+    /// csv:path=options.csv,dims=4
+    /// ```
+    pub fn parse(s: &str) -> Result<DatasetSpec, String> {
+        let (head, rest) = match s.split_once(':') {
+            Some((h, r)) => (h, r),
+            None => (s, ""),
+        };
+        let mut params: HashMap<&str, &str> = HashMap::new();
+        for kv in rest.split(',').filter(|kv| !kv.is_empty()) {
+            let (k, v) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("malformed parameter '{kv}' (expected key=value)"))?;
+            params.insert(k.trim(), v.trim());
+        }
+        let num = |key: &str, default: u64| -> Result<u64, String> {
+            match params.get(key) {
+                None => Ok(default),
+                Some(v) => v.parse().map_err(|e| format!("{key}: {e}")),
+            }
+        };
+        match head {
+            "demo" => Ok(DatasetSpec::Demo),
+            "ind" | "cor" | "anti" => {
+                let dist = match head {
+                    "ind" => Distribution::Independent,
+                    "cor" => Distribution::Correlated,
+                    _ => Distribution::AntiCorrelated,
+                };
+                Ok(DatasetSpec::Synthetic {
+                    dist,
+                    n: num("n", 1000)? as usize,
+                    d: num("d", 3)? as usize,
+                    seed: num("seed", 2015)?,
+                })
+            }
+            "hotel" | "house" | "nba" | "pitch" | "bat" => {
+                let which = match head {
+                    "hotel" => RealDataset::Hotel,
+                    "house" => RealDataset::House,
+                    "nba" => RealDataset::Nba,
+                    "pitch" => RealDataset::Pitch,
+                    _ => RealDataset::Bat,
+                };
+                let scale = match params.get("scale") {
+                    None => 0.01,
+                    Some(v) => v.parse().map_err(|e| format!("scale: {e}"))?,
+                };
+                Ok(DatasetSpec::Real {
+                    which,
+                    scale,
+                    seed: num("seed", 2015)?,
+                })
+            }
+            "csv" => {
+                let path = params
+                    .get("path")
+                    .ok_or("csv spec needs path=FILE")?
+                    .to_string();
+                let dims = num("dims", 0)? as usize;
+                if dims < 2 {
+                    return Err("csv spec needs dims=D with D >= 2".into());
+                }
+                Ok(DatasetSpec::Csv {
+                    path: PathBuf::from(path),
+                    dims,
+                })
+            }
+            other => Err(format!(
+                "unknown dataset kind '{other}' (expected demo, ind, cor, anti, \
+                 hotel, house, nba, pitch, bat or csv)"
+            )),
+        }
+    }
+
+    /// Materialises the dataset this spec describes.
+    pub fn materialize(&self) -> Result<Dataset, String> {
+        match self {
+            DatasetSpec::Demo => Ok(Dataset::from_rows(
+                2,
+                &[
+                    vec![0.8, 0.9],
+                    vec![0.2, 0.7],
+                    vec![0.9, 0.4],
+                    vec![0.7, 0.2],
+                    vec![0.4, 0.3],
+                    vec![0.5, 0.5],
+                ],
+            )),
+            DatasetSpec::Synthetic { dist, n, d, seed } => {
+                if *d < 2 {
+                    return Err("synthetic datasets need d >= 2".into());
+                }
+                let mut rng = StdRng::seed_from_u64(*seed);
+                Ok(synthetic::generate(*dist, *n, *d, &mut rng))
+            }
+            DatasetSpec::Real { which, scale, seed } => {
+                // `partial_cmp` so NaN is rejected alongside non-positives.
+                if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err("real dataset scale must be positive".into());
+                }
+                let mut rng = StdRng::seed_from_u64(*seed);
+                Ok(which.generate_scaled(*scale, &mut rng))
+            }
+            DatasetSpec::Csv { path, dims } => {
+                read_csv(path, *dims).map_err(|e| format!("{}: {e}", path.display()))
+            }
+        }
+    }
+}
+
+/// A named collection of loaded datasets and their indexes.
+///
+/// `register*` loads/generates the data and bulk-loads the index eagerly, so
+/// the first query pays nothing; `get` is a cheap `Arc` clone under a read
+/// lock.  Registering an existing name is an error — a serving process should
+/// not silently swap the data a cache key refers to.
+#[derive(Debug, Default)]
+pub struct DatasetRegistry {
+    entries: RwLock<HashMap<String, Arc<DatasetEntry>>>,
+}
+
+impl DatasetRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a dataset from a spec, loading it eagerly.
+    pub fn register(&self, name: &str, spec: &DatasetSpec) -> Result<Arc<DatasetEntry>, String> {
+        let data = spec.materialize()?;
+        self.register_loaded(name, data)
+    }
+
+    /// Registers an already-loaded dataset (builds the index here).
+    pub fn register_loaded(&self, name: &str, data: Dataset) -> Result<Arc<DatasetEntry>, String> {
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(format!(
+                "invalid dataset name '{name}' (use ASCII letters, digits, '-', '_')"
+            ));
+        }
+        if data.is_empty() {
+            return Err(format!("dataset '{name}' is empty"));
+        }
+        // Check the name *before* paying for the index build (seconds on
+        // large datasets); re-check under the write lock in case two
+        // registrations raced past the pre-check.
+        let taken = |map: &HashMap<String, Arc<DatasetEntry>>| {
+            map.contains_key(name)
+                .then(|| format!("dataset '{name}' is already registered"))
+        };
+        if let Some(err) = taken(&self.entries.read().expect("registry lock poisoned")) {
+            return Err(err);
+        }
+        let entry = Arc::new(DatasetEntry::build(name, data));
+        let mut map = self.entries.write().expect("registry lock poisoned");
+        if let Some(err) = taken(&map) {
+            return Err(err);
+        }
+        map.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Looks a dataset up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<DatasetEntry>> {
+        self.entries
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .entries
+            .read()
+            .expect("registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("registry lock poisoned").len()
+    }
+
+    /// Whether no dataset is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_materialize_synthetic() {
+        let spec = DatasetSpec::parse("ind:n=50,d=3,seed=7").unwrap();
+        assert_eq!(
+            spec,
+            DatasetSpec::Synthetic {
+                dist: Distribution::Independent,
+                n: 50,
+                d: 3,
+                seed: 7
+            }
+        );
+        let data = spec.materialize().unwrap();
+        assert_eq!(data.len(), 50);
+        assert_eq!(data.dims(), 3);
+    }
+
+    #[test]
+    fn parse_defaults_and_errors() {
+        assert_eq!(DatasetSpec::parse("demo").unwrap(), DatasetSpec::Demo);
+        assert!(matches!(
+            DatasetSpec::parse("anti").unwrap(),
+            DatasetSpec::Synthetic { n: 1000, d: 3, .. }
+        ));
+        assert!(DatasetSpec::parse("nope:n=3").is_err());
+        assert!(DatasetSpec::parse("ind:n").is_err());
+        assert!(
+            DatasetSpec::parse("csv:path=x.csv").is_err(),
+            "dims required"
+        );
+    }
+
+    #[test]
+    fn parse_real() {
+        let spec = DatasetSpec::parse("hotel:scale=0.002,seed=3").unwrap();
+        let data = spec.materialize().unwrap();
+        assert_eq!(data.dims(), 4);
+        assert!(data.len() >= 100);
+    }
+
+    #[test]
+    fn register_and_get() {
+        let reg = DatasetRegistry::new();
+        let entry = reg.register("demo", &DatasetSpec::Demo).unwrap();
+        assert_eq!(entry.data().len(), 6);
+        assert_eq!(entry.tree().len(), 6);
+        let same = reg.get("demo").unwrap();
+        assert!(Arc::ptr_eq(&entry, &same));
+        assert!(reg.get("missing").is_none());
+        assert_eq!(reg.names(), vec!["demo".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_and_invalid_names_rejected() {
+        let reg = DatasetRegistry::new();
+        reg.register("a", &DatasetSpec::Demo).unwrap();
+        assert!(reg.register("a", &DatasetSpec::Demo).is_err());
+        assert!(reg.register("bad name", &DatasetSpec::Demo).is_err());
+        assert!(reg.register("", &DatasetSpec::Demo).is_err());
+    }
+
+    #[test]
+    fn entry_engine_answers_figure1() {
+        let reg = DatasetRegistry::new();
+        let entry = reg.register("demo", &DatasetSpec::Demo).unwrap();
+        let res = entry.engine().evaluate(5, &mrq_core::MaxRankConfig::new());
+        assert_eq!(res.k_star, 3);
+    }
+}

@@ -1,0 +1,448 @@
+//! The loopback TCP server: one accept thread, one thread per connection,
+//! all funnelling into the shared [`MrqService`].
+//!
+//! Connection threads never evaluate queries themselves — they parse frames,
+//! enqueue jobs on the bounded pool ([`MrqService::try_enqueue`], so a full
+//! queue surfaces as a `queue full` error frame instead of unbounded
+//! buffering) and write the answer back.  Sockets use a short read timeout so
+//! every connection thread notices the shutdown flag within ~200 ms even
+//! while idle, which is what makes [`Server::shutdown`] able to *join* every
+//! thread instead of abandoning them.
+
+use crate::error::ServiceError;
+use crate::protocol::{
+    self, bye_payload, error_payload, list_payload, pong_payload, query_payload, stats_payload,
+    write_frame, Request,
+};
+use crate::service::{MrqService, QueryRequest};
+use std::io::{BufRead, BufReader, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often blocked connection reads re-check the shutdown flag.
+const CONN_POLL: Duration = Duration::from_millis(200);
+
+#[derive(Debug, Clone)]
+struct ShutdownSignal {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownSignal {
+    fn is_set(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Sets the flag and pokes the accept loop awake with a throwaway
+    /// connection so it observes the flag immediately.
+    fn trigger(&self) {
+        if !self.flag.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        }
+    }
+}
+
+/// A running server.  Obtain the bound address with [`Server::local_addr`]
+/// (bind to port 0 for an ephemeral port), stop it with [`Server::shutdown`].
+#[derive(Debug)]
+pub struct Server {
+    service: Arc<MrqService>,
+    signal: ShutdownSignal,
+    accept: Mutex<Option<std::thread::JoinHandle<()>>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting.
+    pub fn start(service: Arc<MrqService>, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let signal = ShutdownSignal {
+            flag: Arc::new(AtomicBool::new(false)),
+            addr: listener.local_addr()?,
+        };
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
+        let accept = {
+            let service = Arc::clone(&service);
+            let signal = signal.clone();
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("mrq-accept".into())
+                .spawn(move || accept_loop(&listener, &service, &signal, &conns))?
+        };
+        Ok(Server {
+            service,
+            signal,
+            accept: Mutex::new(Some(accept)),
+            conns,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.signal.addr
+    }
+
+    /// The shared service (e.g. for in-process stats assertions in tests).
+    pub fn service(&self) -> &Arc<MrqService> {
+        &self.service
+    }
+
+    /// Asks the server to stop without waiting (what the `SHUTDOWN` command
+    /// uses internally — a connection thread cannot join itself).
+    pub fn trigger_shutdown(&self) {
+        self.signal.trigger();
+    }
+
+    /// Blocks until the server has fully stopped: no accept thread, every
+    /// connection thread joined, worker pool drained.  Does not *initiate*
+    /// shutdown — combine with [`Server::trigger_shutdown`] or a client
+    /// `SHUTDOWN` command.
+    pub fn wait(&self) {
+        if let Some(handle) = self.accept.lock().expect("accept lock poisoned").take() {
+            let _ = handle.join();
+        }
+        loop {
+            let handle = self.conns.lock().expect("conn lock poisoned").pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        self.service.shutdown();
+    }
+
+    /// Graceful shutdown: trigger + wait.  Idempotent.
+    pub fn shutdown(&self) {
+        self.trigger_shutdown();
+        self.wait();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<MrqService>,
+    signal: &ShutdownSignal,
+    conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if signal.is_set() {
+            break;
+        }
+        let Ok(stream) = stream else {
+            // Accept errors (EMFILE, ECONNABORTED, …) can persist; back off
+            // instead of busy-spinning the accept thread at 100% CPU.
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        let service = Arc::clone(service);
+        let signal = signal.clone();
+        let handle = std::thread::Builder::new()
+            .name("mrq-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &service, &signal);
+            });
+        if let Ok(handle) = handle {
+            let mut conns = conns.lock().expect("conn lock poisoned");
+            // Reap finished connection threads as new ones arrive so a
+            // long-lived server does not accumulate zombie threads (an
+            // un-joined terminated thread keeps its stack until joined).
+            let mut i = 0;
+            while i < conns.len() {
+                if conns[i].is_finished() {
+                    let _ = conns.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
+            conns.push(handle);
+        }
+    }
+}
+
+/// Reads frames off one connection until EOF, error or shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    service: &Arc<MrqService>,
+    signal: &ShutdownSignal,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(CONN_POLL))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut header = Vec::new();
+    loop {
+        header.clear();
+        let payload = match read_frame_polling(&mut reader, &mut header, signal)? {
+            FrameRead::Frame(payload) => payload,
+            FrameRead::Eof | FrameRead::ShuttingDown => return Ok(()),
+            FrameRead::Malformed(msg) => {
+                // Framing is broken: report and drop the connection (the
+                // stream position is no longer trustworthy).
+                let err = ServiceError::BadRequest(msg);
+                let _ = write_frame(&mut writer, &error_payload(&err));
+                return Ok(());
+            }
+        };
+        match Request::parse(&payload) {
+            Err(msg) => {
+                // The frame itself was sound: answer the error, keep going.
+                let err = ServiceError::BadRequest(msg);
+                write_frame(&mut writer, &error_payload(&err))?;
+            }
+            Ok(Request::Ping) => write_frame(&mut writer, &pong_payload())?,
+            Ok(Request::Stats) => {
+                write_frame(&mut writer, &stats_payload(&service.stats()))?;
+            }
+            Ok(Request::List) => {
+                let registry = service.registry();
+                let datasets: Vec<(String, usize, usize)> = registry
+                    .names()
+                    .into_iter()
+                    .filter_map(|name| {
+                        registry
+                            .get(&name)
+                            .map(|e| (name, e.data().len(), e.data().dims()))
+                    })
+                    .collect();
+                write_frame(&mut writer, &list_payload(&datasets))?;
+            }
+            Ok(Request::Shutdown) => {
+                write_frame(&mut writer, &bye_payload())?;
+                signal.trigger();
+                return Ok(());
+            }
+            Ok(Request::Query {
+                dataset,
+                focal,
+                algorithm,
+                tau,
+                timeout_ms,
+                no_cache,
+                max_regions,
+            }) => {
+                let request = QueryRequest {
+                    dataset,
+                    focal,
+                    algorithm,
+                    tau,
+                    timeout: timeout_ms.map(Duration::from_millis),
+                    no_cache,
+                };
+                let reply = service
+                    .try_enqueue(&request)
+                    .and_then(|pending| pending.wait());
+                let payload = match reply {
+                    Ok(answer) => query_payload(&answer, max_regions),
+                    Err(err) => error_payload(&err),
+                };
+                write_frame(&mut writer, &payload)?;
+            }
+        }
+    }
+}
+
+enum FrameRead {
+    Frame(String),
+    Eof,
+    ShuttingDown,
+    Malformed(String),
+}
+
+fn is_timeout(err: &std::io::Error) -> bool {
+    matches!(
+        err.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Like [`protocol::read_frame`] but tolerant of read timeouts: partial data
+/// survives in `header` / the payload buffer across retries, and the
+/// shutdown flag is checked between them.
+fn read_frame_polling(
+    reader: &mut BufReader<TcpStream>,
+    header: &mut Vec<u8>,
+    signal: &ShutdownSignal,
+) -> std::io::Result<FrameRead> {
+    // Header: bytes up to '\n'.  `read_until` appends whatever arrived
+    // before a timeout, so looping preserves partial prefixes.  The `take`
+    // budget caps the header so a peer streaming bytes with no newline
+    // cannot grow the buffer without bound.
+    while header.last() != Some(&b'\n') {
+        if header.len() >= protocol::MAX_HEADER_BYTES {
+            return Ok(FrameRead::Malformed("frame length prefix too long".into()));
+        }
+        let budget = (protocol::MAX_HEADER_BYTES - header.len()) as u64;
+        match reader.by_ref().take(budget).read_until(b'\n', header) {
+            Ok(0) => {
+                return if header.is_empty() {
+                    Ok(FrameRead::Eof)
+                } else {
+                    Ok(FrameRead::Malformed("truncated frame header".into()))
+                };
+            }
+            Ok(_) => {} // loop re-checks for the delimiter and the budget
+            Err(e) if is_timeout(&e) => {
+                if signal.is_set() {
+                    return Ok(FrameRead::ShuttingDown);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let text = match std::str::from_utf8(header) {
+        Ok(t) => t.trim(),
+        Err(_) => return Ok(FrameRead::Malformed("frame prefix is not UTF-8".into())),
+    };
+    let len: usize = match text.parse() {
+        Ok(n) => n,
+        Err(_) => {
+            return Ok(FrameRead::Malformed(format!(
+                "bad frame length prefix '{text}'"
+            )))
+        }
+    };
+    if len > protocol::MAX_FRAME_BYTES {
+        return Ok(FrameRead::Malformed(format!(
+            "frame of {len} bytes exceeds limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match reader.read(&mut payload[filled..]) {
+            Ok(0) => return Ok(FrameRead::Malformed("truncated frame payload".into())),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                if signal.is_set() {
+                    return Ok(FrameRead::ShuttingDown);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    match String::from_utf8(payload) {
+        Ok(s) => Ok(FrameRead::Frame(s)),
+        Err(_) => Ok(FrameRead::Malformed("frame payload is not UTF-8".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{DatasetRegistry, DatasetSpec};
+    use crate::service::ServiceConfig;
+    use protocol::read_frame;
+    use std::io::Write;
+
+    fn demo_server() -> Server {
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.register("demo", &DatasetSpec::Demo).unwrap();
+        let service = Arc::new(MrqService::new(
+            registry,
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        ));
+        Server::start(service, "127.0.0.1:0").unwrap()
+    }
+
+    fn roundtrip(stream: &mut TcpStream, payload: &str) -> String {
+        let mut writer = stream.try_clone().unwrap();
+        write_frame(&mut writer, payload).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        read_frame(&mut reader).unwrap().expect("response frame")
+    }
+
+    #[test]
+    fn raw_ping_and_query() {
+        let server = demo_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let pong = roundtrip(&mut stream, "{\"cmd\":\"ping\"}");
+        assert!(pong.contains("\"pong\":true"));
+        let answer = roundtrip(
+            &mut stream,
+            "{\"cmd\":\"query\",\"dataset\":\"demo\",\"focal\":5}",
+        );
+        assert!(answer.contains("\"k_star\":3"), "{answer}");
+        assert!(answer.contains("\"ok\":true"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_payload_gets_error_frame_and_connection_survives() {
+        let server = demo_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let err = roundtrip(&mut stream, "{\"cmd\":\"query\"}");
+        assert!(err.contains("\"ok\":false"), "{err}");
+        // Same connection still answers.
+        let pong = roundtrip(&mut stream, "{\"cmd\":\"ping\"}");
+        assert!(pong.contains("\"pong\":true"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn broken_framing_drops_connection_with_error() {
+        let server = demo_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"not-a-length\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let reply = read_frame(&mut reader).unwrap().expect("error frame");
+        assert!(reply.contains("\"ok\":false"));
+        // Server closes the stream afterwards.
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn newline_free_stream_is_cut_off_not_buffered() {
+        // A peer streaming bytes with no '\n' must hit the header cap, not
+        // grow server memory without bound.
+        let server = demo_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let garbage = vec![b'9'; 4096];
+        let _ = stream.write_all(&garbage);
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let reply = read_frame(&mut reader).unwrap().expect("error frame");
+        assert!(reply.contains("too long"), "{reply}");
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_command_stops_the_server() {
+        let server = demo_server();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let bye = roundtrip(&mut stream, "{\"cmd\":\"shutdown\"}");
+        assert!(bye.contains("\"bye\":true"));
+        server.wait();
+        // The port no longer accepts work: either refused, or accepted by the
+        // dying listener backlog and immediately closed without an answer.
+        if let Ok(late) = TcpStream::connect(addr) {
+            late.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let mut writer = late.try_clone().unwrap();
+            let _ = write_frame(&mut writer, "{\"cmd\":\"ping\"}");
+            let mut reader = BufReader::new(late);
+            assert!(matches!(read_frame(&mut reader), Ok(None) | Err(_)));
+        }
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let server = demo_server();
+        server.shutdown();
+        server.shutdown();
+        drop(server);
+    }
+}

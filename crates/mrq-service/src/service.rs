@@ -1,0 +1,383 @@
+//! The in-process query service: registry → queue → worker pool → cache,
+//! composed behind one handle.  The TCP server is a thin framing layer over
+//! this type, and `maxrank-cli --threads` drives it directly.
+
+use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::error::ServiceError;
+use crate::pool::{JobOutcome, PoolConfig, PoolStats, QueryJob, WorkerPool};
+use crate::registry::DatasetRegistry;
+use mrq_core::{Algorithm, MaxRankResult};
+use mrq_data::RecordId;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Sizing and policy knobs of one service instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Maximum same-dataset batch one worker coalesces.
+    pub coalesce_limit: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let pool = PoolConfig::default();
+        Self {
+            workers: pool.workers,
+            queue_capacity: pool.queue_capacity,
+            cache_capacity: 1024,
+            coalesce_limit: pool.coalesce_limit,
+            default_deadline: None,
+        }
+    }
+}
+
+/// One MaxRank request against a registered dataset.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Registered dataset name.
+    pub dataset: String,
+    /// Focal record id.
+    pub focal: RecordId,
+    /// Requested algorithm (`Auto` is resolved against the dataset's
+    /// dimensionality before execution and caching).
+    pub algorithm: Algorithm,
+    /// iMaxRank slack.
+    pub tau: usize,
+    /// Per-request deadline; `None` falls back to the service default.
+    pub timeout: Option<Duration>,
+    /// Skip the result cache for this request (both lookup and fill).
+    pub no_cache: bool,
+}
+
+impl QueryRequest {
+    /// A plain MaxRank request with the default algorithm and no deadline.
+    pub fn new(dataset: impl Into<String>, focal: RecordId) -> Self {
+        Self {
+            dataset: dataset.into(),
+            focal,
+            algorithm: Algorithm::Auto,
+            tau: 0,
+            timeout: None,
+            no_cache: false,
+        }
+    }
+}
+
+/// A service answer: the (shared) result plus serving metadata.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// The MaxRank result (shared with the cache — do not mutate).
+    pub result: Arc<MaxRankResult>,
+    /// Whether the answer came from the result cache.
+    pub cached: bool,
+    /// The concrete algorithm that produced it.
+    pub algorithm: Algorithm,
+}
+
+/// Combined counters for the `STATS` command.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Worker-pool counters.
+    pub pool: PoolStats,
+    /// Registered dataset names.
+    pub datasets: Vec<String>,
+}
+
+/// A pending answer: the validated request was accepted by the queue.
+pub struct PendingAnswer {
+    rx: mpsc::Receiver<JobOutcome>,
+    deadline: Option<Instant>,
+    algorithm: Algorithm,
+}
+
+impl PendingAnswer {
+    /// Blocks until the answer arrives or the request's deadline passes.
+    pub fn wait(self) -> Result<QueryAnswer, ServiceError> {
+        let outcome = match self.deadline {
+            None => self
+                .rx
+                .recv()
+                .map_err(|_| ServiceError::Internal("worker dropped the request".into()))?,
+            Some(deadline) => {
+                let budget = deadline.saturating_duration_since(Instant::now());
+                match self.rx.recv_timeout(budget) {
+                    Ok(outcome) => outcome,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        return Err(ServiceError::DeadlineExceeded)
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        return Err(ServiceError::Internal("worker dropped the request".into()))
+                    }
+                }
+            }
+        };
+        outcome.result.map(|result| QueryAnswer {
+            result,
+            cached: outcome.cached,
+            algorithm: self.algorithm,
+        })
+    }
+}
+
+/// The long-lived query service.
+#[derive(Debug)]
+pub struct MrqService {
+    registry: Arc<DatasetRegistry>,
+    cache: Arc<ResultCache>,
+    pool: WorkerPool,
+    config: ServiceConfig,
+}
+
+impl MrqService {
+    /// Builds a service over an existing registry.
+    pub fn new(registry: Arc<DatasetRegistry>, config: ServiceConfig) -> Self {
+        let cache = Arc::new(ResultCache::new(config.cache_capacity));
+        let pool = WorkerPool::new(
+            PoolConfig {
+                workers: config.workers,
+                queue_capacity: config.queue_capacity,
+                coalesce_limit: config.coalesce_limit,
+            },
+            Arc::clone(&cache),
+        );
+        Self {
+            registry,
+            cache,
+            pool,
+            config,
+        }
+    }
+
+    /// The dataset registry.
+    pub fn registry(&self) -> &Arc<DatasetRegistry> {
+        &self.registry
+    }
+
+    /// Validates a request and enqueues it, blocking while the queue is full.
+    pub fn enqueue(&self, request: &QueryRequest) -> Result<PendingAnswer, ServiceError> {
+        self.enqueue_inner(request, true)
+    }
+
+    /// Validates a request and enqueues it, failing fast with
+    /// [`ServiceError::QueueFull`] when the queue is at capacity.
+    pub fn try_enqueue(&self, request: &QueryRequest) -> Result<PendingAnswer, ServiceError> {
+        self.enqueue_inner(request, false)
+    }
+
+    /// Blocking convenience: enqueue + wait.
+    pub fn query(&self, request: &QueryRequest) -> Result<QueryAnswer, ServiceError> {
+        self.enqueue(request)?.wait()
+    }
+
+    fn enqueue_inner(
+        &self,
+        request: &QueryRequest,
+        block: bool,
+    ) -> Result<PendingAnswer, ServiceError> {
+        let entry = self
+            .registry
+            .get(&request.dataset)
+            .ok_or_else(|| ServiceError::UnknownDataset(request.dataset.clone()))?;
+        let dims = entry.data().dims();
+        if request.focal as usize >= entry.data().len() {
+            return Err(ServiceError::BadRequest(format!(
+                "focal {} out of range (dataset '{}' has {} records)",
+                request.focal,
+                request.dataset,
+                entry.data().len()
+            )));
+        }
+        if request.algorithm.requires_2d() && dims != 2 {
+            return Err(ServiceError::BadRequest(format!(
+                "algorithm '{}' only supports 2-dimensional data (dataset '{}' has {dims})",
+                request.algorithm.name(),
+                request.dataset
+            )));
+        }
+        let algorithm = request.algorithm.resolve(dims);
+        let deadline = request
+            .timeout
+            .or(self.config.default_deadline)
+            .map(|t| Instant::now() + t);
+        let cache_key = (!request.no_cache).then(|| CacheKey {
+            dataset: request.dataset.clone(),
+            focal: request.focal,
+            algorithm,
+            tau: request.tau,
+        });
+        let (tx, rx) = mpsc::channel();
+        let job = QueryJob {
+            entry,
+            focal: request.focal,
+            algorithm,
+            tau: request.tau,
+            deadline,
+            cache_key,
+            responder: tx,
+        };
+        if block {
+            self.pool.submit(job)?;
+        } else {
+            self.pool.try_submit(job)?;
+        }
+        Ok(PendingAnswer {
+            rx,
+            deadline,
+            algorithm,
+        })
+    }
+
+    /// Combined cache / pool / registry counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            cache: self.cache.stats(),
+            pool: self.pool.stats(),
+            datasets: self.registry.names(),
+        }
+    }
+
+    /// Graceful shutdown: drain accepted work, stop the workers.  Idempotent.
+    pub fn shutdown(&self) {
+        self.pool.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::DatasetSpec;
+    use mrq_core::{MaxRankConfig, MaxRankQuery};
+
+    fn demo_service(config: ServiceConfig) -> MrqService {
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.register("demo", &DatasetSpec::Demo).unwrap();
+        MrqService::new(registry, config)
+    }
+
+    #[test]
+    fn query_matches_direct_evaluation() {
+        let service = demo_service(ServiceConfig::default());
+        let answer = service.query(&QueryRequest::new("demo", 5)).unwrap();
+        assert_eq!(answer.result.k_star, 3);
+        assert_eq!(answer.result.region_count(), 2);
+        assert_eq!(answer.algorithm, Algorithm::AdvancedApproach2D);
+        assert!(!answer.cached);
+
+        let entry = service.registry().get("demo").unwrap();
+        let fresh =
+            MaxRankQuery::new(entry.data(), entry.tree()).evaluate(5, &MaxRankConfig::new());
+        assert_eq!(answer.result.k_star, fresh.k_star);
+        assert_eq!(answer.result.region_count(), fresh.region_count());
+        service.shutdown();
+    }
+
+    #[test]
+    fn repeated_query_hits_cache() {
+        let service = demo_service(ServiceConfig::default());
+        let req = QueryRequest::new("demo", 5);
+        let first = service.query(&req).unwrap();
+        let second = service.query(&req).unwrap();
+        assert!(!first.cached);
+        assert!(second.cached);
+        // The cache returns the very same allocation.
+        assert!(Arc::ptr_eq(&first.result, &second.result));
+        // An explicit request for the resolved algorithm shares the entry.
+        let explicit = service
+            .query(&QueryRequest {
+                algorithm: Algorithm::AdvancedApproach2D,
+                ..req
+            })
+            .unwrap();
+        assert!(explicit.cached);
+        assert_eq!(service.stats().cache.hits, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn no_cache_requests_bypass_the_cache() {
+        let service = demo_service(ServiceConfig::default());
+        let req = QueryRequest {
+            no_cache: true,
+            ..QueryRequest::new("demo", 5)
+        };
+        service.query(&req).unwrap();
+        let again = service.query(&req).unwrap();
+        assert!(!again.cached);
+        let stats = service.stats();
+        assert_eq!(stats.cache.hits, 0);
+        assert_eq!(stats.cache.len, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn validation_errors() {
+        let service = demo_service(ServiceConfig::default());
+        assert!(matches!(
+            service.query(&QueryRequest::new("nope", 0)),
+            Err(ServiceError::UnknownDataset(_))
+        ));
+        assert!(matches!(
+            service.query(&QueryRequest::new("demo", 99)),
+            Err(ServiceError::BadRequest(_))
+        ));
+        let registry = Arc::clone(service.registry());
+        registry
+            .register(
+                "d3",
+                &DatasetSpec::Synthetic {
+                    dist: mrq_data::Distribution::Independent,
+                    n: 30,
+                    d: 3,
+                    seed: 1,
+                },
+            )
+            .unwrap();
+        assert!(matches!(
+            service.query(&QueryRequest {
+                algorithm: Algorithm::Fca,
+                ..QueryRequest::new("d3", 0)
+            }),
+            Err(ServiceError::BadRequest(_))
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_datasets_and_counters() {
+        let service = demo_service(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        service.query(&QueryRequest::new("demo", 5)).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.datasets, vec!["demo".to_string()]);
+        assert_eq!(stats.pool.workers, 2);
+        assert_eq!(stats.pool.executed, 1);
+        assert_eq!(stats.cache.misses, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn zero_timeout_deadline_exceeded() {
+        let service = demo_service(ServiceConfig::default());
+        let req = QueryRequest {
+            timeout: Some(Duration::ZERO),
+            ..QueryRequest::new("demo", 5)
+        };
+        assert_eq!(
+            service.query(&req).unwrap_err(),
+            ServiceError::DeadlineExceeded
+        );
+        service.shutdown();
+    }
+}

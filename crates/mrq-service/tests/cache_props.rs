@@ -1,0 +1,204 @@
+//! Property tests for the serving layer's caching and concurrency claims:
+//!
+//! 1. A cached service answer is **byte-identical** to a fresh,
+//!    single-threaded `MaxRankQuery::evaluate` answer, across algorithms.
+//! 2. Cache eviction never changes results: a cache too small for the
+//!    workload keeps every answer equal to the uncached one.
+//!
+//! "Byte-identical" is checked on everything the result semantically carries
+//! (dimensionality, `k*`, τ, and each region's H-representation, witness,
+//! order and outranking set via its `Debug` rendering).  Execution statistics
+//! are excluded — wall-clock time differs between any two runs by nature.
+
+use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery, MaxRankResult};
+use mrq_data::{synthetic, Dataset, Distribution};
+use mrq_index::RStarTree;
+use mrq_service::{DatasetRegistry, MrqService, QueryRequest, ServiceConfig};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+
+/// The semantic payload of a result, rendered deterministically.
+fn fingerprint(result: &MaxRankResult) -> String {
+    let regions: Vec<String> = result
+        .regions
+        .iter()
+        .map(|r| {
+            format!(
+                "order={} outranking={:?} region={:?}",
+                r.order, r.outranking, r.region
+            )
+        })
+        .collect();
+    format!(
+        "dims={} k*={} tau={} regions={regions:?}",
+        result.dims, result.k_star, result.tau
+    )
+}
+
+fn dataset_strategy(d: usize, max_n: usize) -> impl Strategy<Value = (Dataset, Vec<u32>, usize)> {
+    (20usize..max_n, any::<u64>()).prop_map(move |(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = match seed % 3 {
+            0 => Distribution::Independent,
+            1 => Distribution::Correlated,
+            _ => Distribution::AntiCorrelated,
+        };
+        let data = synthetic::generate(dist, n, d, &mut rng);
+        // A handful of focals with deliberate repeats so the cache is hit.
+        let focals: Vec<u32> = (0..6u64)
+            .map(|i| (seed.wrapping_add(i * 7919) % n as u64) as u32)
+            .collect();
+        let tau = (seed % 3) as usize;
+        (data, focals, tau)
+    })
+}
+
+/// Runs every focal twice through a service and checks both answers against
+/// a fresh single-threaded engine.
+fn assert_cached_equals_fresh(
+    data: Dataset,
+    focals: &[u32],
+    tau: usize,
+    algorithms: &[Algorithm],
+    cache_capacity: usize,
+) -> Result<(), TestCaseError> {
+    let fresh_data = data.clone();
+    let tree = RStarTree::bulk_load(&fresh_data);
+    let engine = MaxRankQuery::new(&fresh_data, &tree);
+
+    let registry = Arc::new(DatasetRegistry::new());
+    registry
+        .register_loaded("p", data)
+        .map_err(|e| TestCaseError::fail(format!("register: {e}")))?;
+    let service = MrqService::new(
+        Arc::clone(&registry),
+        ServiceConfig {
+            workers: 3,
+            cache_capacity,
+            ..ServiceConfig::default()
+        },
+    );
+
+    for &algorithm in algorithms {
+        for round in 0..2 {
+            for &focal in focals {
+                let request = QueryRequest {
+                    algorithm,
+                    tau,
+                    ..QueryRequest::new("p", focal)
+                };
+                let answer = service
+                    .query(&request)
+                    .map_err(|e| TestCaseError::fail(format!("service: {e}")))?;
+                let config = MaxRankConfig {
+                    tau,
+                    algorithm,
+                    ..MaxRankConfig::new()
+                };
+                let fresh = engine.evaluate(focal, &config);
+                prop_assert_eq!(
+                    fingerprint(&answer.result),
+                    fingerprint(&fresh),
+                    "round {} focal {} algorithm {:?}",
+                    round,
+                    focal,
+                    algorithm
+                );
+            }
+        }
+    }
+    let stats = service.stats();
+    service.shutdown();
+    // The second round re-queried every key: with a big enough cache that
+    // must produce hits; with eviction pressure it may not, but the
+    // equality assertions above have already done the real work.
+    if cache_capacity >= focals.len() {
+        prop_assert!(
+            stats.cache.hits > 0,
+            "repeat workload must hit: {:?}",
+            stats
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// 2-d: every algorithm (FCA, AA2D, plus the generic pair) served through
+    /// the cache equals fresh evaluation.
+    #[test]
+    fn cached_answers_identical_2d((data, focals, tau) in dataset_strategy(2, 80)) {
+        assert_cached_equals_fresh(
+            data,
+            &focals,
+            tau,
+            &[Algorithm::Fca, Algorithm::AdvancedApproach2D, Algorithm::Auto],
+            1024,
+        )?;
+    }
+
+    /// 3-d: BA and AA served through the cache equal fresh evaluation.
+    #[test]
+    fn cached_answers_identical_3d((data, focals, tau) in dataset_strategy(3, 50)) {
+        assert_cached_equals_fresh(
+            data,
+            &focals,
+            tau,
+            &[Algorithm::BasicApproach, Algorithm::AdvancedApproach],
+            1024,
+        )?;
+    }
+
+    /// A cache under heavy eviction pressure (capacity 2 for 6 keys, queried
+    /// twice) never changes any answer.
+    #[test]
+    fn eviction_never_changes_results((data, focals, tau) in dataset_strategy(3, 50)) {
+        assert_cached_equals_fresh(
+            data,
+            &focals,
+            tau,
+            &[Algorithm::AdvancedApproach],
+            2,
+        )?;
+    }
+}
+
+/// Deterministic (non-proptest) eviction check with explicit counters: a
+/// capacity-2 cache cycled over 8 focals evicts constantly, yet every answer
+/// stays equal to the fresh one.
+#[test]
+fn eviction_counters_move_and_answers_stay_correct() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let data = synthetic::generate(Distribution::Independent, 120, 3, &mut rng);
+    let fresh_data = data.clone();
+    let tree = RStarTree::bulk_load(&fresh_data);
+    let engine = MaxRankQuery::new(&fresh_data, &tree);
+
+    let registry = Arc::new(DatasetRegistry::new());
+    registry.register_loaded("p", data).unwrap();
+    let service = MrqService::new(
+        registry,
+        ServiceConfig {
+            workers: 2,
+            cache_capacity: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let focals: Vec<u32> = (0..8).map(|i| i * 13 % 120).collect();
+    for _ in 0..3 {
+        for &focal in &focals {
+            let answer = service.query(&QueryRequest::new("p", focal)).unwrap();
+            let fresh = engine.evaluate(focal, &MaxRankConfig::new());
+            assert_eq!(fingerprint(&answer.result), fingerprint(&fresh));
+        }
+    }
+    let stats = service.stats();
+    assert!(
+        stats.cache.evictions > 0,
+        "8 keys through a 2-entry cache must evict: {stats:?}"
+    );
+    assert_eq!(stats.cache.len, 2);
+    service.shutdown();
+}

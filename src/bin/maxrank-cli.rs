@@ -3,26 +3,34 @@
 //! ```text
 //! maxrank-cli --data options.csv --dims 4 --focal 17 [--tau 2] [--algorithm aa|ba|fca|aa2d]
 //! maxrank-cli --data options.csv --dims 4 --point 0.4,0.7,0.2,0.9
+//! maxrank-cli --data options.csv --dims 4 --focals 3,17,29,41 --threads 4
 //! maxrank-cli --demo                       # run the paper's Figure 1 example
 //! ```
 //!
 //! The CSV is plain comma-separated numeric values, one record per line (an
 //! optional header line is skipped automatically); all attributes are
 //! interpreted as "larger is better", as in the paper.
+//!
+//! Multi-focal invocations (`--focals`) run through the `mrq-service` worker
+//! pool — `--threads N` picks the pool size — so a what-if study over many
+//! focal records shares one index and evaluates in parallel.
 
 use maxrank::prelude::*;
 use mrq_data::io::read_csv;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     data: Option<PathBuf>,
     dims: Option<usize>,
     focal: Option<u32>,
+    focals: Vec<u32>,
     point: Option<Vec<f64>>,
     tau: usize,
     algorithm: Algorithm,
     regions_shown: usize,
+    threads: usize,
     demo: bool,
 }
 
@@ -31,10 +39,12 @@ fn parse_args() -> Result<Args, String> {
         data: None,
         dims: None,
         focal: None,
+        focals: Vec::new(),
         point: None,
         tau: 0,
         algorithm: Algorithm::Auto,
         regions_shown: 10,
+        threads: 1,
         demo: false,
     };
     let mut it = std::env::args().skip(1);
@@ -56,6 +66,26 @@ fn parse_args() -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("--focal: {e}"))?,
                 )
+            }
+            "--focals" => {
+                let raw = it
+                    .next()
+                    .ok_or("--focals needs comma-separated record ids")?;
+                let ids: Result<Vec<u32>, _> = raw.split(',').map(|c| c.trim().parse()).collect();
+                args.focals = ids.map_err(|e| format!("--focals: {e}"))?;
+                if args.focals.is_empty() {
+                    return Err("--focals needs at least one record id".into());
+                }
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if args.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
             }
             "--point" => {
                 let raw = it
@@ -98,9 +128,80 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: maxrank-cli --data FILE.csv --dims D (--focal ID | --point x1,..,xD) \
-     [--tau T] [--algorithm auto|fca|ba|aa|aa2d] [--regions N]\n       maxrank-cli --demo"
+    "usage: maxrank-cli --data FILE.csv --dims D (--focal ID | --focals ID,ID,.. | --point x1,..,xD) \
+     [--tau T] [--algorithm auto|fca|ba|aa|aa2d] [--regions N] [--threads N]\n       maxrank-cli --demo"
         .to_string()
+}
+
+/// Evaluates every `--focals` record through the `mrq-service` worker pool
+/// (shared index, `--threads` workers) and prints one summary row per focal.
+fn run_multi_focal(data: Dataset, args: &Args) -> ExitCode {
+    let n = data.len();
+    if let Some(&bad) = args.focals.iter().find(|&&id| id as usize >= n) {
+        eprintln!("--focals {bad} out of range (dataset has {n} records)");
+        return ExitCode::FAILURE;
+    }
+    let registry = Arc::new(DatasetRegistry::new());
+    if let Err(e) = registry.register_loaded("cli", data) {
+        eprintln!("failed to index the dataset: {e}");
+        return ExitCode::FAILURE;
+    }
+    let service = MrqService::new(
+        registry,
+        ServiceConfig {
+            workers: args.threads,
+            cache_capacity: args.focals.len(),
+            ..ServiceConfig::default()
+        },
+    );
+    // Enqueue everything first so the pool actually runs in parallel (and
+    // coalesces same-dataset neighbours), then collect in input order.
+    let pending: Result<Vec<_>, _> = args
+        .focals
+        .iter()
+        .map(|&focal| {
+            service.enqueue(&QueryRequest {
+                algorithm: args.algorithm,
+                tau: args.tau,
+                ..QueryRequest::new("cli", focal)
+            })
+        })
+        .collect();
+    let pending = match pending {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{} focal records over {} worker threads",
+        args.focals.len(),
+        args.threads
+    );
+    println!(
+        "{:>8}  {:>6}  {:>8}  {:>10}  {:>8}",
+        "focal", "k*", "|T|", "cpu_s", "io"
+    );
+    for (&focal, answer) in args.focals.iter().zip(pending) {
+        match answer.wait() {
+            Ok(a) => println!(
+                "{:>8}  {:>6}  {:>8}  {:>10.4}  {:>8}",
+                focal,
+                a.result.k_star,
+                a.result.region_count(),
+                a.result.stats.cpu_time.as_secs_f64(),
+                a.result.stats.io_reads
+            ),
+            Err(e) => {
+                eprintln!("focal {focal}: {e}");
+                service.shutdown();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    service.shutdown();
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -112,19 +213,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let (data, focal_point, focal_id) = if args.demo {
-        let data = Dataset::from_rows(
-            2,
-            &[
-                vec![0.8, 0.9],
-                vec![0.2, 0.7],
-                vec![0.9, 0.4],
-                vec![0.7, 0.2],
-                vec![0.4, 0.3],
-                vec![0.5, 0.5],
-            ],
-        );
-        (data, vec![0.5, 0.5], Some(5u32))
+    let data = if args.demo {
+        // The same Figure-1 dataset `maxrank-serve --demo` registers.
+        DatasetSpec::Demo
+            .materialize()
+            .expect("the demo dataset is embedded")
     } else {
         let Some(path) = &args.data else {
             eprintln!("--data is required (or use --demo)\n{}", usage());
@@ -134,20 +227,43 @@ fn main() -> ExitCode {
             eprintln!("--dims is required\n{}", usage());
             return ExitCode::FAILURE;
         };
-        let data = match read_csv(path, dims) {
+        match read_csv(path, dims) {
             Ok(d) => d,
             Err(e) => {
                 eprintln!("failed to read {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
-        };
+        }
+    };
+
+    if args.algorithm.requires_2d() && data.dims() != 2 {
+        eprintln!(
+            "--algorithm {} only supports 2-dimensional data (the dataset has {} attributes); \
+             use auto, ba or aa",
+            args.algorithm.name(),
+            data.dims()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if !args.focals.is_empty() {
+        return run_multi_focal(data, &args);
+    }
+
+    let (focal_point, focal_id) = if args.demo {
+        (vec![0.5, 0.5], Some(5u32))
+    } else {
         match (&args.point, args.focal) {
             (Some(p), _) => {
-                if p.len() != dims {
-                    eprintln!("--point has {} coordinates, expected {dims}", p.len());
+                if p.len() != data.dims() {
+                    eprintln!(
+                        "--point has {} coordinates, expected {}",
+                        p.len(),
+                        data.dims()
+                    );
                     return ExitCode::FAILURE;
                 }
-                (data, p.clone(), None)
+                (p.clone(), None)
             }
             (None, Some(id)) => {
                 if id as usize >= data.len() {
@@ -157,29 +273,17 @@ fn main() -> ExitCode {
                     );
                     return ExitCode::FAILURE;
                 }
-                let p = data.record(id).to_vec();
-                (data, p, Some(id))
+                (data.record(id).to_vec(), Some(id))
             }
             (None, None) => {
-                eprintln!("one of --focal or --point is required\n{}", usage());
+                eprintln!(
+                    "one of --focal, --focals or --point is required\n{}",
+                    usage()
+                );
                 return ExitCode::FAILURE;
             }
         }
     };
-
-    if matches!(
-        args.algorithm,
-        Algorithm::Fca | Algorithm::AdvancedApproach2D
-    ) && data.dims() != 2
-    {
-        eprintln!(
-            "--algorithm {:?} only supports 2-dimensional data (the dataset has {} attributes); \
-             use auto, ba or aa",
-            args.algorithm,
-            data.dims()
-        );
-        return ExitCode::FAILURE;
-    }
 
     let tree = RStarTree::bulk_load(&data);
     let engine = MaxRankQuery::new(&data, &tree);

@@ -1,0 +1,215 @@
+//! `maxrank-client` — command-line client for `maxrank-serve`.
+//!
+//! ```text
+//! maxrank-client --port 7171 --dataset demo --focal 5
+//! maxrank-client --addr 127.0.0.1:7171 --dataset bench --focal 17 --tau 2 --algorithm aa
+//! maxrank-client --port 7171 --stats
+//! maxrank-client --port 7171 --list
+//! maxrank-client --port 7171 --ping
+//! maxrank-client --port 7171 --shutdown
+//! ```
+
+use maxrank::service::{Client, QueryOptions};
+use mrq_core::Algorithm;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    dataset: Option<String>,
+    focal: Option<u32>,
+    algorithm: Algorithm,
+    tau: usize,
+    timeout_ms: Option<u64>,
+    no_cache: bool,
+    regions_shown: usize,
+    stats: bool,
+    list: bool,
+    ping: bool,
+    shutdown: bool,
+}
+
+fn usage() -> String {
+    "usage: maxrank-client (--addr HOST:PORT | --port P) \
+     (--dataset NAME --focal ID [--algorithm auto|fca|ba|aa|aa2d] [--tau T] \
+     [--timeout-ms MS] [--no-cache] [--regions N] | --stats | --list | --ping | --shutdown)"
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7171".to_string(),
+        dataset: None,
+        focal: None,
+        algorithm: Algorithm::Auto,
+        tau: 0,
+        timeout_ms: None,
+        no_cache: false,
+        regions_shown: 10,
+        stats: false,
+        list: false,
+        ping: false,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = it.next().ok_or("--addr needs HOST:PORT")?,
+            "--port" => {
+                let port: u16 = it
+                    .next()
+                    .ok_or("--port needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?;
+                args.addr = format!("127.0.0.1:{port}");
+            }
+            "--dataset" => args.dataset = Some(it.next().ok_or("--dataset needs a name")?),
+            "--focal" => {
+                args.focal = Some(
+                    it.next()
+                        .ok_or("--focal needs a record id")?
+                        .parse()
+                        .map_err(|e| format!("--focal: {e}"))?,
+                )
+            }
+            "--algorithm" => {
+                let name = it.next().ok_or("--algorithm needs a name")?;
+                args.algorithm = Algorithm::from_name(&name)
+                    .ok_or_else(|| format!("unknown algorithm '{name}'"))?;
+            }
+            "--tau" => {
+                args.tau = it
+                    .next()
+                    .ok_or("--tau needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--tau: {e}"))?
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = Some(
+                    it.next()
+                        .ok_or("--timeout-ms needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--timeout-ms: {e}"))?,
+                )
+            }
+            "--no-cache" => args.no_cache = true,
+            "--regions" => {
+                args.regions_shown = it
+                    .next()
+                    .ok_or("--regions needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--regions: {e}"))?
+            }
+            "--stats" => args.stats = true,
+            "--list" => args.list = true,
+            "--ping" => args.ping = true,
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut client = match Client::connect(args.addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to connect to {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let outcome = if args.ping {
+        client.ping().map(|()| println!("pong"))
+    } else if args.stats {
+        client.stats().map(|s| {
+            println!("datasets        : {}", s.datasets.join(", "));
+            println!(
+                "cache           : {} hits / {} misses / {} evictions ({}/{} entries)",
+                s.cache.hits, s.cache.misses, s.cache.evictions, s.cache.len, s.cache.capacity
+            );
+            println!(
+                "pool            : {} workers, queue {}/{}",
+                s.pool.workers, s.pool.queue_depth, s.pool.queue_capacity
+            );
+            println!(
+                "jobs            : {} executed, {} coalesced, {} timed out",
+                s.pool.executed, s.pool.coalesced, s.pool.timed_out
+            );
+        })
+    } else if args.list {
+        client.list().map(|datasets| {
+            for (name, records, dims) in datasets {
+                println!("{name}: {records} records × {dims} attributes");
+            }
+        })
+    } else if args.shutdown {
+        client
+            .shutdown_server()
+            .map(|()| println!("server shut down"))
+    } else {
+        let (Some(dataset), Some(focal)) = (&args.dataset, args.focal) else {
+            eprintln!(
+                "nothing to do: pass --dataset/--focal, --stats, --list, --ping or --shutdown\n{}",
+                usage()
+            );
+            return ExitCode::FAILURE;
+        };
+        client
+            .query_with(
+                dataset,
+                focal,
+                QueryOptions {
+                    algorithm: args.algorithm,
+                    tau: args.tau,
+                    timeout: args.timeout_ms.map(Duration::from_millis),
+                    no_cache: args.no_cache,
+                    max_regions: Some(args.regions_shown),
+                },
+            )
+            .map(|reply| {
+                println!("k* (best rank)    : {}", reply.k_star);
+                if reply.tau > 0 {
+                    println!("tau               : {}", reply.tau);
+                }
+                println!("algorithm         : {}", reply.algorithm);
+                println!("result regions    : {}", reply.region_count);
+                println!("cached            : {}", reply.cached);
+                println!("page reads (I/O)  : {}", reply.io_reads);
+                println!("cpu time          : {:.3}s", reply.cpu_us as f64 / 1e6);
+                for (i, (order, w)) in reply.orders.iter().zip(&reply.witnesses).enumerate() {
+                    let rounded: Vec<f64> = w
+                        .iter()
+                        .map(|x| (x * 10_000.0).round() / 10_000.0)
+                        .collect();
+                    println!(
+                        "  region {:>3}: rank {order}  example weights {rounded:?}",
+                        i + 1
+                    );
+                }
+                if reply.region_count > reply.orders.len() {
+                    println!(
+                        "  … {} more regions (use --regions to show more)",
+                        reply.region_count - reply.orders.len()
+                    );
+                }
+            })
+    };
+
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! `maxrank-serve` — the long-lived MaxRank query server.
+//!
+//! ```text
+//! maxrank-serve --demo
+//! maxrank-serve --dataset hotels=hotel:scale=0.01 --dataset bench=ind:n=5000,d=3
+//! maxrank-serve --dataset opts=csv:path=options.csv,dims=4 \
+//!               --listen 127.0.0.1:7171 --workers 8 --cache 4096
+//! maxrank-serve --demo --listen 127.0.0.1:0 --port-file /tmp/maxrank.port
+//! ```
+//!
+//! Datasets are loaded and indexed **once** at startup; queries then stream
+//! through the worker pool and result cache.  `--listen 127.0.0.1:0` picks an
+//! ephemeral port; `--port-file` writes the bound port number to a file so
+//! scripts (CI, tests) can find it.  The server runs until a client sends the
+//! `SHUTDOWN` command, then drains accepted work and exits cleanly.
+//!
+//! See `docs/ARCHITECTURE.md` ("The serving layer") for the protocol grammar
+//! and the threading model.
+
+use maxrank::service::{DatasetRegistry, DatasetSpec, MrqService, Server, ServiceConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    listen: String,
+    port_file: Option<String>,
+    datasets: Vec<(String, DatasetSpec)>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    cache: Option<usize>,
+    deadline_ms: Option<u64>,
+}
+
+fn usage() -> String {
+    "usage: maxrank-serve (--demo | --dataset NAME=SPEC)... [--listen HOST:PORT] \
+     [--port-file PATH] [--workers N] [--queue N] [--cache N] [--deadline-ms MS]\n\
+     SPEC: demo | ind:n=1000,d=3,seed=42 | cor:... | anti:... | \
+     hotel:scale=0.01,seed=1 | house:... | nba:... | pitch:... | bat:... | \
+     csv:path=FILE,dims=D"
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:7171".to_string(),
+        port_file: None,
+        datasets: Vec::new(),
+        workers: None,
+        queue: None,
+        cache: None,
+        deadline_ms: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--demo" => args.datasets.push(("demo".to_string(), DatasetSpec::Demo)),
+            "--dataset" => {
+                let raw = it.next().ok_or("--dataset needs NAME=SPEC")?;
+                let (name, spec) = raw
+                    .split_once('=')
+                    .ok_or_else(|| format!("--dataset '{raw}' is not NAME=SPEC"))?;
+                let spec =
+                    DatasetSpec::parse(spec).map_err(|e| format!("--dataset {name}: {e}"))?;
+                args.datasets.push((name.to_string(), spec));
+            }
+            "--listen" => args.listen = it.next().ok_or("--listen needs HOST:PORT")?,
+            "--port-file" => args.port_file = Some(it.next().ok_or("--port-file needs a path")?),
+            "--workers" => {
+                let n = parse_num(&mut it, "--workers")?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                args.workers = Some(n);
+            }
+            "--queue" => {
+                let n = parse_num(&mut it, "--queue")?;
+                if n == 0 {
+                    return Err("--queue must be at least 1".into());
+                }
+                args.queue = Some(n);
+            }
+            "--cache" => {
+                args.cache = Some(parse_num(&mut it, "--cache")?);
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(parse_num(&mut it, "--deadline-ms")? as u64);
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    if args.datasets.is_empty() {
+        return Err(format!(
+            "no datasets: pass --demo or --dataset NAME=SPEC\n{}",
+            usage()
+        ));
+    }
+    Ok(args)
+}
+
+fn parse_num(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<usize, String> {
+    it.next()
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let registry = Arc::new(DatasetRegistry::new());
+    for (name, spec) in &args.datasets {
+        let start = std::time::Instant::now();
+        match registry.register(name, spec) {
+            Ok(entry) => println!(
+                "dataset '{name}': {} records × {} attributes, index built in {:.2}s",
+                entry.data().len(),
+                entry.data().dims(),
+                start.elapsed().as_secs_f64()
+            ),
+            Err(e) => {
+                eprintln!("failed to load dataset '{name}': {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let defaults = ServiceConfig::default();
+    let config = ServiceConfig {
+        workers: args.workers.unwrap_or(defaults.workers),
+        queue_capacity: args.queue.unwrap_or(defaults.queue_capacity),
+        cache_capacity: args.cache.unwrap_or(defaults.cache_capacity),
+        default_deadline: args.deadline_ms.map(Duration::from_millis),
+        ..defaults
+    };
+    let service = Arc::new(MrqService::new(registry, config));
+    let server = match Server::start(service, args.listen.as_str()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    println!(
+        "listening on {addr} ({} workers, queue {}, cache {})",
+        config.workers, config.queue_capacity, config.cache_capacity
+    );
+    if let Some(path) = &args.port_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
+            eprintln!("failed to write --port-file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Runs until a client sends SHUTDOWN; then drain and exit cleanly.
+    server.wait();
+    println!("shut down cleanly");
+    ExitCode::SUCCESS
+}

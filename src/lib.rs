@@ -43,24 +43,28 @@
 //! | [`mrq_index`] | aggregate R\*-tree, BBS skyline, top-k search |
 //! | [`mrq_quadtree`] | the augmented quad-tree over the reduced query space |
 //! | [`mrq_core`] | FCA / BA / AA / iMaxRank algorithms |
+//! | [`mrq_service`] | long-lived query service: registry, worker pool, cache, loopback protocol |
 
 pub use mrq_core as core;
 pub use mrq_data as data;
 pub use mrq_geometry as geometry;
 pub use mrq_index as index;
 pub use mrq_quadtree as quadtree;
+pub use mrq_service as service;
 
 pub use mrq_core::{
     Algorithm, MaxRankConfig, MaxRankQuery, MaxRankResult, QueryStats, ResultRegion,
 };
 pub use mrq_data::{Dataset, Distribution, RealDataset, RecordId};
 pub use mrq_index::{order_of, top_k, RStarTree};
+pub use mrq_service::{DatasetRegistry, DatasetSpec, MrqService, QueryRequest, ServiceConfig};
 
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {
     pub use crate::{
-        Algorithm, Dataset, Distribution, MaxRankConfig, MaxRankQuery, MaxRankResult, RStarTree,
-        RealDataset, RecordId, ResultRegion,
+        Algorithm, Dataset, DatasetRegistry, DatasetSpec, Distribution, MaxRankConfig,
+        MaxRankQuery, MaxRankResult, MrqService, QueryRequest, RStarTree, RealDataset, RecordId,
+        ResultRegion, ServiceConfig,
     };
     pub use mrq_core::oracle;
     pub use mrq_index::{order_of, top_k};
