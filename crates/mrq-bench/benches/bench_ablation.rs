@@ -26,7 +26,7 @@ fn bench_pair_pruning(c: &mut Criterion) {
                         tau: 1,
                         algorithm: Algorithm::AdvancedApproach,
                         pair_pruning: enabled,
-                        quadtree: None,
+                        ..MaxRankConfig::new()
                     },
                 )
             })
@@ -59,6 +59,7 @@ fn bench_split_threshold(c: &mut Criterion) {
                                 split_threshold: t,
                                 max_depth: QuadTreeConfig::for_reduced_dims(2).max_depth,
                             }),
+                            ..MaxRankConfig::new()
                         },
                     )
                 })

@@ -1,7 +1,11 @@
 //! Criterion bench for Figure 11: FCA versus the specialised AA in the
 //! two-dimensional special case, across the three data distributions.
 //!
-//! Set `MRQ_BENCH_FULL_D2=1` to run the ANTI case at the full n = 20 000.
+//! Every distribution runs at the full n = 20 000: the incremental event
+//! sweep (PR 3) removed the quadratic per-interval re-derivation that made
+//! the ANTI case take ~78 s/iteration, so no size cap or opt-in environment
+//! variable is needed any more (a regression is caught by the wall-clock
+//! smoke test in `tests/smoke.rs`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrq_bench::runner::{focal_ids, synthetic_workload};
@@ -14,25 +18,11 @@ fn bench_d2(c: &mut Criterion) {
     group.sample_size(20);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
-    let full = std::env::var_os("MRQ_BENCH_FULL_D2").is_some();
     for dist in Distribution::all() {
-        // PERF TARGET (see CHANGES.md, PR 1): AA2D on ANTI at n = 20 000 runs
-        // at ~78 s/iteration — anti-correlated records are mutually
-        // incomparable, so the focal faces tens of thousands of half-lines
-        // and the sorted-sweep arrangement degrades quadratically.  Until
-        // that path is fixed, the full-size ANTI case is opt-in
-        // (`MRQ_BENCH_FULL_D2=1`); the default n = 2 000 keeps the whole
-        // bench suite in the minutes range while preserving the comparison.
-        let n = if dist == Distribution::AntiCorrelated && !full {
-            2_000
-        } else {
-            20_000
-        };
+        let n = 20_000;
         let (data, tree) = synthetic_workload(dist, n, 2, 2015);
         let ids = focal_ids(&data, 1, 2015);
         let engine = MaxRankQuery::new(&data, &tree);
-        // n is part of the benchmark id so a gated (n = 2 000) run and a full
-        // (n = 20 000) run never compare against each other's saved baseline.
         let param = format!("{}/n={n}", dist.label());
         group.bench_with_input(BenchmarkId::new("FCA", &param), &dist, |b, _| {
             b.iter(|| engine.evaluate(ids[0], &MaxRankConfig::new().with_algorithm(Algorithm::Fca)))

@@ -5,15 +5,20 @@
 //! cargo run --release -p mrq-bench --bin experiments -- [--exp NAME] [--scale quick|default|paper]
 //!                                                       [--queries N] [--seed S] [--list]
 //!                                                       [--json PATH]
+//!                                                       [--baseline PATH [--max-regression F]]
 //! ```
 //!
 //! With no arguments every experiment runs at the `quick` scale.  The output
 //! of a full run is what EXPERIMENTS.md is based on.  `--json PATH` (e.g.
-//! `--json BENCH_baseline.json`) additionally writes a machine-readable
-//! summary — per-experiment wall time, the median of every per-query CPU
-//! latency column, and the full metric rows — so successive runs can be
-//! diffed as a perf trajectory.
+//! `--json BENCH_pr3.json`) additionally writes a machine-readable summary —
+//! per-experiment wall time, the median of every per-query CPU latency
+//! column, and the full metric rows — so successive runs can be diffed as a
+//! perf trajectory.  `--baseline PATH` compares the run against a previously
+//! written artifact and exits non-zero when any experiment's median CPU
+//! latency regressed more than `--max-regression` times (default 3.0) — the
+//! CI bench-regression gate.
 
+use mrq_bench::baseline::{check_regression, median_cpu};
 use mrq_bench::experiments::ALL;
 use mrq_bench::{Row, Scale};
 use std::process::ExitCode;
@@ -25,6 +30,8 @@ fn main() -> ExitCode {
     let mut queries: Option<usize> = None;
     let mut seed: Option<u64> = None;
     let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut max_regression = 3.0f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -56,10 +63,30 @@ fn main() -> ExitCode {
                 match args.get(i) {
                     Some(path) => json_path = Some(path.clone()),
                     None => {
-                        eprintln!("--json needs an output path (e.g. BENCH_baseline.json)");
+                        eprintln!("--json needs an output path (e.g. BENCH_pr3.json)");
                         return ExitCode::FAILURE;
                     }
                 }
+            }
+            "--baseline" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => baseline_path = Some(path.clone()),
+                    None => {
+                        eprintln!("--baseline needs the checked-in artifact path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--max-regression" => {
+                i += 1;
+                max_regression = match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(f) if f >= 1.0 => f,
+                    _ => {
+                        eprintln!("--max-regression needs a factor >= 1.0");
+                        return ExitCode::FAILURE;
+                    }
+                };
             }
             "--help" | "-h" => {
                 print_usage();
@@ -91,11 +118,26 @@ fn main() -> ExitCode {
         scale.name, scale.base_n, scale.base_d, scale.queries, scale.seed
     );
 
+    // `--exp` accepts a single name, a comma-separated list, or `all` (the
+    // CI gate runs a bounded subset this way).  Every listed name must
+    // exist: a typo that silently skipped an experiment would also silently
+    // remove it from the regression gate.
+    if let Some(filter) = &exp_filter {
+        if filter != "all" {
+            for requested in filter.split(',').map(str::trim) {
+                if !ALL.iter().any(|(name, _)| *name == requested) {
+                    eprintln!("unknown experiment '{requested}' — use --list");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
     let mut ran = 0;
     let mut completed: Vec<(&str, f64, Vec<Row>)> = Vec::new();
     for (name, f) in ALL {
         if let Some(filter) = &exp_filter {
-            if filter != "all" && filter != name {
+            if filter != "all" && !filter.split(',').any(|f| f.trim() == *name) {
                 continue;
             }
         }
@@ -122,18 +164,36 @@ fn main() -> ExitCode {
         }
         println!("wrote machine-readable summary to {path}");
     }
-    ExitCode::SUCCESS
-}
-
-/// Median of a non-empty slice (already-filtered finite values).
-fn median(values: &mut [f64]) -> f64 {
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
-    let mid = values.len() / 2;
-    if values.len() % 2 == 1 {
-        values[mid]
-    } else {
-        (values[mid - 1] + values[mid]) / 2.0
+    if let Some(path) = baseline_path {
+        let artifact = match std::fs::read_to_string(&path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let current: Vec<(String, Option<f64>)> = completed
+            .iter()
+            .map(|(name, _, rows)| (name.to_string(), median_cpu(rows)))
+            .collect();
+        match check_regression(&artifact, &current, max_regression) {
+            Ok(report) => {
+                println!("bench-regression gate vs {path} (max {max_regression}x):");
+                for c in &report {
+                    println!(
+                        "  {:<10} {:.6}s vs {:.6}s ({:.2}x)",
+                        c.name, c.current_s, c.baseline_s, c.ratio
+                    );
+                }
+                println!("gate passed");
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
+    ExitCode::SUCCESS
 }
 
 /// Renders the run as JSON.  String escaping and finite-number formatting
@@ -155,16 +215,9 @@ fn render_json(scale: &Scale, completed: &[(&str, f64, Vec<Row>)]) -> String {
     for (e, (name, wall_s, rows)) in completed.iter().enumerate() {
         // The perf-trajectory headline: the median over every per-query CPU
         // latency cell of the experiment ("... cpu_s" columns), NaN-filtered.
-        let mut cpu_cells: Vec<f64> = rows
-            .iter()
-            .flat_map(|r| r.values.iter())
-            .filter(|(name, v)| name.contains("cpu_s") && v.is_finite())
-            .map(|(_, v)| *v)
-            .collect();
-        let median_cpu = if cpu_cells.is_empty() {
-            "null".to_string()
-        } else {
-            json_num(median(&mut cpu_cells))
+        let median_cpu = match median_cpu(rows) {
+            Some(m) => json_num(m),
+            None => "null".to_string(),
         };
         out.push_str(&format!(
             "    {{\"name\": {}, \"wall_s\": {}, \"median_cpu_s\": {}, \"rows\": [\n",
@@ -206,7 +259,7 @@ fn json_num(v: f64) -> String {
 
 fn print_usage() {
     println!(
-        "usage: experiments [--exp NAME|all] [--scale quick|default|paper] [--queries N] [--seed S] \
-         [--json PATH] [--list]"
+        "usage: experiments [--exp NAME[,NAME..]|all] [--scale quick|default|paper] [--queries N] [--seed S] \
+         [--json PATH] [--baseline PATH] [--max-regression F] [--list]"
     );
 }

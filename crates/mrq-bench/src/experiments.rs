@@ -321,6 +321,7 @@ pub fn ablation(scale: &Scale) -> (String, Vec<Row>) {
                     split_threshold: threshold,
                     max_depth: QuadTreeConfig::for_reduced_dims(data.dims() - 1).max_depth,
                 }),
+                ..MaxRankConfig::new()
             };
             let res = engine.evaluate(focal, &config);
             cpu += res.stats.cpu_time.as_secs_f64();

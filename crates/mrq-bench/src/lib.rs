@@ -15,6 +15,7 @@
 //! value, mirroring the corresponding figure/table of the paper, and returns
 //! the same rows as structured [`Row`]s so they can be post-processed.
 
+pub mod baseline;
 pub mod experiments;
 pub mod runner;
 pub mod scale;

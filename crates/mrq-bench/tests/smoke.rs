@@ -61,6 +61,35 @@ fn experiment_runs_at_tiny_scale() {
 }
 
 #[test]
+fn anti_correlated_full_size_d2_is_fast() {
+    // Regression guard for the event-sweep rewrite (PR 3): AA2D on ANTI at
+    // the full n = 20 000 used to take ~78 s per query (quadratic
+    // per-interval re-derivation); the incremental sweep runs it in ~150 ms
+    // release / a few seconds debug.  The bound is deliberately generous —
+    // it exists to catch a return of the quadratic path (minutes), not to
+    // flake on slow CI machines.
+    use mrq_core::{MaxRankConfig, MaxRankQuery};
+    let (data, tree) = synthetic_workload(Distribution::AntiCorrelated, 20_000, 2, 2015);
+    let ids = focal_ids(&data, 1, 2015);
+    let engine = MaxRankQuery::new(&data, &tree);
+    let start = std::time::Instant::now();
+    let aa = engine.evaluate(
+        ids[0],
+        &MaxRankConfig::new().with_algorithm(Algorithm::AdvancedApproach2D),
+    );
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(60),
+        "AA2D/ANTI n=20000 took {elapsed:?} — the sweep regressed"
+    );
+    // And it must still be exact: FCA is the ground truth for d = 2.
+    let fca = engine.evaluate(ids[0], &MaxRankConfig::new().with_algorithm(Algorithm::Fca));
+    assert_eq!(aa.k_star, fca.k_star);
+    assert_eq!(aa.region_count(), fca.region_count());
+    assert!(aa.stats.events_pruned > 0, "sweep pruning should fire");
+}
+
+#[test]
 fn every_experiment_is_listed_and_named() {
     let names: Vec<&str> = experiments::ALL.iter().map(|(n, _)| *n).collect();
     for expected in [

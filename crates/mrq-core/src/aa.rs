@@ -104,8 +104,14 @@ pub fn run_point(
     loop {
         stats.iterations += 1;
         let hard_limit = o_star.map(|o| o + tau);
-        let (cells, effective_limit) =
-            enumerator.enumerate(&state.qt, hard_limit, tau, config.pair_pruning, &mut stats);
+        let (cells, effective_limit) = enumerator.enumerate(
+            &state.qt,
+            hard_limit,
+            tau,
+            config.pair_pruning,
+            config.threads,
+            &mut stats,
+        );
         if cells.is_empty() {
             // Defensive: with at least one half-space the arrangement always
             // has a full-dimensional cell; numerical degeneracy could in
@@ -335,14 +341,5 @@ mod tests {
             &AlgoConfig::default(),
         );
         assert!(worst.k_star > 400, "k* = {}", worst.k_star);
-    }
-
-    #[test]
-    fn aa_works_in_two_dimensions_via_quadtree() {
-        let (data, tree) = random_dataset(300, 2, Distribution::AntiCorrelated, 700);
-        let focal = 42u32;
-        let aa = run(&data, &tree, focal, 0, &AlgoConfig::default());
-        let fca = crate::fca::run(&data, &tree, focal, 0);
-        assert_eq!(aa.k_star, fca.k_star);
     }
 }

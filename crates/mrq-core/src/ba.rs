@@ -26,6 +26,10 @@ pub struct AlgoConfig {
     /// Whether the within-leaf module uses the pairwise containment
     /// conditions of Section 5.2 (subject of an ablation experiment).
     pub pair_pruning: bool,
+    /// Number of threads the within-leaf cell enumeration shards its
+    /// candidate-leaf frontier over (1 = sequential).  The answer is
+    /// identical for any value; only wall-clock time changes.
+    pub threads: usize,
 }
 
 impl Default for AlgoConfig {
@@ -33,6 +37,7 @@ impl Default for AlgoConfig {
         Self {
             quadtree: None,
             pair_pruning: true,
+            threads: 1,
         }
     }
 }
@@ -102,7 +107,14 @@ pub fn run_point(
         return trivial_result(d, base, tau, stats);
     }
 
-    let (cells, _) = enumerate_cells(&qt, None, tau, config.pair_pruning, &mut stats);
+    let (cells, _) = enumerate_cells(
+        &qt,
+        None,
+        tau,
+        config.pair_pruning,
+        config.threads,
+        &mut stats,
+    );
     stats.io_reads = tree.io().reads().saturating_sub(io_base);
     let mut result = build_result(d, base, tau, cells, &registry, stats);
     result.stats.cpu_time = start.elapsed();
@@ -226,7 +238,7 @@ mod tests {
             1,
             &AlgoConfig {
                 pair_pruning: true,
-                quadtree: None,
+                ..AlgoConfig::default()
             },
         );
         let without = run(
@@ -236,11 +248,56 @@ mod tests {
             1,
             &AlgoConfig {
                 pair_pruning: false,
-                quadtree: None,
+                ..AlgoConfig::default()
             },
         );
         assert_eq!(with.k_star, without.k_star);
         assert_eq!(with.region_count(), without.region_count());
+    }
+
+    #[test]
+    fn threaded_enumeration_does_not_change_answer() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data = synthetic::generate(Distribution::AntiCorrelated, 90, 3, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        for focal in [2u32, 31] {
+            for tau in [0usize, 2] {
+                let seq = run(&data, &tree, focal, tau, &AlgoConfig::default());
+                let par = run(
+                    &data,
+                    &tree,
+                    focal,
+                    tau,
+                    &AlgoConfig {
+                        threads: 4,
+                        ..AlgoConfig::default()
+                    },
+                );
+                assert_eq!(seq.k_star, par.k_star, "focal {focal} tau {tau}");
+                assert_eq!(
+                    seq.region_count(),
+                    par.region_count(),
+                    "focal {focal} tau {tau}"
+                );
+                let aa_seq = crate::aa::run(&data, &tree, focal, tau, &AlgoConfig::default());
+                let aa_par = crate::aa::run(
+                    &data,
+                    &tree,
+                    focal,
+                    tau,
+                    &AlgoConfig {
+                        threads: 4,
+                        ..AlgoConfig::default()
+                    },
+                );
+                assert_eq!(aa_seq.k_star, aa_par.k_star, "AA focal {focal} tau {tau}");
+                assert_eq!(
+                    aa_seq.region_count(),
+                    aa_par.region_count(),
+                    "AA focal {focal} tau {tau}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -259,30 +316,9 @@ mod tests {
                     split_threshold: 20,
                     max_depth: 3,
                 }),
-                pair_pruning: true,
+                ..AlgoConfig::default()
             },
         );
         assert_eq!(default_cfg.k_star, coarse.k_star);
-    }
-
-    #[test]
-    fn works_for_d2_matching_fca() {
-        let data = Dataset::from_rows(
-            2,
-            &[
-                vec![0.8, 0.9],
-                vec![0.2, 0.7],
-                vec![0.9, 0.4],
-                vec![0.7, 0.2],
-                vec![0.4, 0.3],
-                vec![0.5, 0.5],
-            ],
-        );
-        let tree = RStarTree::bulk_load(&data);
-        let ba = run(&data, &tree, 5, 0, &AlgoConfig::default());
-        let fca = crate::fca::run(&data, &tree, 5, 0);
-        assert_eq!(ba.k_star, 3);
-        assert_eq!(ba.k_star, fca.k_star);
-        assert_eq!(ba.region_count(), fca.region_count());
     }
 }

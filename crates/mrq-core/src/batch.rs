@@ -14,6 +14,35 @@ use crate::result::MaxRankResult;
 use mrq_data::{Dataset, RecordId};
 use mrq_index::RStarTree;
 
+/// Runs `worker(shard)` on `threads` scoped threads and returns the per-shard
+/// outputs in shard order.  `threads = 1` runs inline with no thread spawned.
+///
+/// This is the workspace's shared "scoped-thread splitter": `evaluate_batch`
+/// fans focal records out with it, and the within-leaf cell enumeration
+/// shards its candidate-leaf frontier across it (workers typically pull work
+/// items from a shared atomic cursor rather than a static partition, so
+/// uneven leaves balance out).
+pub fn scatter<R, F>(threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(threads >= 1, "at least one shard is required");
+    if threads == 1 {
+        return vec![worker(0)];
+    }
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = (0..threads)
+            .map(|shard| scope.spawn(move || worker(shard)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
 /// Evaluates MaxRank for every given focal record, in parallel over at most
 /// `threads` worker threads (`threads = 1` falls back to a sequential loop).
 ///
@@ -41,34 +70,29 @@ pub fn evaluate_batch(
     // but the page-access counter is per-tree: concurrent queries on one tree
     // interleave their reads and garble the per-query `io_reads` statistic.
     // Each worker therefore clones the (in-memory) index once; the clone cost
-    // is negligible next to the MaxRank evaluations themselves.
+    // is negligible next to the MaxRank evaluations themselves.  Each clone's
+    // read delta is folded back into the shared tree's counter afterwards, so
+    // tree-level aggregate accounting (e.g. the serving layer's stats) stays
+    // truthful despite the cloning.
     let workers = threads.min(focal_ids.len());
     let chunk = focal_ids.len().div_ceil(workers);
-    let mut results: Vec<Option<MaxRankResult>> = vec![None; focal_ids.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for ids in focal_ids.chunks(chunk) {
-            let tree_clone = tree.clone();
-            handles.push(scope.spawn(move || {
-                let engine = MaxRankQuery::new(data, &tree_clone);
-                ids.iter()
-                    .map(|&id| engine.evaluate(id, config))
-                    .collect::<Vec<_>>()
-            }));
-        }
-        let mut offset = 0usize;
-        for handle in handles {
-            let worker_results = handle.join().expect("batch worker panicked");
-            for (i, res) in worker_results.into_iter().enumerate() {
-                results[offset + i] = Some(res);
-            }
-            offset += chunk.min(focal_ids.len() - offset);
-        }
+    let chunks: Vec<&[RecordId]> = focal_ids.chunks(chunk).collect();
+    let shard_results = scatter(chunks.len(), |shard| {
+        let tree_clone = tree.clone();
+        let io_base = tree_clone.io().reads();
+        let engine = MaxRankQuery::new(data, &tree_clone);
+        let results: Vec<MaxRankResult> = chunks[shard]
+            .iter()
+            .map(|&id| engine.evaluate(id, config))
+            .collect();
+        (results, tree_clone.io().reads().saturating_sub(io_base))
     });
+    let mut results = Vec::with_capacity(focal_ids.len());
+    for (shard, io_delta) in shard_results {
+        tree.io().add(io_delta);
+        results.extend(shard);
+    }
     results
-        .into_iter()
-        .map(|r| r.expect("every focal record evaluated"))
-        .collect()
 }
 
 /// Ranks the given records by their best attainable rank (ascending `k*`),
@@ -151,5 +175,33 @@ mod tests {
         let ids = vec![7u32, 9];
         let res = evaluate_batch(&data, &tree, &ids, &MaxRankConfig::new(), 16);
         assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn scatter_collects_in_shard_order() {
+        let outputs = scatter(4, |shard| shard * 10);
+        assert_eq!(outputs, vec![0, 10, 20, 30]);
+        // The single-shard path runs inline.
+        assert_eq!(scatter(1, |shard| shard), vec![0]);
+    }
+
+    #[test]
+    fn parallel_batch_merges_io_deltas_into_shared_tree() {
+        // Workers evaluate on clones; the shared tree's counter must still
+        // advance by the per-query deltas, matching a sequential run on a
+        // fresh tree.
+        let (data, tree) = workload();
+        let ids: Vec<u32> = vec![1, 50, 100, 150];
+        let config = MaxRankConfig::new();
+        let sequential_total: u64 = {
+            let (_, fresh_tree) = workload();
+            let before = fresh_tree.io().reads();
+            let _ = evaluate_batch(&data, &fresh_tree, &ids, &config, 1);
+            fresh_tree.io().reads() - before
+        };
+        let before = tree.io().reads();
+        let _ = evaluate_batch(&data, &tree, &ids, &config, 4);
+        let parallel_total = tree.io().reads() - before;
+        assert_eq!(parallel_total, sequential_total);
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::result::{MaxRankResult, QueryStats, ResultRegion};
 use mrq_data::{Dataset, RecordId};
-use mrq_geometry::{BoundingBox, HalfSpace, Region, EPS};
+use mrq_geometry::{halfline_for_record, interval_region, HalfLine2d, EPS};
 use mrq_index::RStarTree;
 use std::time::Instant;
 
@@ -57,33 +57,14 @@ pub fn run_point(
     let mut events: Vec<(f64, i64)> = Vec::with_capacity(incomparable.len());
     let mut interval_records: Vec<(f64, bool, RecordId)> = Vec::new(); // (t, wins_right, id)
     for &id in &incomparable {
-        let r = data.record(id);
-        let c = r[0] - r[1] - p[0] + p[1];
-        let b = p[1] - r[1];
-        if c.abs() < EPS {
-            if b < -EPS {
-                always_above += 1;
-            }
-            continue;
-        }
-        let t = b / c;
-        if c > 0.0 {
-            // Wins for q1 > t.
-            if t <= EPS {
-                always_above += 1;
-            } else if t >= 1.0 - EPS {
-                // never wins inside (0,1)
-            } else {
+        match halfline_for_record(data.record(id), p) {
+            HalfLine2d::AlwaysAbove => always_above += 1,
+            HalfLine2d::NeverAbove => {}
+            HalfLine2d::WinsRight(t) => {
                 events.push((t, 1));
                 interval_records.push((t, true, id));
             }
-        } else {
-            // Wins for q1 < t.
-            if t >= 1.0 - EPS {
-                always_above += 1;
-            } else if t <= EPS {
-                // never wins
-            } else {
+            HalfLine2d::WinsLeft(t) => {
                 initial += 1;
                 events.push((t, -1));
                 interval_records.push((t, false, id));
@@ -158,20 +139,6 @@ pub fn run_point(
         tau,
         regions,
         stats,
-    }
-}
-
-/// Builds a 1-dimensional [`Region`] for the open interval `(lo, hi)` of the
-/// reduced query space.
-pub(crate) fn interval_region(lo: f64, hi: f64) -> Region {
-    Region {
-        constraints: vec![
-            HalfSpace::new(vec![1.0], lo),
-            HalfSpace::new(vec![-1.0], -hi),
-        ],
-        bounds: BoundingBox::new(vec![lo], vec![hi]),
-        witness: vec![0.5 * (lo + hi)],
-        slack: 0.5 * (hi - lo),
     }
 }
 

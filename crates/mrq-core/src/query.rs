@@ -76,6 +76,9 @@ pub struct MaxRankConfig {
     pub pair_pruning: bool,
     /// Optional quad-tree tuning (BA / AA only).
     pub quadtree: Option<QuadTreeConfig>,
+    /// Threads for the within-leaf cell enumeration (BA / AA only; 0 and 1
+    /// both mean sequential).  The answer is identical for any value.
+    pub threads: usize,
 }
 
 impl MaxRankConfig {
@@ -86,6 +89,7 @@ impl MaxRankConfig {
             algorithm: Algorithm::Auto,
             pair_pruning: true,
             quadtree: None,
+            threads: 1,
         }
     }
 
@@ -100,10 +104,17 @@ impl MaxRankConfig {
         self
     }
 
+    /// Shards the cell enumeration over `threads` worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     fn algo_config(&self) -> AlgoConfig {
         AlgoConfig {
             quadtree: self.quadtree,
             pair_pruning: self.pair_pruning,
+            threads: self.threads.max(1),
         }
     }
 }

@@ -52,6 +52,11 @@ pub struct QueryStats {
     /// Number of bit-strings dismissed by the pairwise containment conditions
     /// without an LP call (the optimisation of Section 5.2).
     pub bitstrings_pruned: usize,
+    /// Number of expansion decisions skipped by the 2-d event sweep because
+    /// the swap at the event cannot bring any interval below the current
+    /// candidate threshold (an augmented half-line re-examined across
+    /// iterations counts once per iteration it is pruned in).
+    pub events_pruned: usize,
     /// Number of AA iterations (always 1 for FCA/BA).
     pub iterations: usize,
 }

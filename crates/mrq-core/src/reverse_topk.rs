@@ -9,10 +9,9 @@
 //! ("for how large a share of preferences is my option in the user's
 //! shortlist of k?").
 
-use crate::fca::interval_region;
 use crate::result::ResultRegion;
 use mrq_data::{Dataset, RecordId};
-use mrq_geometry::EPS;
+use mrq_geometry::{interval_region, EPS};
 use mrq_index::RStarTree;
 
 /// The result of a monochromatic reverse top-k query in two dimensions.

@@ -20,9 +20,11 @@
 //!   cell (plus `τ` further weights for iMaxRank), and never exceeds the
 //!   caller-provided cap derived from the best order found so far.
 
+use crate::batch::scatter;
 use crate::result::QueryStats;
 use mrq_geometry::{reduced_simplex_constraint, BoundingBox, CellSpec, HalfSpace, Region};
-use mrq_quadtree::{HalfSpaceId, HalfSpaceQuadTree};
+use mrq_quadtree::{HalfSpaceId, HalfSpaceQuadTree, LeafView};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A non-empty cell found inside one leaf.
 #[derive(Debug, Clone)]
@@ -154,6 +156,8 @@ pub fn process_leaf(
 ///   irrelevant to MaxRank/iMaxRank).
 /// * With `hard_limit = None` the bound adapts: the enumeration returns every
 ///   cell with order ≤ (minimum order found) + `tau`.
+/// * `threads > 1` shards the leaf frontier over that many scoped threads;
+///   the cells returned are identical for any thread count.
 ///
 /// Returns the cells and the effective bound that was applied.
 ///
@@ -165,9 +169,10 @@ pub fn enumerate_cells(
     hard_limit: Option<usize>,
     tau: usize,
     pair_pruning: bool,
+    threads: usize,
     stats: &mut QueryStats,
 ) -> (Vec<ArrangementCell>, usize) {
-    CellEnumerator::new().enumerate(qt, hard_limit, tau, pair_pruning, stats)
+    CellEnumerator::new().enumerate(qt, hard_limit, tau, pair_pruning, threads, stats)
 }
 
 #[derive(Debug, Clone)]
@@ -201,13 +206,19 @@ impl CellEnumerator {
         hard_limit: Option<usize>,
         tau: usize,
         pair_pruning: bool,
+        threads: usize,
         stats: &mut QueryStats,
     ) -> (Vec<ArrangementCell>, usize) {
+        assert!(threads >= 1, "at least one enumeration thread is required");
         let simplex = reduced_simplex_constraint(qt.reduced_dims() + 1);
         let mut leaves = qt.leaves();
         leaves.sort_by_key(|l| l.full.len());
         let mut best = usize::MAX;
         let mut out: Vec<ArrangementCell> = Vec::new();
+        // First pass: serve every leaf whose enumeration is already cached
+        // with a sufficient Hamming-weight cap, in |F_l| order, so `best` is
+        // as tight as the cache allows before any computation starts.
+        let mut todo: Vec<&LeafView> = Vec::new();
         for leaf in &leaves {
             let f = leaf.full.len();
             let cap = match hard_limit {
@@ -217,41 +228,99 @@ impl CellEnumerator {
             if f > cap {
                 break; // leaves are sorted by |F_l|; none of the rest can qualify
             }
-            stats.leaves_processed += 1;
             let max_weight = (cap - f).min(leaf.partial.len());
             let key = (leaf.node, f, leaf.partial.len());
-            let cells: Vec<FoundCell> = match self.cache.get(&key) {
-                Some(cached) if cached.max_weight >= max_weight => cached
-                    .cells
-                    .iter()
-                    .filter(|c| c.p_order <= max_weight)
-                    .cloned()
-                    .collect(),
-                _ => {
-                    let partial: Vec<(HalfSpaceId, HalfSpace)> = leaf
-                        .partial
-                        .iter()
-                        .map(|&id| (id, qt.halfspace(id).clone()))
-                        .collect();
-                    let computed = process_leaf(
-                        &leaf.bounds,
-                        &partial,
-                        &simplex,
-                        max_weight,
-                        tau,
-                        pair_pruning,
-                        stats,
-                    );
-                    self.cache.insert(
-                        key,
-                        CachedLeaf {
-                            max_weight,
-                            cells: computed.clone(),
-                        },
-                    );
-                    computed
+            match self.cache.get(&key) {
+                Some(cached) if cached.max_weight >= max_weight => {
+                    stats.leaves_processed += 1;
+                    for c in &cached.cells {
+                        if c.p_order > max_weight {
+                            continue;
+                        }
+                        let order = f + c.p_order;
+                        best = best.min(order);
+                        out.push(ArrangementCell {
+                            order,
+                            full: leaf.full.clone(),
+                            inside_partial: c.inside.clone(),
+                            region: c.region.clone(),
+                        });
+                    }
                 }
-            };
+                _ => todo.push(leaf),
+            }
+        }
+        // Second pass: enumerate the remaining leaves.  With `threads > 1`
+        // the frontier is sharded over scoped threads pulling from a shared
+        // cursor; `best` is a shared atomic that only ever shrinks, so a
+        // worker reading a stale value merely enumerates with a looser cap
+        // (extra cells are filtered by the final retain), never a tighter
+        // one — the result is identical to the sequential pass.
+        let shared_best = AtomicUsize::new(best);
+        let cursor = AtomicUsize::new(0);
+        let shard_outputs = scatter(threads.min(todo.len().max(1)), |_| {
+            let mut shard_stats = QueryStats::default();
+            let mut computed: Vec<(usize, usize, Vec<FoundCell>)> = Vec::new();
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(leaf) = todo.get(i) else { break };
+                let f = leaf.full.len();
+                let cap = match hard_limit {
+                    Some(l) => l,
+                    None => shared_best.load(Ordering::Relaxed).saturating_add(tau),
+                };
+                if f > cap {
+                    // `best` only shrinks, so this leaf can never qualify;
+                    // later leaves have even larger |F_l| but other shards may
+                    // already hold some, so keep draining the cursor.
+                    continue;
+                }
+                let max_weight = (cap - f).min(leaf.partial.len());
+                shard_stats.leaves_processed += 1;
+                let partial: Vec<(HalfSpaceId, HalfSpace)> = leaf
+                    .partial
+                    .iter()
+                    .map(|&id| (id, qt.halfspace(id).clone()))
+                    .collect();
+                let cells = process_leaf(
+                    &leaf.bounds,
+                    &partial,
+                    &simplex,
+                    max_weight,
+                    tau,
+                    pair_pruning,
+                    &mut shard_stats,
+                );
+                if let Some(min) = cells.iter().map(|c| f + c.p_order).min() {
+                    shared_best.fetch_min(min, Ordering::Relaxed);
+                }
+                computed.push((i, max_weight, cells));
+            }
+            (computed, shard_stats)
+        });
+        best = shared_best.load(Ordering::Relaxed);
+        // Merge shard outputs in leaf order so cache contents and the output
+        // cell order are independent of scheduling.
+        let mut merged: Vec<(usize, usize, Vec<FoundCell>)> = shard_outputs
+            .into_iter()
+            .flat_map(|(computed, shard_stats)| {
+                stats.leaves_processed += shard_stats.leaves_processed;
+                stats.cells_tested += shard_stats.cells_tested;
+                stats.bitstrings_pruned += shard_stats.bitstrings_pruned;
+                computed
+            })
+            .collect();
+        merged.sort_by_key(|(i, _, _)| *i);
+        for (i, max_weight, cells) in merged {
+            let leaf = todo[i];
+            let f = leaf.full.len();
+            self.cache.insert(
+                (leaf.node, f, leaf.partial.len()),
+                CachedLeaf {
+                    max_weight,
+                    cells: cells.clone(),
+                },
+            );
             for c in cells {
                 let order = f + c.p_order;
                 best = best.min(order);
@@ -551,7 +620,7 @@ mod tests {
             qt.insert(h.clone());
         }
         let mut stats = QueryStats::default();
-        let (cells, _) = enumerate_cells(&qt, None, 0, true, &mut stats);
+        let (cells, _) = enumerate_cells(&qt, None, 0, true, 1, &mut stats);
         assert!(!cells.is_empty());
         let min_order = cells.iter().map(|c| c.order).min().unwrap();
         // Dense grid reference.
@@ -580,6 +649,41 @@ mod tests {
     }
 
     #[test]
+    fn parallel_enumeration_matches_sequential() {
+        // A richly overlapping arrangement split across several quad-tree
+        // leaves: sharding the frontier must not change the cell set, for
+        // both the fixed-cap and the adaptive-cap paths.
+        let mut qt = HalfSpaceQuadTree::new(2);
+        let mut v = 0.31f64;
+        for _ in 0..24 {
+            v = (v * 997.0).fract();
+            let a = v * 2.0 - 1.0;
+            v = (v * 997.0).fract();
+            let b = v * 2.0 - 1.0;
+            v = (v * 997.0).fract();
+            qt.insert(hs(&[a, b], v * 0.8 - 0.2));
+        }
+        for hard_limit in [None, Some(3)] {
+            let mut seq_stats = QueryStats::default();
+            let (seq, seq_limit) = enumerate_cells(&qt, hard_limit, 1, true, 1, &mut seq_stats);
+            let mut par_stats = QueryStats::default();
+            let (par, par_limit) = enumerate_cells(&qt, hard_limit, 1, true, 4, &mut par_stats);
+            assert_eq!(seq_limit, par_limit, "hard_limit {hard_limit:?}");
+            let key = |c: &ArrangementCell| {
+                let mut full = c.full.clone();
+                full.sort_unstable();
+                (c.order, full, c.inside_partial.clone())
+            };
+            let mut a: Vec<_> = seq.iter().map(key).collect();
+            let mut b: Vec<_> = par.iter().map(key).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "hard_limit {hard_limit:?}");
+            assert!(par_stats.leaves_processed >= seq_stats.leaves_processed);
+        }
+    }
+
+    #[test]
     fn enumerate_cells_hard_limit_returns_all_below() {
         let mut qt = HalfSpaceQuadTree::new(2);
         // Three nested half-spaces produce cells of orders 0..=3 along the
@@ -590,14 +694,14 @@ mod tests {
         // With a hard limit of 2 and tau = 2, every cell within 2 of each
         // leaf's minimum and with order ≤ 2 must be reported.
         let mut stats = QueryStats::default();
-        let (cells, limit) = enumerate_cells(&qt, Some(2), 2, true, &mut stats);
+        let (cells, limit) = enumerate_cells(&qt, Some(2), 2, true, 1, &mut stats);
         assert_eq!(limit, 2);
         let orders: std::collections::BTreeSet<usize> = cells.iter().map(|c| c.order).collect();
         assert!(orders.contains(&0) && orders.contains(&1) && orders.contains(&2));
         assert!(!orders.contains(&3));
         // With tau = 0 only the minimum-order cells survive.
         let mut stats = QueryStats::default();
-        let (cells, _) = enumerate_cells(&qt, None, 0, true, &mut stats);
+        let (cells, _) = enumerate_cells(&qt, None, 0, true, 1, &mut stats);
         assert!(cells.iter().all(|c| c.order == 0));
     }
 }

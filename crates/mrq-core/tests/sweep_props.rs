@@ -1,0 +1,141 @@
+//! Property tests for the 2-d sweep core (FCA's complete sweep and the
+//! incremental AA2D event sweep), on randomly seeded independent and
+//! anti-correlated data:
+//!
+//! * the interval boundaries of the complete arrangement are exactly the
+//!   sorted half-line breakpoints of the incomparable records (the event
+//!   ordering is a permutation of the legacy interval set);
+//! * the rank reported for every interval equals the brute-force rank at the
+//!   interval midpoint;
+//! * the incremental sweep (AA2D) agrees with the complete sweep (FCA) on
+//!   `k*` and on every reported interval, for τ ∈ {0, 2}.
+
+use mrq_core::{fca, Algorithm, MaxRankConfig, MaxRankQuery};
+use mrq_data::{partition_by_focal, synthetic, Dataset, Distribution};
+use mrq_geometry::{halfline_for_record, reduced::expand_query, HalfLine2d};
+use mrq_index::RStarTree;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn dist_from_index(i: u32) -> Distribution {
+    if i.is_multiple_of(2) {
+        Distribution::Independent
+    } else {
+        Distribution::AntiCorrelated
+    }
+}
+
+/// The breakpoints of all proper half-lines induced by the records
+/// incomparable to `focal`, sorted ascending.
+fn brute_force_breakpoints(data: &Dataset, focal: u32) -> Vec<f64> {
+    let p = data.record(focal);
+    let part = partition_by_focal(data, p, Some(focal));
+    let mut ts: Vec<f64> = part
+        .incomparable
+        .iter()
+        .filter_map(|&id| match halfline_for_record(data.record(id), p) {
+            HalfLine2d::WinsRight(t) | HalfLine2d::WinsLeft(t) => Some(t),
+            _ => None,
+        })
+        .collect();
+    ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FCA with τ large enough to keep every interval: the reported interval
+    /// boundaries are a permutation of {0} ∪ breakpoints ∪ {1}, and each
+    /// interval's order is the brute-force rank at its midpoint.
+    #[test]
+    fn complete_sweep_intervals_match_brute_force(
+        seed in any::<u64>(),
+        n in 20usize..160,
+        dist_idx in any::<u32>(),
+        focal_sel in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = synthetic::generate(dist_from_index(dist_idx), n, 2, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        let focal = (focal_sel % data.len() as u64) as u32;
+        let p = data.record(focal);
+        // τ = n: no interval is filtered, the complete arrangement is visible.
+        let res = fca::run(&data, &tree, focal, data.len());
+
+        // Interval boundaries = sorted breakpoints (plus the domain ends).
+        let expected = brute_force_breakpoints(&data, focal);
+        let mut intervals: Vec<(f64, f64)> = res
+            .regions
+            .iter()
+            .map(|r| (r.region.bounds.lo[0], r.region.bounds.hi[0]))
+            .collect();
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        prop_assert_eq!(intervals.len(), expected.len() + 1, "interval count");
+        let mut boundaries: Vec<f64> = intervals.iter().map(|(lo, _)| *lo).collect();
+        boundaries.push(intervals.last().unwrap().1);
+        prop_assert!((boundaries[0]).abs() < 1e-12, "first boundary is 0");
+        prop_assert!((boundaries[boundaries.len() - 1] - 1.0).abs() < 1e-12);
+        for (got, want) in boundaries[1..boundaries.len() - 1].iter().zip(&expected) {
+            prop_assert!((got - want).abs() < 1e-9, "boundary {got} vs breakpoint {want}");
+        }
+        // Adjacent intervals must share their boundary (no gaps, no overlap).
+        for w in intervals.windows(2) {
+            prop_assert!((w[0].1 - w[1].0).abs() < 1e-9);
+        }
+
+        // Every interval's order is the brute-force rank at its midpoint.
+        for region in &res.regions {
+            let mid = 0.5 * (region.region.bounds.lo[0] + region.region.bounds.hi[0]);
+            let q = expand_query(&[mid]);
+            prop_assert_eq!(data.order_of(p, &q), region.order);
+        }
+    }
+
+    /// The incremental event sweep (AA2D) agrees with the complete sweep
+    /// (FCA) on k* and on every reported interval, and its own midpoints
+    /// match the brute-force rank.
+    #[test]
+    fn incremental_sweep_matches_complete_sweep(
+        seed in any::<u64>(),
+        n in 20usize..160,
+        dist_idx in any::<u32>(),
+        focal_sel in any::<u64>(),
+        tau_sel in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = synthetic::generate(dist_from_index(dist_idx), n, 2, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        let focal = (focal_sel % data.len() as u64) as u32;
+        let p = data.record(focal);
+        let tau = if tau_sel { 2 } else { 0 };
+        let engine = MaxRankQuery::new(&data, &tree);
+        let config = MaxRankConfig::with_tau(tau);
+        let aa2d = engine.evaluate(
+            focal,
+            &config.with_algorithm(Algorithm::AdvancedApproach2D),
+        );
+        let fca = engine.evaluate(focal, &config.with_algorithm(Algorithm::Fca));
+
+        prop_assert_eq!(aa2d.k_star, fca.k_star);
+        prop_assert_eq!(aa2d.region_count(), fca.region_count());
+        let key = |r: &mrq_core::ResultRegion| {
+            (
+                (r.region.bounds.lo[0] * 1e9).round() as i64,
+                (r.region.bounds.hi[0] * 1e9).round() as i64,
+                r.order,
+            )
+        };
+        let mut a: Vec<_> = aa2d.regions.iter().map(key).collect();
+        let mut b: Vec<_> = fca.regions.iter().map(key).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b, "interval sets differ");
+
+        for region in &aa2d.regions {
+            let mid = 0.5 * (region.region.bounds.lo[0] + region.region.bounds.hi[0]);
+            let q = expand_query(&[mid]);
+            prop_assert_eq!(data.order_of(p, &q), region.order);
+        }
+    }
+}

@@ -27,8 +27,11 @@ pub mod vector;
 pub use boxes::{BoundingBox, BoxRelation};
 pub use halfspace::{HalfSpace, Hyperplane};
 pub use lp::{maximize, LpOutcome};
-pub use reduced::{halfspace_for_record, reduced_simplex_constraint, reduced_space_box};
-pub use region::{CellSpec, Region};
+pub use reduced::{
+    halfline_for_record, halfspace_for_record, reduced_simplex_constraint, reduced_space_box,
+    HalfLine2d,
+};
+pub use region::{interval_region, CellSpec, Region};
 pub use vector::{dot, l1_norm, l2_norm, score, sub};
 
 /// Geometric tolerance used for classification decisions (containment,

@@ -17,6 +17,7 @@
 use crate::boxes::BoundingBox;
 use crate::halfspace::HalfSpace;
 use crate::vector::score;
+use crate::EPS;
 
 /// Builds the half-space of the reduced query space in which record `r`
 /// scores strictly higher than the focal record `p`.
@@ -55,6 +56,66 @@ pub fn reduced_space_box(d: usize) -> BoundingBox {
 pub fn reduced_simplex_constraint(d: usize) -> HalfSpace {
     assert!(d >= 2);
     HalfSpace::new(vec![-1.0; d - 1], -1.0)
+}
+
+/// The half-line of the one-dimensional reduced query space (`d = 2`) on
+/// which a record outranks the focal record.
+///
+/// With `d = 2` the half-space of [`halfspace_for_record`] collapses to
+/// `c · q_1 > b`; depending on the sign of `c` and on where the breakpoint
+/// `t = b / c` falls relative to the open domain `(0, 1)`, the record wins on
+/// a right half-line, a left half-line, everywhere, or nowhere.  FCA and the
+/// 2-d event sweep of AA both consume this classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HalfLine2d {
+    /// The record outranks the focal record for every permissible `q_1`
+    /// (numerically indistinguishable from a dominator).
+    AlwaysAbove,
+    /// The record never outranks the focal record inside `(0, 1)`.
+    NeverAbove,
+    /// The record wins exactly for `q_1 > t`, with `t` strictly inside
+    /// `(0, 1)`.
+    WinsRight(f64),
+    /// The record wins exactly for `q_1 < t`, with `t` strictly inside
+    /// `(0, 1)`.
+    WinsLeft(f64),
+}
+
+/// Classifies a two-dimensional record against a two-dimensional focal point.
+///
+/// # Panics
+/// Panics if `r` or `p` is not two-dimensional.
+pub fn halfline_for_record(r: &[f64], p: &[f64]) -> HalfLine2d {
+    assert_eq!(r.len(), 2, "half-lines exist only for d = 2");
+    assert_eq!(p.len(), 2, "half-lines exist only for d = 2");
+    // S(r) > S(p)  ⇔  (r_1 − r_2 − p_1 + p_2) · q_1 > p_2 − r_2.
+    let c = r[0] - r[1] - p[0] + p[1];
+    let b = p[1] - r[1];
+    if c.abs() < EPS {
+        return if b < -EPS {
+            HalfLine2d::AlwaysAbove
+        } else {
+            HalfLine2d::NeverAbove
+        };
+    }
+    let t = b / c;
+    if c > 0.0 {
+        // Wins for q1 > t.
+        if t <= EPS {
+            HalfLine2d::AlwaysAbove
+        } else if t >= 1.0 - EPS {
+            HalfLine2d::NeverAbove
+        } else {
+            HalfLine2d::WinsRight(t)
+        }
+    } else if t >= 1.0 - EPS {
+        // Wins for q1 < t, and t is beyond the right edge of the domain.
+        HalfLine2d::AlwaysAbove
+    } else if t <= EPS {
+        HalfLine2d::NeverAbove
+    } else {
+        HalfLine2d::WinsLeft(t)
+    }
 }
 
 /// Expands a reduced query vector `(q_1, …, q_{d−1})` back to the full
@@ -155,5 +216,51 @@ mod tests {
     #[test]
     fn reduced_box_dimension() {
         assert_eq!(reduced_space_box(4).dim(), 3);
+    }
+
+    #[test]
+    fn halfline_classification_matches_figure1() {
+        // Section 6.3's running example, p = (.5,.5): r2 = (.2,.7) wins for
+        // q1 < 0.4, r3 = (.9,.4) wins for q1 > 0.2.
+        let p = [0.5, 0.5];
+        match halfline_for_record(&[0.2, 0.7], &p) {
+            HalfLine2d::WinsLeft(t) => assert!((t - 0.4).abs() < 1e-12),
+            other => panic!("expected WinsLeft, got {other:?}"),
+        }
+        match halfline_for_record(&[0.9, 0.4], &p) {
+            HalfLine2d::WinsRight(t) => assert!((t - 0.2).abs() < 1e-12),
+            other => panic!("expected WinsRight, got {other:?}"),
+        }
+        // A dominator / dominee never produces a breakpoint.
+        assert_eq!(
+            halfline_for_record(&[0.8, 0.9], &p),
+            HalfLine2d::AlwaysAbove
+        );
+        assert_eq!(halfline_for_record(&[0.4, 0.3], &p), HalfLine2d::NeverAbove);
+    }
+
+    #[test]
+    fn halfline_agrees_with_halfspace_on_random_points() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..300 {
+            let r = [rng.gen::<f64>(), rng.gen::<f64>()];
+            let p = [rng.gen::<f64>(), rng.gen::<f64>()];
+            let h = halfspace_for_record(&r, &p);
+            let class = halfline_for_record(&r, &p);
+            for q1 in [0.05, 0.25, 0.5, 0.75, 0.95] {
+                // Skip queries numerically on the breakpoint.
+                if (h.slack(&[q1])).abs() < 1e-6 {
+                    continue;
+                }
+                let wins = h.contains(&[q1]);
+                let classified = match class {
+                    HalfLine2d::AlwaysAbove => true,
+                    HalfLine2d::NeverAbove => false,
+                    HalfLine2d::WinsRight(t) => q1 > t,
+                    HalfLine2d::WinsLeft(t) => q1 < t,
+                };
+                assert_eq!(wins, classified, "r {r:?} p {p:?} q1 {q1}");
+            }
+        }
     }
 }

@@ -175,6 +175,21 @@ impl Region {
     }
 }
 
+/// Builds a one-dimensional [`Region`] for the open interval `(lo, hi)` of
+/// the reduced query space of `d = 2` — the cell shape produced by FCA and by
+/// the 2-d event sweep of AA.
+pub fn interval_region(lo: f64, hi: f64) -> Region {
+    Region {
+        constraints: vec![
+            HalfSpace::new(vec![1.0], lo),
+            HalfSpace::new(vec![-1.0], -hi),
+        ],
+        bounds: BoundingBox::new(vec![lo], vec![hi]),
+        witness: vec![0.5 * (lo + hi)],
+        slack: 0.5 * (hi - lo),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,5 +284,16 @@ mod tests {
     fn all_constraints_include_box_faces() {
         let spec = CellSpec::new(vec![], vec![], BoundingBox::unit(3));
         assert_eq!(spec.all_constraints().len(), 6);
+    }
+
+    #[test]
+    fn interval_region_contains_exactly_its_interior() {
+        let r = interval_region(0.2, 0.6);
+        assert!(r.contains(&[0.4]));
+        assert!(!r.contains(&[0.1]));
+        assert!(!r.contains(&[0.7]));
+        assert_eq!(r.witness, vec![0.4]);
+        assert!((r.slack - 0.2).abs() < 1e-12);
+        assert_eq!(r.dim(), 1);
     }
 }

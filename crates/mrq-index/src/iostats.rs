@@ -54,6 +54,15 @@ impl IoStats {
         self.node_reads.load(Ordering::Relaxed)
     }
 
+    /// Folds `reads` page reads into the counter at once.  Used to merge the
+    /// deltas accumulated by per-worker tree clones back into the shared
+    /// tree's counter, so aggregate accounting survives the cloning that
+    /// keeps per-query figures exact (see `mrq_core::evaluate_batch`).
+    #[inline]
+    pub fn add(&self, reads: u64) {
+        self.node_reads.fetch_add(reads, Ordering::Relaxed);
+    }
+
     /// Resets the counter to zero.
     pub fn reset(&self) {
         self.node_reads.store(0, Ordering::Relaxed);
@@ -73,6 +82,17 @@ mod tests {
         assert_eq!(io.reads(), 2);
         io.reset();
         assert_eq!(io.reads(), 0);
+    }
+
+    #[test]
+    fn add_merges_deltas() {
+        let io = IoStats::new();
+        io.record_read();
+        let clone = io.clone();
+        clone.record_read();
+        clone.record_read();
+        io.add(clone.reads() - io.reads());
+        assert_eq!(io.reads(), 3);
     }
 
     #[test]

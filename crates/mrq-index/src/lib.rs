@@ -24,5 +24,5 @@ pub mod topk;
 pub use bbs::IncrementalSkyline;
 pub use iostats::{IoStats, PAGE_SIZE_BYTES};
 pub use rstar::{RStarConfig, RStarTree};
-pub use skyband::k_skyband;
+pub use skyband::{k_skyband, k_skyband_incomparable};
 pub use topk::{order_of, top_k, TopKResult};

@@ -16,6 +16,9 @@ use std::collections::BinaryHeap;
 struct Item {
     key: f64,
     corner: Vec<f64>,
+    /// Lower corner of the MBR (equals `corner` for records); used by the
+    /// focal-pruned variant to discard all-comparable sub-trees.
+    lower: Vec<f64>,
     child: Child,
 }
 
@@ -46,6 +49,34 @@ impl Ord for Item {
 /// corner, which is safe because those records dominate everything inside the
 /// entry.
 pub fn k_skyband(tree: &RStarTree, k: usize) -> Vec<RecordId> {
+    k_skyband_impl(tree, k, None)
+}
+
+/// Computes the `k`-skyband of the records **incomparable to a focal point**:
+/// the ids of incomparable records dominated by fewer than `k` *other
+/// incomparable* records.  `focal_id` (if given) is excluded from the result.
+///
+/// This is the dominance filter the MaxRank algorithms reason with: a record
+/// outranking the focal record somewhere is always accompanied there by all
+/// of its incomparable dominators, so any record listed in a result region of
+/// rank `k` must belong to the `(k − |D⁺| − 1)`-skyband of the incomparable
+/// set.  The differential test harness uses this as an algorithm-independent
+/// cross-check of every reported outranking set.
+pub fn k_skyband_incomparable(
+    tree: &RStarTree,
+    focal: &[f64],
+    focal_id: Option<RecordId>,
+    k: usize,
+) -> Vec<RecordId> {
+    assert_eq!(focal.len(), tree.dims());
+    k_skyband_impl(tree, k, Some((focal, focal_id)))
+}
+
+fn k_skyband_impl(
+    tree: &RStarTree,
+    k: usize,
+    focal: Option<(&[f64], Option<RecordId>)>,
+) -> Vec<RecordId> {
     assert!(k >= 1, "the 0-skyband is empty by definition");
     let mut result: Vec<(RecordId, Vec<f64>)> = Vec::new();
     if tree.is_empty() {
@@ -56,9 +87,26 @@ pub fn k_skyband(tree: &RStarTree, k: usize) -> Vec<RecordId> {
     heap.push(Item {
         key: root_mbr.hi.iter().sum(),
         corner: root_mbr.hi.clone(),
+        lower: root_mbr.lo.clone(),
         child: Child::Node(tree.root as u32),
     });
     while let Some(item) = heap.pop() {
+        if let Some((p, skip)) = focal {
+            // Focal pruning, as in `IncrementalSkyline`: sub-trees (or
+            // records) consisting solely of dominators/duplicates of the
+            // focal point, or solely of dominees/duplicates, contain no
+            // incomparable record.
+            let all_ge = item.lower.iter().zip(p).all(|(l, v)| l >= v);
+            let all_le = item.corner.iter().zip(p).all(|(h, v)| h <= v);
+            if all_ge || all_le {
+                continue;
+            }
+            if let Child::Record(id) = item.child {
+                if Some(id) == skip {
+                    continue;
+                }
+            }
+        }
         let dominated_by = result
             .iter()
             .filter(|(_, s)| dominates_strictly(s, &item.corner))
@@ -75,6 +123,7 @@ pub fn k_skyband(tree: &RStarTree, k: usize) -> Vec<RecordId> {
                     heap.push(Item {
                         key: e.mbr.hi.iter().sum(),
                         corner: e.mbr.hi.clone(),
+                        lower: e.mbr.lo.clone(),
                         child: e.child,
                     });
                 }
@@ -183,5 +232,55 @@ mod tests {
     fn empty_tree_empty_skyband() {
         let tree = RStarTree::new(2);
         assert!(k_skyband(&tree, 3).is_empty());
+        assert!(k_skyband_incomparable(&tree, &[0.5, 0.5], None, 3).is_empty());
+    }
+
+    fn naive_skyband_incomparable(data: &Dataset, focal: u32, k: usize) -> Vec<RecordId> {
+        let p = data.record(focal);
+        let part = mrq_data::partition_by_focal(data, p, Some(focal));
+        part.incomparable
+            .iter()
+            .copied()
+            .filter(|&i| {
+                part.incomparable
+                    .iter()
+                    .filter(|&&j| i != j && dominates(data.record(j), data.record(i)))
+                    .count()
+                    < k
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incomparable_skyband_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for dist in Distribution::all() {
+            let data = synthetic::generate(dist, 350, 3, &mut rng);
+            let tree = RStarTree::bulk_load(&data);
+            for focal in [4u32, 99] {
+                let p = data.record(focal).to_vec();
+                for k in [1usize, 3, 7] {
+                    let mut got = k_skyband_incomparable(&tree, &p, Some(focal), k);
+                    got.sort_unstable();
+                    let mut expected = naive_skyband_incomparable(&data, focal, k);
+                    expected.sort_unstable();
+                    assert_eq!(got, expected, "dist {dist:?} focal {focal} k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incomparable_one_skyband_matches_incremental_skyline() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let data = synthetic::generate(Distribution::AntiCorrelated, 400, 2, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        let p = data.record(13).to_vec();
+        let mut band = k_skyband_incomparable(&tree, &p, Some(13), 1);
+        band.sort_unstable();
+        let sky = crate::IncrementalSkyline::new(&tree, &p, Some(13));
+        let mut expected: Vec<RecordId> = sky.skyline().iter().map(|(id, _)| *id).collect();
+        expected.sort_unstable();
+        assert_eq!(band, expected);
     }
 }

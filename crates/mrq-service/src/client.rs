@@ -53,6 +53,9 @@ pub struct QueryOptions {
     pub no_cache: bool,
     /// Cap on the number of regions returned (None = all).
     pub max_regions: Option<usize>,
+    /// Threads for the server-side cell enumeration of this request (0 and 1
+    /// both mean sequential; the server clamps the value).
+    pub threads: usize,
 }
 
 /// A decoded `query` answer.
@@ -146,6 +149,7 @@ impl Client {
             timeout_ms: options.timeout.map(|t| t.as_millis() as u64),
             no_cache: options.no_cache,
             max_regions: options.max_regions,
+            threads: options.threads.max(1),
         };
         let value = self.roundtrip(&request)?;
         let field_usize = |key: &str| {

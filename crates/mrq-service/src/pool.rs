@@ -44,6 +44,9 @@ pub struct QueryJob {
     pub algorithm: Algorithm,
     /// iMaxRank slack.
     pub tau: usize,
+    /// Threads for the within-leaf cell enumeration (validated and clamped
+    /// by the service).
+    pub threads: usize,
     /// Absolute deadline; `None` = no deadline.
     pub deadline: Option<Instant>,
     /// Cache key; `None` bypasses the result cache for this job.
@@ -56,6 +59,7 @@ impl QueryJob {
     fn same_group(&self, other: &QueryJob) -> bool {
         self.algorithm == other.algorithm
             && self.tau == other.tau
+            && self.threads == other.threads
             && Arc::ptr_eq(&self.entry, &other.entry)
     }
 }
@@ -325,6 +329,7 @@ fn run_batch(shared: &Shared, batch: Vec<QueryJob>) {
     let config = MaxRankConfig {
         tau: pending[0].tau,
         algorithm: pending[0].algorithm,
+        threads: pending[0].threads,
         ..MaxRankConfig::new()
     };
     let focals: Vec<RecordId> = pending.iter().map(|j| j.focal).collect();
@@ -391,6 +396,7 @@ mod tests {
                 focal,
                 algorithm: Algorithm::AdvancedApproach2D,
                 tau: 0,
+                threads: 1,
                 deadline,
                 cache_key,
                 responder: tx,

@@ -18,12 +18,14 @@
 //!
 //! ```text
 //! {"cmd":"query","dataset":"hotels","focal":17,"algorithm":"auto","tau":0,
-//!  "timeout_ms":5000,"no_cache":false,"max_regions":16}
+//!  "timeout_ms":5000,"no_cache":false,"max_regions":16,"threads":4}
 //! {"cmd":"stats"}   {"cmd":"list"}   {"cmd":"ping"}   {"cmd":"shutdown"}
 //! ```
 //!
 //! Only `dataset` and `focal` are required for `query`; `max_regions` caps
-//! how many regions the response carries (default: all).
+//! how many regions the response carries (default: all), and `threads` asks
+//! the server to shard the within-leaf cell enumeration of this one request
+//! (default 1; the server clamps the value).
 //!
 //! # Responses
 //!
@@ -106,6 +108,8 @@ pub enum Request {
         no_cache: bool,
         /// Cap on the number of regions in the response (None = all).
         max_regions: Option<usize>,
+        /// Threads for the within-leaf cell enumeration (1 = sequential).
+        threads: usize,
     },
     /// Cache / pool / registry counters.
     Stats,
@@ -130,6 +134,7 @@ impl Request {
                 timeout_ms,
                 no_cache,
                 max_regions,
+                threads,
             } => {
                 obj.push(("dataset".into(), Json::Str(dataset.clone())));
                 obj.push(("focal".into(), Json::Num(*focal as f64)));
@@ -143,6 +148,9 @@ impl Request {
                 }
                 if let Some(m) = max_regions {
                     obj.push(("max_regions".into(), Json::Num(*m as f64)));
+                }
+                if *threads > 1 {
+                    obj.push(("threads".into(), Json::Num(*threads as f64)));
                 }
                 "query"
             }
@@ -211,6 +219,13 @@ impl Request {
                             .ok_or("'max_regions' must be a non-negative integer")?,
                     ),
                 };
+                let threads = match value.get("threads") {
+                    None => 1,
+                    Some(v) => v
+                        .as_usize()
+                        .filter(|&t| t >= 1)
+                        .ok_or("'threads' must be a positive integer")?,
+                };
                 Ok(Request::Query {
                     dataset,
                     focal: focal as RecordId,
@@ -219,6 +234,7 @@ impl Request {
                     timeout_ms,
                     no_cache,
                     max_regions,
+                    threads,
                 })
             }
             other => Err(format!("unknown command '{other}'")),
@@ -830,6 +846,7 @@ mod tests {
                 timeout_ms: Some(5000),
                 no_cache: true,
                 max_regions: Some(4),
+                threads: 8,
             },
             Request::Query {
                 dataset: "d".into(),
@@ -839,6 +856,7 @@ mod tests {
                 timeout_ms: None,
                 no_cache: false,
                 max_regions: None,
+                threads: 1,
             },
             Request::Stats,
             Request::List,
@@ -864,6 +882,11 @@ mod tests {
             "{\"cmd\":\"query\",\"dataset\":\"d\",\"focal\":1,\"algorithm\":\"qp\"}"
         )
         .is_err());
+        assert!(
+            Request::parse("{\"cmd\":\"query\",\"dataset\":\"d\",\"focal\":1,\"threads\":0}")
+                .is_err(),
+            "zero threads must be rejected"
+        );
     }
 
     #[test]

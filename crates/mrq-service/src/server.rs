@@ -229,6 +229,7 @@ fn serve_connection(
                 timeout_ms,
                 no_cache,
                 max_regions,
+                threads,
             }) => {
                 let request = QueryRequest {
                     dataset,
@@ -237,6 +238,7 @@ fn serve_connection(
                     tau,
                     timeout: timeout_ms.map(Duration::from_millis),
                     no_cache,
+                    threads,
                 };
                 let reply = service
                     .try_enqueue(&request)

@@ -55,7 +55,16 @@ pub struct QueryRequest {
     pub timeout: Option<Duration>,
     /// Skip the result cache for this request (both lookup and fill).
     pub no_cache: bool,
+    /// Threads for the within-leaf cell enumeration of this request (0 and 1
+    /// both mean sequential; clamped to [`MAX_REQUEST_THREADS`]).  The answer
+    /// is identical for any value, so the result cache is shared across
+    /// thread counts.
+    pub threads: usize,
 }
+
+/// Upper bound on the per-request enumeration threads a client may ask for
+/// (each worker thread of the pool fans out at most this much).
+pub const MAX_REQUEST_THREADS: usize = 16;
 
 impl QueryRequest {
     /// A plain MaxRank request with the default algorithm and no deadline.
@@ -67,6 +76,7 @@ impl QueryRequest {
             tau: 0,
             timeout: None,
             no_cache: false,
+            threads: 1,
         }
     }
 }
@@ -221,6 +231,7 @@ impl MrqService {
             focal: request.focal,
             algorithm,
             tau: request.tau,
+            threads: request.threads.clamp(1, MAX_REQUEST_THREADS),
             deadline,
             cache_key,
             responder: tx,
@@ -349,6 +360,46 @@ mod tests {
             }),
             Err(ServiceError::BadRequest(_))
         ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn threaded_request_matches_sequential_and_shares_cache() {
+        let service = demo_service(ServiceConfig::default());
+        let registry = Arc::clone(service.registry());
+        registry
+            .register(
+                "d3",
+                &DatasetSpec::Synthetic {
+                    dist: mrq_data::Distribution::AntiCorrelated,
+                    n: 80,
+                    d: 3,
+                    seed: 7,
+                },
+            )
+            .unwrap();
+        let seq = service.query(&QueryRequest::new("d3", 11)).unwrap();
+        let par = service
+            .query(&QueryRequest {
+                threads: 4,
+                ..QueryRequest::new("d3", 11)
+            })
+            .unwrap();
+        assert_eq!(seq.result.k_star, par.result.k_star);
+        assert_eq!(seq.result.region_count(), par.result.region_count());
+        // The answer is thread-count independent, so the cache entry is
+        // shared: the second call must be a hit on the first call's entry.
+        assert!(par.cached);
+        assert!(Arc::ptr_eq(&seq.result, &par.result));
+        // An absurd request is clamped, not rejected.
+        let clamped = service
+            .query(&QueryRequest {
+                threads: 10_000,
+                no_cache: true,
+                ..QueryRequest::new("d3", 11)
+            })
+            .unwrap();
+        assert_eq!(clamped.result.k_star, seq.result.k_star);
         service.shutdown();
     }
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! maxrank-cli --data options.csv --dims 4 --focal 17 [--tau 2] [--algorithm aa|ba|fca|aa2d]
+//!             [--threads 4] [--verbose]
 //! maxrank-cli --data options.csv --dims 4 --point 0.4,0.7,0.2,0.9
 //! maxrank-cli --data options.csv --dims 4 --focals 3,17,29,41 --threads 4
 //! maxrank-cli --demo                       # run the paper's Figure 1 example
@@ -13,7 +14,10 @@
 //!
 //! Multi-focal invocations (`--focals`) run through the `mrq-service` worker
 //! pool — `--threads N` picks the pool size — so a what-if study over many
-//! focal records shares one index and evaluates in parallel.
+//! focal records shares one index and evaluates in parallel.  For
+//! single-focal runs `--threads N` instead shards the within-leaf cell
+//! enumeration of that one query (BA / AA); `--verbose` adds the pruning and
+//! throughput counters (cells/sec, events pruned) to the report.
 
 use maxrank::prelude::*;
 use mrq_data::io::read_csv;
@@ -31,6 +35,7 @@ struct Args {
     algorithm: Algorithm,
     regions_shown: usize,
     threads: usize,
+    verbose: bool,
     demo: bool,
 }
 
@@ -45,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         algorithm: Algorithm::Auto,
         regions_shown: 10,
         threads: 1,
+        verbose: false,
         demo: false,
     };
     let mut it = std::env::args().skip(1);
@@ -119,6 +125,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--regions: {e}"))?
             }
+            "--verbose" => args.verbose = true,
             "--demo" => args.demo = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
@@ -129,7 +136,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: maxrank-cli --data FILE.csv --dims D (--focal ID | --focals ID,ID,.. | --point x1,..,xD) \
-     [--tau T] [--algorithm auto|fca|ba|aa|aa2d] [--regions N] [--threads N]\n       maxrank-cli --demo"
+     [--tau T] [--algorithm auto|fca|ba|aa|aa2d] [--regions N] [--threads N] [--verbose]\n       \
+     maxrank-cli --demo"
         .to_string()
 }
 
@@ -290,6 +298,7 @@ fn main() -> ExitCode {
     let config = MaxRankConfig {
         tau: args.tau,
         algorithm: args.algorithm,
+        threads: args.threads,
         ..MaxRankConfig::new()
     };
     let result = match focal_id {
@@ -315,6 +324,29 @@ fn main() -> ExitCode {
         "cpu time          : {:.3}s",
         result.stats.cpu_time.as_secs_f64()
     );
+    if args.verbose {
+        let secs = result.stats.cpu_time.as_secs_f64();
+        let cells_per_sec = if secs > 0.0 {
+            result.stats.cells_tested as f64 / secs
+        } else {
+            0.0
+        };
+        println!("threads           : {}", args.threads);
+        println!("iterations        : {}", result.stats.iterations);
+        println!(
+            "cells tested      : {} ({:.0} cells/sec)",
+            result.stats.cells_tested, cells_per_sec
+        );
+        println!(
+            "events pruned     : {} (2-d sweep expansion skips)",
+            result.stats.events_pruned
+        );
+        println!(
+            "bitstrings pruned : {} (pairwise containment)",
+            result.stats.bitstrings_pruned
+        );
+        println!("leaves processed  : {}", result.stats.leaves_processed);
+    }
     for (i, region) in result.regions.iter().take(args.regions_shown).enumerate() {
         let q = region.representative_query();
         let rounded: Vec<f64> = q

@@ -22,6 +22,7 @@ struct Args {
     tau: usize,
     timeout_ms: Option<u64>,
     no_cache: bool,
+    threads: usize,
     regions_shown: usize,
     stats: bool,
     list: bool,
@@ -32,7 +33,7 @@ struct Args {
 fn usage() -> String {
     "usage: maxrank-client (--addr HOST:PORT | --port P) \
      (--dataset NAME --focal ID [--algorithm auto|fca|ba|aa|aa2d] [--tau T] \
-     [--timeout-ms MS] [--no-cache] [--regions N] | --stats | --list | --ping | --shutdown)"
+     [--timeout-ms MS] [--no-cache] [--threads N] [--regions N] | --stats | --list | --ping | --shutdown)"
         .to_string()
 }
 
@@ -45,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         tau: 0,
         timeout_ms: None,
         no_cache: false,
+        threads: 1,
         regions_shown: 10,
         stats: false,
         list: false,
@@ -93,6 +95,16 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--no-cache" => args.no_cache = true,
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if args.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
             "--regions" => {
                 args.regions_shown = it
                     .next()
@@ -174,6 +186,7 @@ fn main() -> ExitCode {
                     timeout: args.timeout_ms.map(Duration::from_millis),
                     no_cache: args.no_cache,
                     max_regions: Some(args.regions_shown),
+                    threads: args.threads,
                 },
             )
             .map(|reply| {
