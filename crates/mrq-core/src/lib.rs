@@ -26,6 +26,8 @@
 //! exhaustive cell enumeration) used by the tests, and [`query`] a convenient
 //! façade that picks the right algorithm.
 
+#![warn(missing_docs)]
+
 pub mod aa;
 pub mod aa2d;
 pub mod ba;

@@ -1,7 +1,7 @@
 //! Monochromatic reverse top-k (two dimensions) and the influence score.
 //!
 //! The closest related query to MaxRank (paper, Section 2; Vlachou et al.
-//! [19]) asks the *opposite* question: given a fixed `k`, report the parts of
+//! \[19\]) asks the *opposite* question: given a fixed `k`, report the parts of
 //! the query space where the focal record belongs to the top-k result.  The
 //! original solution exists only for `d = 2`; we implement it here with the
 //! same score-line sweep FCA uses, both as a baseline from the related work

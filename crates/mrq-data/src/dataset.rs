@@ -3,16 +3,106 @@
 //! A [`Dataset`] stores `n` records of fixed dimensionality `d` contiguously
 //! in a single `Vec<f64>` so record access is a cheap slice view and scans
 //! are cache friendly.
+//!
+//! # Dynamic datasets
+//!
+//! A dataset is mutable through [`Dataset::apply`]: insertions append a new
+//! record slot and deletions *tombstone* an existing slot.  Ids are therefore
+//! **stable for the lifetime of the dataset** — deleting record 3 never
+//! renumbers record 4, and a later insertion gets a fresh id, so cache keys,
+//! focal ids and index entries built against one version remain meaningful
+//! against the next.  Every successful `apply` bumps a monotonically
+//! increasing [`Dataset::version`], which the serving layer uses to key its
+//! result cache per snapshot.  [`Dataset::iter`] (and everything built on it:
+//! [`Dataset::order_of`], bulk loading, the oracles) yields live records
+//! only.
 
-/// Identifier of a record inside a [`Dataset`] (its position).
+/// Identifier of a record inside a [`Dataset`] (its slot position).
+///
+/// Ids are assigned densely at insertion time and are never reused: a
+/// deleted record leaves a tombstoned slot behind (see [`Dataset::is_live`]).
 pub type RecordId = u32;
+
+/// A single mutation of a [`Dataset`], applied through [`Dataset::apply`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Update {
+    /// Append a new record (its id is reported by the [`Applied`] receipt).
+    Insert(Vec<f64>),
+    /// Tombstone an existing live record.
+    Delete(RecordId),
+}
+
+/// Receipt of one successful [`Dataset::apply`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Applied {
+    /// The dataset version *after* this update (monotonically increasing,
+    /// starting from 1 for the first update; a freshly built dataset is at
+    /// version 0).
+    pub version: u64,
+    /// The id assigned to an inserted record (`None` for deletions).
+    pub inserted: Option<RecordId>,
+}
+
+/// Why an [`Update`] was rejected.  Rejected updates leave the dataset (and
+/// its version) untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// An inserted record's length differs from the dataset dimensionality.
+    DimsMismatch {
+        /// The dataset dimensionality.
+        expected: usize,
+        /// The inserted record's length.
+        got: usize,
+    },
+    /// An inserted record carries a NaN or infinite attribute value.
+    NonFinite,
+    /// A deletion referenced an id beyond the dataset's id space.
+    NoSuchRecord(RecordId),
+    /// A deletion referenced an id that was already deleted.
+    AlreadyDeleted(RecordId),
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::DimsMismatch { expected, got } => {
+                write!(f, "record has {got} attributes, dataset has {expected}")
+            }
+            UpdateError::NonFinite => write!(f, "record attributes must be finite"),
+            UpdateError::NoSuchRecord(id) => write!(f, "no record with id {id}"),
+            UpdateError::AlreadyDeleted(id) => write!(f, "record {id} is already deleted"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
 
 /// A set of `d`-dimensional records with attribute values (conventionally in
 /// `[0, 1]`, although nothing in the algorithms requires it).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the observable state — dimensionality, record slots and
+/// tombstones — but **not** the [version](Dataset::version), so two datasets
+/// that reached the same state through different update histories compare
+/// equal.
+#[derive(Debug, Clone)]
 pub struct Dataset {
     dims: usize,
     values: Vec<f64>,
+    /// Tombstone bitmap, one bit per record slot (1 = deleted).
+    dead: Vec<u64>,
+    /// Number of live (non-tombstoned) records.
+    live: usize,
+    /// Bumped by every successful [`Dataset::apply`].
+    version: u64,
+}
+
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.dims == other.dims
+            && self.values == other.values
+            && self.live == other.live
+            && (0..self.slots()).all(|i| self.slot_live(i) == other.slot_live(i))
+    }
 }
 
 impl Dataset {
@@ -25,6 +115,9 @@ impl Dataset {
         Self {
             dims,
             values: Vec::new(),
+            dead: Vec::new(),
+            live: 0,
+            version: 0,
         }
     }
 
@@ -34,6 +127,9 @@ impl Dataset {
         Self {
             dims,
             values: Vec::with_capacity(dims * n),
+            dead: Vec::new(),
+            live: 0,
+            version: 0,
         }
     }
 
@@ -55,19 +151,43 @@ impl Dataset {
         self.dims
     }
 
-    /// Number of records `n`.
+    /// The size of the id space: live records **plus** tombstoned slots.
+    /// Record ids are always in `0..len()`; for the number of live records
+    /// use [`Dataset::live_len`].  The two are equal until the first
+    /// deletion.
     #[inline]
     pub fn len(&self) -> usize {
         self.values.len() / self.dims
     }
 
-    /// Whether the dataset holds no records.
+    /// Number of live (non-deleted) records.
     #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+    pub fn live_len(&self) -> usize {
+        self.live
     }
 
-    /// Appends a record, returning its id.
+    /// Whether the dataset holds no live records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Whether `id` names a live record (in range and not tombstoned).
+    #[inline]
+    pub fn is_live(&self, id: RecordId) -> bool {
+        (id as usize) < self.slots() && self.slot_live(id as usize)
+    }
+
+    /// The dataset version: 0 for a freshly constructed dataset, bumped by
+    /// every successful [`Dataset::apply`].
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Appends a record, returning its id.  Construction-time primitive: it
+    /// does **not** bump the version (use [`Dataset::apply`] for serving-time
+    /// mutation).
     ///
     /// # Panics
     /// Panics if the record's length differs from the dataset dimensionality.
@@ -75,25 +195,90 @@ impl Dataset {
         assert_eq!(record.len(), self.dims, "record dimensionality mismatch");
         let id = self.len() as RecordId;
         self.values.extend_from_slice(record);
+        let slot = id as usize;
+        if slot / 64 >= self.dead.len() {
+            self.dead.push(0);
+        }
+        self.live += 1;
         id
     }
 
-    /// Borrow record `id`.
+    /// Applies one mutation, returning the new version (and the assigned id
+    /// for insertions).  Rejected updates leave the dataset untouched.
+    pub fn apply(&mut self, update: &Update) -> Result<Applied, UpdateError> {
+        let inserted = match update {
+            Update::Insert(record) => {
+                if record.len() != self.dims {
+                    return Err(UpdateError::DimsMismatch {
+                        expected: self.dims,
+                        got: record.len(),
+                    });
+                }
+                if !record.iter().all(|x| x.is_finite()) {
+                    return Err(UpdateError::NonFinite);
+                }
+                Some(self.push(record))
+            }
+            Update::Delete(id) => {
+                if (*id as usize) >= self.slots() {
+                    return Err(UpdateError::NoSuchRecord(*id));
+                }
+                if !self.slot_live(*id as usize) {
+                    return Err(UpdateError::AlreadyDeleted(*id));
+                }
+                self.dead[*id as usize / 64] |= 1u64 << (*id as usize % 64);
+                self.live -= 1;
+                None
+            }
+        };
+        self.version += 1;
+        Ok(Applied {
+            version: self.version,
+            inserted,
+        })
+    }
+
+    /// Borrow the coordinates stored in slot `id`.  The slot's values remain
+    /// readable after a deletion (callers holding an id from an older
+    /// snapshot — e.g. a cached result — can still resolve it); use
+    /// [`Dataset::get`] or [`Dataset::is_live`] when liveness matters.
     ///
     /// # Panics
-    /// Panics if `id` is out of bounds.
+    /// Panics if `id` is outside the id space.
     #[inline]
     pub fn record(&self, id: RecordId) -> &[f64] {
         let i = id as usize * self.dims;
         &self.values[i..i + self.dims]
     }
 
-    /// Iterator over `(id, record)` pairs.
+    /// Borrow record `id` if it is live (`None` for out-of-range or deleted
+    /// ids).
+    #[inline]
+    pub fn get(&self, id: RecordId) -> Option<&[f64]> {
+        self.is_live(id).then(|| self.record(id))
+    }
+
+    /// Iterator over the `(id, record)` pairs of all **live** records.
     pub fn iter(&self) -> impl Iterator<Item = (RecordId, &[f64])> {
         self.values
             .chunks_exact(self.dims)
             .enumerate()
+            .filter(|(i, _)| self.slot_live(*i))
             .map(|(i, r)| (i as RecordId, r))
+    }
+
+    /// Number of record slots (internal alias of [`Dataset::len`]).
+    #[inline]
+    fn slots(&self) -> usize {
+        self.values.len() / self.dims
+    }
+
+    /// Whether slot `i` (in range) is live.
+    #[inline]
+    fn slot_live(&self, i: usize) -> bool {
+        self.dead
+            .get(i / 64)
+            .is_none_or(|w| w & (1u64 << (i % 64)) == 0)
     }
 
     /// The score `r · q` of record `id` under query vector `q`.
@@ -229,5 +414,126 @@ mod tests {
         let ds = Dataset::from_rows(2, &rows);
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.record(1), rows[1].as_slice());
+    }
+
+    #[test]
+    fn apply_insert_assigns_fresh_ids_and_bumps_version() {
+        let mut ds = figure1_dataset();
+        assert_eq!(ds.version(), 0);
+        let a = ds.apply(&Update::Insert(vec![0.3, 0.6])).unwrap();
+        assert_eq!(a.version, 1);
+        assert_eq!(a.inserted, Some(5));
+        assert_eq!(ds.record(5), &[0.3, 0.6]);
+        assert_eq!(ds.len(), 6);
+        assert_eq!(ds.live_len(), 6);
+        let b = ds.apply(&Update::Insert(vec![0.1, 0.1])).unwrap();
+        assert_eq!(b.version, 2);
+        assert_eq!(b.inserted, Some(6));
+    }
+
+    #[test]
+    fn apply_delete_tombstones_without_renumbering() {
+        let mut ds = figure1_dataset();
+        let a = ds.apply(&Update::Delete(2)).unwrap();
+        assert_eq!(a.version, 1);
+        assert_eq!(a.inserted, None);
+        // The id space is unchanged; liveness is not.
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds.live_len(), 4);
+        assert!(!ds.is_live(2));
+        assert!(ds.is_live(3));
+        assert_eq!(ds.get(2), None);
+        assert_eq!(ds.get(3), Some([0.7, 0.2].as_slice()));
+        // The slot's coordinates remain readable for old snapshots' sake.
+        assert_eq!(ds.record(2), &[0.9, 0.4]);
+        // Iteration, and everything built on it, skips the tombstone.
+        let ids: Vec<RecordId> = ds.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 3, 4]);
+        assert_eq!(
+            ds.order_of(&[0.5, 0.5], &[0.7, 0.3]),
+            3,
+            "r3 no longer outranks"
+        );
+        // A new insertion gets a fresh id, not the tombstoned one.
+        let b = ds.apply(&Update::Insert(vec![0.6, 0.6])).unwrap();
+        assert_eq!(b.inserted, Some(5));
+        assert_eq!(ds.live_len(), 5);
+    }
+
+    #[test]
+    fn apply_rejections_leave_dataset_untouched() {
+        let mut ds = figure1_dataset();
+        assert_eq!(
+            ds.apply(&Update::Insert(vec![0.1])),
+            Err(UpdateError::DimsMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            ds.apply(&Update::Insert(vec![f64::NAN, 0.2])),
+            Err(UpdateError::NonFinite)
+        );
+        assert_eq!(
+            ds.apply(&Update::Delete(99)),
+            Err(UpdateError::NoSuchRecord(99))
+        );
+        ds.apply(&Update::Delete(1)).unwrap();
+        assert_eq!(
+            ds.apply(&Update::Delete(1)),
+            Err(UpdateError::AlreadyDeleted(1))
+        );
+        // Only the one successful delete moved the version.
+        assert_eq!(ds.version(), 1);
+        assert_eq!(ds.live_len(), 4);
+    }
+
+    #[test]
+    fn delete_all_records_leaves_an_empty_dataset() {
+        let mut ds = Dataset::from_rows(2, &[vec![0.1, 0.2], vec![0.3, 0.4]]);
+        ds.apply(&Update::Delete(0)).unwrap();
+        ds.apply(&Update::Delete(1)).unwrap();
+        assert!(ds.is_empty());
+        assert_eq!(ds.live_len(), 0);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.iter().count(), 0);
+        assert!(ds.score_range(&[0.5, 0.5]).is_none());
+    }
+
+    #[test]
+    fn equality_ignores_version_but_not_tombstones() {
+        let mut a = figure1_dataset();
+        let mut b = figure1_dataset();
+        // Different histories, same final state.
+        a.apply(&Update::Delete(1)).unwrap();
+        b.apply(&Update::Insert(vec![0.5, 0.6])).unwrap();
+        b.apply(&Update::Delete(5)).unwrap();
+        b.apply(&Update::Delete(1)).unwrap();
+        assert_ne!(a, b, "b has an extra (dead) slot");
+        let mut d = figure1_dataset();
+        d.apply(&Update::Delete(1)).unwrap();
+        assert_eq!(a, d, "same state, different version counts are possible");
+        assert_eq!(a.version(), d.version());
+        // Tombstone placement matters.
+        let mut e = figure1_dataset();
+        e.apply(&Update::Delete(2)).unwrap();
+        assert_ne!(a, e);
+    }
+
+    #[test]
+    fn update_error_display() {
+        assert_eq!(
+            UpdateError::DimsMismatch {
+                expected: 3,
+                got: 2
+            }
+            .to_string(),
+            "record has 2 attributes, dataset has 3"
+        );
+        assert!(UpdateError::NonFinite.to_string().contains("finite"));
+        assert!(UpdateError::NoSuchRecord(7).to_string().contains('7'));
+        assert!(UpdateError::AlreadyDeleted(7)
+            .to_string()
+            .contains("already deleted"));
     }
 }

@@ -20,7 +20,7 @@ pub mod io;
 pub mod realistic;
 pub mod synthetic;
 
-pub use dataset::{Dataset, RecordId};
+pub use dataset::{Applied, Dataset, RecordId, Update, UpdateError};
 pub use dominance::{
     classify, dominates, naive_skyline, partition_by_focal, DomRelation, FocalPartition,
 };

@@ -2,7 +2,7 @@
 //! Anti-correlated distributions.
 //!
 //! These are the standard preference-query benchmarks introduced by the
-//! skyline literature (Börzsönyi et al., cited as [5] in the paper) and used
+//! skyline literature (Börzsönyi et al., cited as \[5\] in the paper) and used
 //! throughout Section 8 of the MaxRank evaluation:
 //!
 //! * **IND** — every attribute i.i.d. uniform in `[0, 1]`;

@@ -15,6 +15,8 @@
 //!   rank/order counting used by oracles and the appendix experiment,
 //! * [`iostats`] — the shared page-access counter.
 
+#![warn(missing_docs)]
+
 pub mod bbs;
 pub mod iostats;
 pub mod rstar;

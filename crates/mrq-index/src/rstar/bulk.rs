@@ -11,11 +11,16 @@ use mrq_data::Dataset;
 
 impl RStarTree {
     pub(crate) fn str_bulk_load(&mut self, data: &Dataset) {
-        self.len = data.len();
-        if data.is_empty() {
+        // `Dataset::iter` yields live records only, so a bulk load over a
+        // mutated dataset matches an incrementally maintained tree.
+        let mut entries: Vec<Entry> = data.iter().map(|(id, r)| Entry::record(id, r)).collect();
+        self.len = entries.len();
+        if entries.is_empty() {
             return;
         }
-        let mut entries: Vec<Entry> = data.iter().map(|(id, r)| Entry::record(id, r)).collect();
+        // Drop the placeholder empty root so every arena slot is reachable.
+        self.nodes.clear();
+        self.free.clear();
         let mut level = 0u32;
         loop {
             let parents = self.pack_level(entries, level);
@@ -47,8 +52,8 @@ impl RStarTree {
                 level,
                 entries: group,
             };
-            self.nodes.push(node);
-            parents.push(self.make_node_entry(self.nodes.len() - 1));
+            let idx = self.alloc_node(node);
+            parents.push(self.make_node_entry(idx));
         }
         parents
     }

@@ -15,18 +15,26 @@ impl RStarTree {
         self.insert_entry(entry, 0, &mut reinserted);
     }
 
-    /// Inserts an entry (record or subtree) at the given level.
-    fn insert_entry(&mut self, entry: Entry, target_level: u32, reinserted: &mut Vec<bool>) {
+    /// Inserts an entry (record or subtree) at the given level.  Also used
+    /// by deletion to reinsert the entries of dissolved underfull nodes.
+    pub(super) fn insert_entry(
+        &mut self,
+        entry: Entry,
+        target_level: u32,
+        reinserted: &mut Vec<bool>,
+    ) {
         let path = self.choose_path(&entry.mbr, target_level);
         let target = *path.last().expect("path always contains the root");
         self.nodes[target].entries.push(entry);
         self.propagate(&path, reinserted);
     }
 
-    /// Root-to-target path following the R\* choose-subtree rule.
+    /// Root-to-target path following the R\* choose-subtree rule.  Each node
+    /// on the path is charged as one page read.
     fn choose_path(&self, mbr: &BoundingBox, target_level: u32) -> Vec<usize> {
         let mut path = vec![self.root];
         let mut current = self.root;
+        self.io.record_read();
         while self.nodes[current].level > target_level {
             let node = &self.nodes[current];
             let child_is_leaf = node.level == target_level + 1 && target_level == 0;
@@ -68,6 +76,7 @@ impl RStarTree {
                 Child::Node(idx) => idx as usize,
                 Child::Record(_) => unreachable!("internal node entry must point to a node"),
             };
+            self.io.record_read();
             path.push(current);
         }
         path
@@ -105,8 +114,7 @@ impl RStarTree {
                         level: self.nodes[self.root].level + 1,
                         entries: vec![old_root_entry, new_entry],
                     };
-                    self.nodes.push(new_root);
-                    self.root = self.nodes.len() - 1;
+                    self.root = self.alloc_node(new_root);
                     self.height += 1;
                     return;
                 }
@@ -260,8 +268,7 @@ impl RStarTree {
             level,
             entries: second,
         };
-        self.nodes.push(new_node);
-        let new_idx = self.nodes.len() - 1;
+        let new_idx = self.alloc_node(new_node);
         self.make_node_entry(new_idx)
     }
 }

@@ -1,24 +1,29 @@
 //! An aggregate R\*-tree over point data.
 //!
 //! This is the disk-resident spatial index the paper assumes for the dataset
-//! `D` (Beckmann et al.'s R\*-tree [2], augmented with per-entry record
-//! counts as in the aggregate R-tree of [16]).  Features:
+//! `D` (Beckmann et al.'s R\*-tree \[2\], augmented with per-entry record
+//! counts as in the aggregate R-tree of \[16\]).  Features:
 //!
 //! * one-by-one insertion with the R\* heuristics (choose-subtree by minimum
 //!   overlap enlargement at the leaf level, forced reinsertion, topological
 //!   split),
+//! * deletion with underfull-node condensing (an underfull node is dissolved
+//!   and its entries reinserted at their level, the classic R-tree
+//!   `CondenseTree`), root collapse, and node-slot reuse through a free
+//!   list,
 //! * STR (sort-tile-recursive) bulk loading,
 //! * axis-parallel range reporting and *aggregate* range counting (counted
 //!   sub-trees are not descended into, saving I/O exactly as the paper's
 //!   dominator counting does),
 //! * focal-record partitioning queries used by BA (retrieve incomparable
 //!   records) and by both algorithms (count dominators),
-//! * page-access accounting via [`IoStats`](crate::iostats::IoStats).
+//! * page-access accounting via [`IoStats`].
 //!
 //! Node fan-out defaults to what fits a 4 KB page for the given
 //! dimensionality, mirroring the experimental setup of Section 8.
 
 mod bulk;
+mod delete;
 mod insert;
 mod node;
 mod query;
@@ -39,6 +44,8 @@ pub struct RStarTree {
     pub(crate) dims: usize,
     pub(crate) config: RStarConfig,
     pub(crate) nodes: Vec<Node>,
+    /// Arena slots of dissolved nodes, reused by later allocations.
+    pub(crate) free: Vec<usize>,
     pub(crate) root: usize,
     pub(crate) height: u32,
     pub(crate) len: usize,
@@ -64,10 +71,25 @@ impl RStarTree {
             dims,
             config,
             nodes: vec![root_node],
+            free: Vec::new(),
             root: 0,
             height: 0,
             len: 0,
             io: IoStats::new(),
+        }
+    }
+
+    /// Allocates a node slot, reusing a freed one when available.
+    pub(crate) fn alloc_node(&mut self, node: Node) -> usize {
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
         }
     }
 
@@ -86,7 +108,9 @@ impl RStarTree {
         tree
     }
 
-    /// Inserts a single record (id + coordinates).
+    /// Inserts a single record (id + coordinates).  The root-to-leaf
+    /// traversal is charged to [`IoStats`] (one read per node visited), as
+    /// deletion and the queries are.
     pub fn insert(&mut self, id: RecordId, point: &[f64]) {
         assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
         self.insert_record(id, point);
@@ -113,9 +137,11 @@ impl RStarTree {
         self.height
     }
 
-    /// Total number of nodes (= simulated disk pages) in the tree.
+    /// Total number of live nodes (= simulated disk pages) in the tree.
+    /// Arena slots freed by deletions are not counted (they are reused by
+    /// later allocations).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes.len() - self.free.len()
     }
 
     /// The I/O counter shared by all queries on this tree.
@@ -142,11 +168,24 @@ impl RStarTree {
 
     /// Internal consistency check used by tests: every node entry's MBR and
     /// count must match its child subtree, node fan-outs must respect the
-    /// configuration, and all leaves must be at level 0.
+    /// configuration, all leaves must be at level 0, and every arena slot
+    /// must be either reachable from the root or on the free list.
     pub fn check_invariants(&self) -> Result<(), String> {
-        let (count, _mbr) = self.check_node(self.root, self.height)?;
+        let mut visited = 0usize;
+        let (count, _mbr) = self.check_node(self.root, self.height, &mut visited)?;
         if count != self.len {
             return Err(format!("root count {count} != len {}", self.len));
+        }
+        let distinct_free: std::collections::HashSet<usize> = self.free.iter().copied().collect();
+        if distinct_free.len() != self.free.len() {
+            return Err("free list holds a duplicate slot".into());
+        }
+        if visited + self.free.len() != self.nodes.len() {
+            return Err(format!(
+                "arena accounting broken: {visited} reachable + {} free != {} slots",
+                self.free.len(),
+                self.nodes.len()
+            ));
         }
         Ok(())
     }
@@ -155,7 +194,9 @@ impl RStarTree {
         &self,
         idx: usize,
         expected_level: u32,
+        visited: &mut usize,
     ) -> Result<(usize, Option<BoundingBox>), String> {
+        *visited += 1;
         let node = &self.nodes[idx];
         if node.level != expected_level {
             return Err(format!(
@@ -194,7 +235,7 @@ impl RStarTree {
                     if node.level == 0 {
                         return Err(format!("child node entry in leaf {idx}"));
                     }
-                    let (cnt, cmbr) = self.check_node(c as usize, node.level - 1)?;
+                    let (cnt, cmbr) = self.check_node(c as usize, node.level - 1, visited)?;
                     if cnt != e.count as usize {
                         return Err(format!("entry count {} != subtree count {cnt}", e.count));
                     }

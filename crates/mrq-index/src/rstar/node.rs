@@ -62,7 +62,7 @@ pub struct Entry {
     /// record entries).
     pub mbr: BoundingBox,
     /// Number of records in the subtree (1 for record entries) — the
-    /// aggregate-R-tree augmentation of [16].
+    /// aggregate-R-tree augmentation of \[16\].
     pub count: u32,
     /// Child reference.
     pub child: Child,

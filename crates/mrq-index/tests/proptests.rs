@@ -2,7 +2,7 @@
 //! insertion order, queries must agree with a plain linear scan and the
 //! structural invariants must hold.
 
-use mrq_data::{dominates, naive_skyline, partition_by_focal, Dataset};
+use mrq_data::{dominates, naive_skyline, partition_by_focal, Dataset, Update};
 use mrq_geometry::BoundingBox;
 use mrq_index::{k_skyband, order_of, top_k, IncrementalSkyline, RStarConfig, RStarTree};
 use proptest::prelude::*;
@@ -118,5 +118,95 @@ proptest! {
         prop_assert_eq!(&band1, &full_sky);
         let band3 = k_skyband(&bulk, 3);
         prop_assert!(band3.len() >= full_sky.len());
+    }
+
+    /// After an arbitrary interleaving of inserts and deletes the tree is
+    /// structurally valid (MBR containment/tightness, min/max fan-out,
+    /// aggregate counts, arena accounting — all enforced by
+    /// `check_invariants`) and behaves exactly like a tree bulk-loaded over
+    /// the final live records: range reporting, BBS skyline / k-skyband and
+    /// best-first top-k all agree.
+    #[test]
+    fn insert_delete_interleavings_match_bulk_load(
+        data in dataset_strategy(3),
+        ops in prop::collection::vec((any::<bool>(), any::<u64>(), prop::collection::vec(0.0f64..1.0, 3)), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let config = RStarConfig {
+            max_entries: 5,
+            min_entries: 2,
+            reinsert_count: 1,
+        };
+        let mut data = data;
+        let mut tree = RStarTree::bulk_load_with_config(&data, config);
+        for (is_delete, pick, row) in ops {
+            if is_delete && data.live_len() > 0 {
+                let live: Vec<u32> = data.iter().map(|(id, _)| id).collect();
+                let id = live[(pick % live.len() as u64) as usize];
+                let point = data.record(id).to_vec();
+                data.apply(&Update::Delete(id)).map_err(|e| TestCaseError::fail(e.to_string()))?;
+                prop_assert!(tree.delete(id, &point));
+            } else {
+                let applied = data
+                    .apply(&Update::Insert(row.clone()))
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                tree.insert(applied.inserted.unwrap(), &row);
+            }
+            tree.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        prop_assert_eq!(tree.len(), data.live_len());
+        let rebuilt = RStarTree::bulk_load_with_config(&data, config);
+        rebuilt.check_invariants().map_err(TestCaseError::fail)?;
+
+        // Range reporting and counting agree.
+        let query = BoundingBox::new(vec![0.2, 0.1, 0.3], vec![0.8, 0.9, 0.75]);
+        let mut a = tree.range_ids(&query);
+        let mut b = rebuilt.range_ids(&query);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(tree.range_count(&query), rebuilt.range_count(&query));
+
+        if data.live_len() == 0 {
+            prop_assert!(tree.is_empty());
+            return Ok(());
+        }
+
+        // BBS: 1-skyband == skyline of the live records, and the
+        // incremental skyline seen through both trees agrees.
+        let mut sky_incr = k_skyband(&tree, 1);
+        let mut sky_bulk = k_skyband(&rebuilt, 1);
+        sky_incr.sort_unstable();
+        sky_bulk.sort_unstable();
+        prop_assert_eq!(&sky_incr, &sky_bulk);
+        let live_ids: Vec<u32> = data.iter().map(|(id, _)| id).collect();
+        let mut naive = naive_skyline(&data, &live_ids);
+        naive.sort_unstable();
+        prop_assert_eq!(&sky_incr, &naive);
+        let focal = live_ids[(seed % live_ids.len() as u64) as usize];
+        let p = data.record(focal).to_vec();
+        let mut inc_a: Vec<u32> = IncrementalSkyline::new(&tree, &p, Some(focal))
+            .skyline().iter().map(|(id, _)| *id).collect();
+        let mut inc_b: Vec<u32> = IncrementalSkyline::new(&rebuilt, &p, Some(focal))
+            .skyline().iter().map(|(id, _)| *id).collect();
+        inc_a.sort_unstable();
+        inc_b.sort_unstable();
+        prop_assert_eq!(inc_a, inc_b);
+
+        // Top-k score sequences and order computations agree.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut q: Vec<f64> = (0..3).map(|_| rng.gen::<f64>() + 1e-6).collect();
+        let s: f64 = q.iter().sum();
+        q.iter_mut().for_each(|x| *x /= s);
+        let k = 1 + (seed as usize % 8).min(data.live_len() - 1);
+        let got = top_k(&tree, &q, k);
+        let want = top_k(&rebuilt, &q, k);
+        prop_assert_eq!(got.scores.len(), want.scores.len());
+        for (x, y) in got.scores.iter().zip(&want.scores) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+        prop_assert_eq!(order_of(&tree, &p, &q), data.order_of(&p, &q));
+        prop_assert_eq!(order_of(&rebuilt, &p, &q), data.order_of(&p, &q));
     }
 }

@@ -1,6 +1,12 @@
-//! The result cache: an LRU map from `(dataset, focal, algorithm, tau)` to a
-//! shared [`MaxRankResult`], with hit/miss/eviction counters for the `STATS`
-//! command.
+//! The result cache: an LRU map from `(dataset, version, focal, algorithm,
+//! tau)` to a shared [`MaxRankResult`], with hit/miss/eviction counters for
+//! the `STATS` command.
+//!
+//! The **dataset version** in the key is what keeps caching sound under
+//! updates: an `UPDATE` bumps the dataset's version, so every later query
+//! keys to fresh entries and a stale answer can never be served — without
+//! any global flush.  Entries computed at older versions simply stop being
+//! requested and age out through the LRU policy.
 //!
 //! MaxRank evaluations are deterministic functions of the key — the service
 //! always runs with the default engine tuning (`pair_pruning = true`, default
@@ -28,6 +34,9 @@ use std::sync::{Arc, Mutex};
 pub struct CacheKey {
     /// Registered dataset name.
     pub dataset: String,
+    /// Dataset version the answer was computed at (see
+    /// [`DatasetEntry::version`](crate::registry::DatasetEntry::version)).
+    pub version: u64,
     /// Focal record id.
     pub focal: RecordId,
     /// Concrete (resolved) algorithm.
@@ -316,10 +325,26 @@ mod tests {
     fn key(focal: RecordId) -> CacheKey {
         CacheKey {
             dataset: "demo".into(),
+            version: 0,
             focal,
             algorithm: Algorithm::AdvancedApproach2D,
             tau: 0,
         }
+    }
+
+    #[test]
+    fn version_distinguishes_keys() {
+        let cache = ResultCache::new(8);
+        cache.insert(key(0), dummy_result());
+        let stale = CacheKey {
+            version: 1,
+            ..key(0)
+        };
+        assert!(
+            cache.get(&stale).is_none(),
+            "a bumped version must never see the old entry"
+        );
+        assert!(cache.get(&key(0)).is_some());
     }
 
     #[test]

@@ -71,6 +71,8 @@ pub struct QueryReply {
     pub region_count: usize,
     /// Whether the answer came from the server's result cache.
     pub cached: bool,
+    /// Dataset version the answer was computed at.
+    pub version: u64,
     /// Simulated page reads of the evaluation.
     pub io_reads: u64,
     /// CPU time of the evaluation, in microseconds.
@@ -79,6 +81,19 @@ pub struct QueryReply {
     pub orders: Vec<usize>,
     /// Per-returned-region representative preference vector.
     pub witnesses: Vec<Vec<f64>>,
+}
+
+/// A decoded `update` acknowledgement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateReply {
+    /// Dataset version after the batch.
+    pub version: u64,
+    /// Live records after the batch.
+    pub records: usize,
+    /// Ids assigned to the inserted rows, in input order.
+    pub inserted: Vec<RecordId>,
+    /// Number of deleted records.
+    pub deleted: usize,
 }
 
 /// A decoded `stats` answer.
@@ -197,10 +212,53 @@ impl Client {
                 .get("cached")
                 .and_then(Json::as_bool)
                 .ok_or_else(|| ClientError::Protocol("missing 'cached'".into()))?,
+            version: field_usize("version")? as u64,
             io_reads: field_usize("io_reads")? as u64,
             cpu_us: field_usize("cpu_us")? as u64,
             orders,
             witnesses,
+        })
+    }
+
+    /// Applies an update batch to a dataset: `inserts` rows (each matching
+    /// the dataset dimensionality) followed by `deletes` record ids.  The
+    /// server applies the batch atomically; the reply carries the new
+    /// dataset version and the ids assigned to the inserted rows.
+    pub fn update(
+        &mut self,
+        dataset: &str,
+        inserts: &[Vec<f64>],
+        deletes: &[RecordId],
+    ) -> Result<UpdateReply, ClientError> {
+        let request = Request::Update {
+            dataset: dataset.to_string(),
+            inserts: inserts.to_vec(),
+            deletes: deletes.to_vec(),
+        };
+        let value = self.roundtrip(&request)?;
+        let field_usize = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ClientError::Protocol(format!("missing numeric '{key}'")))
+        };
+        let inserted = value
+            .get("inserted")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("missing 'inserted'".into()))?
+            .iter()
+            .map(|v| {
+                v.as_usize()
+                    .filter(|&id| id <= RecordId::MAX as usize)
+                    .map(|id| id as RecordId)
+                    .ok_or_else(|| ClientError::Protocol("non-integer inserted id".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(UpdateReply {
+            version: field_usize("version")? as u64,
+            records: field_usize("records")?,
+            inserted,
+            deleted: field_usize("deleted")?,
         })
     }
 
@@ -246,7 +304,7 @@ impl Client {
         })
     }
 
-    /// Lists registered datasets as `(name, records, dims)`.
+    /// Lists registered datasets as `(name, live records, dims)`.
     pub fn list(&mut self) -> Result<Vec<(String, usize, usize)>, ClientError> {
         let value = self.roundtrip(&Request::List)?;
         value
@@ -350,6 +408,51 @@ mod tests {
         assert_eq!(reply.region_count, 2);
         assert_eq!(reply.orders.len(), 1);
         assert_eq!(reply.witnesses.len(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_update_round_trip() {
+        let server = demo_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let before = client.query("demo", 5).unwrap();
+        assert_eq!(before.version, 0);
+        assert_eq!(before.k_star, 3);
+
+        let reply = client.update("demo", &[vec![0.95, 0.95]], &[0]).unwrap();
+        assert_eq!(
+            reply,
+            UpdateReply {
+                version: 2,
+                records: 6,
+                inserted: vec![6],
+                deleted: 1,
+            }
+        );
+
+        // A follow-up query runs at the new version (r1 was deleted, but the
+        // new record dominates the focal, so k* stays 3), uncached.
+        let after = client.query("demo", 5).unwrap();
+        assert_eq!(after.version, 2);
+        assert!(!after.cached);
+
+        // LIST reports the live record count (6: one slot of 7 is a
+        // tombstone), consistent with the update reply.
+        assert_eq!(client.list().unwrap(), vec![("demo".to_string(), 6, 2)]);
+
+        // Errors surface as server errors, and the dataset is untouched.
+        let err = client.update("demo", &[], &[0]).unwrap_err();
+        assert!(matches!(err, ClientError::Server(_)), "{err}");
+        let err = client.update("demo", &[vec![0.1]], &[]).unwrap_err();
+        assert!(matches!(err, ClientError::Server(_)), "{err}");
+        assert_eq!(client.query("demo", 5).unwrap().version, 2);
+
+        // Querying the deleted focal yields a friendly server error.
+        let err = client.query("demo", 0).unwrap_err();
+        match err {
+            ClientError::Server(msg) => assert!(msg.contains("deleted"), "{msg}"),
+            other => panic!("expected server error, got {other}"),
+        }
         server.shutdown();
     }
 

@@ -7,18 +7,21 @@
 //! ```text
 //!            ┌───────────────────────────── MrqService ─────────────────────────────┐
 //! client ──► │ DatasetRegistry ──► bounded queue ──► WorkerPool ──► ResultCache │ ──► answer
-//!            │  (Dataset + R*-tree    (backpressure,    (N threads,     (LRU keyed by │
-//!            │   behind Arc, loaded    deadlines)        coalescing)     dataset/focal/ │
-//!            │   once per name)                                          algo/tau)    │
+//!            │  (versioned Dataset    (backpressure,    (N threads,     (LRU keyed by │
+//!            │   + R*-tree snapshots   deadlines)        coalescing)     dataset/version/ │
+//!            │   behind Arc)                                             focal/algo/tau) │
 //!            └──────────────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! * [`registry`] — load/generate each named dataset once, share `Arc`s.
-//! * [`pool`] — fixed worker threads over a bounded queue; same-dataset
+//! * [`registry`] — load/generate each named dataset once, share `Arc`
+//!   snapshots; updates go through [`DatasetHandle::apply`] (copy-on-write
+//!   swap, serialized per dataset, versioned).
+//! * [`pool`] — fixed worker threads over a bounded queue; same-snapshot
 //!   requests are coalesced through `mrq_core::evaluate_batch`; per-request
 //!   deadlines; graceful drain-then-join shutdown.
-//! * [`cache`] — an O(1) LRU over `(dataset, focal, algorithm, tau)` with
-//!   hit/miss/eviction counters (the `STATS` command).
+//! * [`cache`] — an O(1) LRU over `(dataset, version, focal, algorithm,
+//!   tau)` with hit/miss/eviction counters (the `STATS` command); the
+//!   version component retires stale entries without a flush.
 //! * [`service`] — the in-process composition ([`MrqService`]).
 //! * [`protocol`] — length-prefixed JSON-ish frames ([`protocol::Request`]).
 //! * [`server`] / [`client`] — a std-only loopback TCP layer
@@ -47,10 +50,10 @@ pub mod server;
 pub mod service;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
-pub use client::{Client, ClientError, QueryOptions, QueryReply, StatsReply};
+pub use client::{Client, ClientError, QueryOptions, QueryReply, StatsReply, UpdateReply};
 pub use error::ServiceError;
 pub use pool::{PoolConfig, PoolStats, WorkerPool};
-pub use registry::{DatasetEntry, DatasetRegistry, DatasetSpec};
+pub use registry::{DatasetEntry, DatasetHandle, DatasetRegistry, DatasetSpec, UpdateOutcome};
 pub use server::Server;
 pub use service::{MrqService, QueryAnswer, QueryRequest, ServiceConfig, ServiceStats};
 
@@ -69,6 +72,7 @@ const _: () = {
     assert_send_sync::<mrq_core::MaxRankResult>();
     assert_send_sync::<mrq_quadtree::HalfSpaceQuadTree>();
     assert_send_sync::<DatasetEntry>();
+    assert_send_sync::<DatasetHandle>();
     assert_send_sync::<DatasetRegistry>();
     assert_send_sync::<ResultCache>();
     assert_send_sync::<WorkerPool>();

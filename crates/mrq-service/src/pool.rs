@@ -57,6 +57,9 @@ pub struct QueryJob {
 
 impl QueryJob {
     fn same_group(&self, other: &QueryJob) -> bool {
+        // `Arc::ptr_eq` compares the *snapshot*, not just the dataset name:
+        // jobs validated before and after an update hold different entries
+        // and are never coalesced into one engine.
         self.algorithm == other.algorithm
             && self.tau == other.tau
             && self.threads == other.threads
@@ -423,6 +426,7 @@ mod tests {
         let pool = pool(2, 8, Arc::clone(&cache));
         let key = CacheKey {
             dataset: "demo".into(),
+            version: 0,
             focal: 5,
             algorithm: Algorithm::AdvancedApproach2D,
             tau: 0,

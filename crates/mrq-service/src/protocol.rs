@@ -19,26 +19,36 @@
 //! ```text
 //! {"cmd":"query","dataset":"hotels","focal":17,"algorithm":"auto","tau":0,
 //!  "timeout_ms":5000,"no_cache":false,"max_regions":16,"threads":4}
+//! {"cmd":"update","dataset":"hotels","insert":[[0.4,0.7,0.2,0.9]],"delete":[17]}
 //! {"cmd":"stats"}   {"cmd":"list"}   {"cmd":"ping"}   {"cmd":"shutdown"}
 //! ```
 //!
 //! Only `dataset` and `focal` are required for `query`; `max_regions` caps
 //! how many regions the response carries (default: all), and `threads` asks
 //! the server to shard the within-leaf cell enumeration of this one request
-//! (default 1; the server clamps the value).
+//! (default 1; the server clamps the value).  `update` carries at least one
+//! of `insert` (rows) / `delete` (record ids); the batch is applied
+//! atomically and in order (inserts first as listed, then deletes).
 //!
 //! # Responses
 //!
 //! Every response object carries `"ok"`.  Errors: `{"ok":false,"error":m}`.
 //! `query` answers carry `k_star`, `tau`, `algorithm`, `region_count`,
-//! `cached`, `io_reads`, `cpu_us` and per-region `orders` / `witnesses`
-//! (the representative full-dimensional preference vectors).
+//! `cached`, `version`, `io_reads`, `cpu_us` and per-region `orders` /
+//! `witnesses` (the representative full-dimensional preference vectors);
+//! `update` answers carry the new `version`, the live `records` count, the
+//! assigned `inserted` ids and the `deleted` count.
+//!
+//! The complete wire-format specification — framing, every verb, every
+//! error, the `threads` clamp and the coalescing semantics — lives in
+//! `docs/PROTOCOL.md`.
 
 use crate::error::ServiceError;
+use crate::registry::UpdateOutcome;
 use crate::service::{QueryAnswer, ServiceStats};
 use json::Json;
 use mrq_core::Algorithm;
-use mrq_data::RecordId;
+use mrq_data::{RecordId, Update};
 use std::io::{BufRead, Read, Write};
 
 /// Maximum accepted payload size (defends the server against bogus prefixes).
@@ -111,6 +121,15 @@ pub enum Request {
         /// Threads for the within-leaf cell enumeration (1 = sequential).
         threads: usize,
     },
+    /// Mutate a dataset: insert rows and/or delete records, atomically.
+    Update {
+        /// Registered dataset name.
+        dataset: String,
+        /// Rows to insert (each must match the dataset dimensionality).
+        inserts: Vec<Vec<f64>>,
+        /// Ids of live records to delete.
+        deletes: Vec<RecordId>,
+    },
     /// Cache / pool / registry counters.
     Stats,
     /// Registered dataset names and shapes.
@@ -153,6 +172,31 @@ impl Request {
                     obj.push(("threads".into(), Json::Num(*threads as f64)));
                 }
                 "query"
+            }
+            Request::Update {
+                dataset,
+                inserts,
+                deletes,
+            } => {
+                obj.push(("dataset".into(), Json::Str(dataset.clone())));
+                if !inserts.is_empty() {
+                    obj.push((
+                        "insert".into(),
+                        Json::Arr(
+                            inserts
+                                .iter()
+                                .map(|row| Json::Arr(row.iter().copied().map(Json::Num).collect()))
+                                .collect(),
+                        ),
+                    ));
+                }
+                if !deletes.is_empty() {
+                    obj.push((
+                        "delete".into(),
+                        Json::Arr(deletes.iter().map(|id| Json::Num(*id as f64)).collect()),
+                    ));
+                }
+                "update"
             }
             Request::Stats => "stats",
             Request::List => "list",
@@ -237,6 +281,54 @@ impl Request {
                     threads,
                 })
             }
+            "update" => {
+                let dataset = value
+                    .get("dataset")
+                    .and_then(Json::as_str)
+                    .ok_or("update needs a string 'dataset'")?
+                    .to_string();
+                let inserts = match value.get("insert") {
+                    None => Vec::new(),
+                    Some(v) => v
+                        .as_array()
+                        .ok_or("'insert' must be an array of rows")?
+                        .iter()
+                        .map(|row| {
+                            row.as_array()
+                                .ok_or("'insert' rows must be arrays of numbers")?
+                                .iter()
+                                .map(|x| {
+                                    x.as_f64().ok_or("'insert' rows must be arrays of numbers")
+                                })
+                                .collect::<Result<Vec<f64>, _>>()
+                        })
+                        .collect::<Result<Vec<Vec<f64>>, _>>()
+                        .map_err(str::to_string)?,
+                };
+                let deletes = match value.get("delete") {
+                    None => Vec::new(),
+                    Some(v) => v
+                        .as_array()
+                        .ok_or("'delete' must be an array of record ids")?
+                        .iter()
+                        .map(|x| {
+                            x.as_usize()
+                                .filter(|&id| id <= RecordId::MAX as usize)
+                                .map(|id| id as RecordId)
+                                .ok_or("'delete' entries must be record ids")
+                        })
+                        .collect::<Result<Vec<RecordId>, _>>()
+                        .map_err(str::to_string)?,
+                };
+                if inserts.is_empty() && deletes.is_empty() {
+                    return Err("update needs at least one insert or delete".into());
+                }
+                Ok(Request::Update {
+                    dataset,
+                    inserts,
+                    deletes,
+                })
+            }
             other => Err(format!("unknown command '{other}'")),
         }
     }
@@ -280,6 +372,7 @@ pub fn query_payload(answer: &QueryAnswer, max_regions: Option<usize>) -> String
             Json::Num(result.region_count() as f64),
         ),
         ("cached".into(), Json::Bool(answer.cached)),
+        ("version".into(), Json::Num(answer.version as f64)),
         ("io_reads".into(), Json::Num(result.stats.io_reads as f64)),
         (
             "cpu_us".into(),
@@ -289,6 +382,37 @@ pub fn query_payload(answer: &QueryAnswer, max_regions: Option<usize>) -> String
         ("witnesses".into(), Json::Arr(witnesses)),
     ])
     .to_string()
+}
+
+/// Renders an `update` acknowledgement from the applied outcome.
+pub fn update_payload(outcome: &UpdateOutcome) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("version".into(), Json::Num(outcome.version as f64)),
+        ("records".into(), Json::Num(outcome.records as f64)),
+        (
+            "inserted".into(),
+            Json::Arr(
+                outcome
+                    .inserted
+                    .iter()
+                    .map(|id| Json::Num(*id as f64))
+                    .collect(),
+            ),
+        ),
+        ("deleted".into(), Json::Num(outcome.deleted as f64)),
+    ])
+    .to_string()
+}
+
+/// Converts a parsed `update` request body into the `mrq_data` update batch
+/// the service applies: the inserts in listed order, then the deletes.
+pub fn update_batch(inserts: &[Vec<f64>], deletes: &[RecordId]) -> Vec<Update> {
+    inserts
+        .iter()
+        .map(|row| Update::Insert(row.clone()))
+        .chain(deletes.iter().map(|id| Update::Delete(*id)))
+        .collect()
 }
 
 /// Renders a `stats` payload.
@@ -858,6 +982,21 @@ mod tests {
                 max_regions: None,
                 threads: 1,
             },
+            Request::Update {
+                dataset: "hotels".into(),
+                inserts: vec![vec![0.25, 0.5], vec![1.0, 0.0]],
+                deletes: vec![3, 17],
+            },
+            Request::Update {
+                dataset: "d".into(),
+                inserts: Vec::new(),
+                deletes: vec![0],
+            },
+            Request::Update {
+                dataset: "d".into(),
+                inserts: vec![vec![0.5, 0.5]],
+                deletes: Vec::new(),
+            },
             Request::Stats,
             Request::List,
             Request::Ping,
@@ -866,6 +1005,46 @@ mod tests {
         for req in requests {
             assert_eq!(Request::parse(&req.encode()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn update_parse_errors() {
+        // At least one operation is required.
+        assert!(Request::parse("{\"cmd\":\"update\",\"dataset\":\"d\"}").is_err());
+        assert!(Request::parse(
+            "{\"cmd\":\"update\",\"dataset\":\"d\",\"insert\":[],\"delete\":[]}"
+        )
+        .is_err());
+        // Malformed operand shapes.
+        assert!(Request::parse("{\"cmd\":\"update\",\"insert\":[[0.1]]}").is_err());
+        assert!(Request::parse("{\"cmd\":\"update\",\"dataset\":\"d\",\"insert\":[0.1]}").is_err());
+        assert!(
+            Request::parse("{\"cmd\":\"update\",\"dataset\":\"d\",\"insert\":[[\"x\"]]}").is_err()
+        );
+        assert!(Request::parse("{\"cmd\":\"update\",\"dataset\":\"d\",\"delete\":[-1]}").is_err());
+        assert!(Request::parse("{\"cmd\":\"update\",\"dataset\":\"d\",\"delete\":[1.5]}").is_err());
+    }
+
+    #[test]
+    fn update_payload_and_batch_shape() {
+        let outcome = UpdateOutcome {
+            version: 7,
+            inserted: vec![10, 11],
+            deleted: 1,
+            records: 42,
+        };
+        let v = parse(&update_payload(&outcome)).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("version").unwrap().as_usize(), Some(7));
+        assert_eq!(v.get("records").unwrap().as_usize(), Some(42));
+        assert_eq!(v.get("deleted").unwrap().as_usize(), Some(1));
+        assert_eq!(v.get("inserted").unwrap().as_array().unwrap().len(), 2);
+
+        let batch = update_batch(&[vec![0.1, 0.2]], &[4]);
+        assert_eq!(
+            batch,
+            vec![Update::Insert(vec![0.1, 0.2]), Update::Delete(4)]
+        );
     }
 
     #[test]

@@ -4,20 +4,32 @@
 //!
 //! This is the piece that turns the one-shot CLI shape ("load CSV, build
 //! tree, answer one query, exit") into a serving shape: index construction is
-//! amortised over the lifetime of the process.  Entries are immutable after
-//! registration — MaxRank queries are read-only — so no locking is needed
-//! beyond the registry map itself.
+//! amortised over the lifetime of the process.
+//!
+//! # Snapshots and versions
+//!
+//! A registered name resolves to a [`DatasetHandle`], which owns the
+//! *current* immutable snapshot ([`DatasetEntry`]: dataset + index + the
+//! dataset's version).  Queries take an `Arc` of the snapshot and keep using
+//! it for their whole lifetime, so a concurrent update never moves data out
+//! from under an evaluation.  [`DatasetHandle::apply`] is copy-on-write: it
+//! clones the snapshot, applies the batch through `Dataset::apply` and the
+//! R\*-tree's incremental `insert`/`delete`, and atomically swaps the handle
+//! to the new snapshot.  Updates to one dataset are serialized by a
+//! per-handle mutex; queries are never blocked (they read the previous
+//! snapshot until the swap).  A batch is atomic: if any update in it is
+//! rejected the swap does not happen and the visible snapshot is unchanged.
 
 use mrq_core::MaxRankQuery;
 use mrq_data::io::read_csv;
-use mrq_data::{synthetic, Dataset, Distribution, RealDataset};
+use mrq_data::{synthetic, Dataset, Distribution, RealDataset, RecordId, Update, UpdateError};
 use mrq_index::RStarTree;
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
-/// A loaded dataset together with its index, shared immutably.
+/// One immutable snapshot of a dataset: records, index, version.
 #[derive(Debug)]
 pub struct DatasetEntry {
     name: String,
@@ -51,9 +63,98 @@ impl DatasetEntry {
         &self.tree
     }
 
+    /// The dataset version this snapshot was taken at (see
+    /// [`mrq_data::Dataset::version`]).  Result-cache keys carry it so a
+    /// cached answer can never outlive the data it was computed from.
+    pub fn version(&self) -> u64 {
+        self.data.version()
+    }
+
     /// A query engine borrowing this entry's dataset and index.
     pub fn engine(&self) -> MaxRankQuery<'_> {
         MaxRankQuery::new(&self.data, &self.tree)
+    }
+}
+
+/// Receipt of one applied update batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Dataset version after the batch.
+    pub version: u64,
+    /// Ids assigned to the batch's insertions, in input order.
+    pub inserted: Vec<RecordId>,
+    /// Number of records deleted by the batch.
+    pub deleted: usize,
+    /// Live records after the batch.
+    pub records: usize,
+}
+
+/// The mutable cell behind a registered name: the current snapshot plus the
+/// per-dataset update serialization lock.
+#[derive(Debug)]
+pub struct DatasetHandle {
+    current: RwLock<Arc<DatasetEntry>>,
+    /// Serializes [`DatasetHandle::apply`] calls; queries never take it.
+    update_lock: Mutex<()>,
+}
+
+impl DatasetHandle {
+    fn new(entry: Arc<DatasetEntry>) -> Self {
+        Self {
+            current: RwLock::new(entry),
+            update_lock: Mutex::new(()),
+        }
+    }
+
+    /// The current snapshot (a cheap `Arc` clone).
+    pub fn snapshot(&self) -> Arc<DatasetEntry> {
+        Arc::clone(&self.current.read().expect("handle lock poisoned"))
+    }
+
+    /// Applies an update batch copy-on-write and swaps in the new snapshot.
+    ///
+    /// The batch is atomic: on the first rejected update the whole batch is
+    /// discarded and the visible snapshot stays as it was.  Concurrent
+    /// `apply` calls on the same handle are serialized; queries keep reading
+    /// the previous snapshot until the swap and finish on whichever snapshot
+    /// they started with.
+    pub fn apply(&self, updates: &[Update]) -> Result<UpdateOutcome, UpdateError> {
+        let _serial = self.update_lock.lock().expect("update lock poisoned");
+        let base = self.snapshot();
+        let mut data = base.data.clone();
+        let mut tree = base.tree.clone();
+        let mut inserted = Vec::new();
+        let mut deleted = 0usize;
+        for update in updates {
+            let applied = data.apply(update)?;
+            match update {
+                Update::Insert(row) => {
+                    let id = applied.inserted.expect("insert reports an id");
+                    tree.insert(id, row);
+                    inserted.push(id);
+                }
+                Update::Delete(id) => {
+                    // The tombstoned slot still exposes its coordinates,
+                    // which is exactly what the tree search needs.
+                    let found = tree.delete(*id, data.record(*id));
+                    debug_assert!(found, "dataset and index disagree on id {id}");
+                    deleted += 1;
+                }
+            }
+        }
+        let entry = Arc::new(DatasetEntry {
+            name: base.name.clone(),
+            data,
+            tree,
+        });
+        let outcome = UpdateOutcome {
+            version: entry.version(),
+            inserted,
+            deleted,
+            records: entry.data.live_len(),
+        };
+        *self.current.write().expect("handle lock poisoned") = entry;
+        Ok(outcome)
     }
 }
 
@@ -213,10 +314,11 @@ impl DatasetSpec {
 /// `register*` loads/generates the data and bulk-loads the index eagerly, so
 /// the first query pays nothing; `get` is a cheap `Arc` clone under a read
 /// lock.  Registering an existing name is an error — a serving process should
-/// not silently swap the data a cache key refers to.
+/// not silently swap the data a cache key refers to (updates move a dataset
+/// *forward* through [`DatasetHandle::apply`], which versions every step).
 #[derive(Debug, Default)]
 pub struct DatasetRegistry {
-    entries: RwLock<HashMap<String, Arc<DatasetEntry>>>,
+    entries: RwLock<HashMap<String, Arc<DatasetHandle>>>,
 }
 
 impl DatasetRegistry {
@@ -248,7 +350,7 @@ impl DatasetRegistry {
         // Check the name *before* paying for the index build (seconds on
         // large datasets); re-check under the write lock in case two
         // registrations raced past the pre-check.
-        let taken = |map: &HashMap<String, Arc<DatasetEntry>>| {
+        let taken = |map: &HashMap<String, Arc<DatasetHandle>>| {
             map.contains_key(name)
                 .then(|| format!("dataset '{name}' is already registered"))
         };
@@ -260,12 +362,22 @@ impl DatasetRegistry {
         if let Some(err) = taken(&map) {
             return Err(err);
         }
-        map.insert(name.to_string(), Arc::clone(&entry));
+        map.insert(
+            name.to_string(),
+            Arc::new(DatasetHandle::new(Arc::clone(&entry))),
+        );
         Ok(entry)
     }
 
-    /// Looks a dataset up by name.
+    /// Looks up the **current snapshot** of a dataset by name.  The returned
+    /// entry stays valid (and unchanged) however many updates land after the
+    /// call.
     pub fn get(&self, name: &str) -> Option<Arc<DatasetEntry>> {
+        self.handle(name).map(|h| h.snapshot())
+    }
+
+    /// Looks up the mutable handle of a dataset by name (for updates).
+    pub fn handle(&self, name: &str) -> Option<Arc<DatasetHandle>> {
         self.entries
             .read()
             .expect("registry lock poisoned")
@@ -368,5 +480,93 @@ mod tests {
         let entry = reg.register("demo", &DatasetSpec::Demo).unwrap();
         let res = entry.engine().evaluate(5, &mrq_core::MaxRankConfig::new());
         assert_eq!(res.k_star, 3);
+    }
+
+    #[test]
+    fn apply_swaps_snapshot_and_leaves_old_one_intact() {
+        let reg = DatasetRegistry::new();
+        reg.register("demo", &DatasetSpec::Demo).unwrap();
+        let handle = reg.handle("demo").unwrap();
+        let before = handle.snapshot();
+        assert_eq!(before.version(), 0);
+
+        let outcome = handle
+            .apply(&[Update::Insert(vec![0.95, 0.95]), Update::Delete(0)])
+            .unwrap();
+        assert_eq!(outcome.version, 2);
+        assert_eq!(outcome.inserted, vec![6]);
+        assert_eq!(outcome.deleted, 1);
+        assert_eq!(outcome.records, 6);
+
+        // The old snapshot is untouched: in-flight queries finish on it.
+        assert_eq!(before.version(), 0);
+        assert_eq!(before.data().live_len(), 6);
+        assert!(before.data().is_live(0));
+        assert_eq!(before.tree().len(), 6);
+
+        // The handle now serves the new snapshot, with a consistent index.
+        let after = reg.get("demo").unwrap();
+        assert_eq!(after.version(), 2);
+        assert!(!after.data().is_live(0));
+        assert!(after.data().is_live(6));
+        assert_eq!(after.tree().len(), 6);
+        after.tree().check_invariants().unwrap();
+        assert!(!Arc::ptr_eq(&before, &after));
+    }
+
+    #[test]
+    fn apply_batch_is_atomic_on_rejection() {
+        let reg = DatasetRegistry::new();
+        reg.register("demo", &DatasetSpec::Demo).unwrap();
+        let handle = reg.handle("demo").unwrap();
+        let err = handle
+            .apply(&[
+                Update::Insert(vec![0.5, 0.6]),
+                Update::Delete(42), // rejected: no such record
+            ])
+            .unwrap_err();
+        assert_eq!(err, mrq_data::UpdateError::NoSuchRecord(42));
+        // Nothing of the batch is visible.
+        let snap = handle.snapshot();
+        assert_eq!(snap.version(), 0);
+        assert_eq!(snap.data().live_len(), 6);
+    }
+
+    #[test]
+    fn concurrent_updates_serialize_and_all_land() {
+        let reg = DatasetRegistry::new();
+        reg.register(
+            "d",
+            &DatasetSpec::Synthetic {
+                dist: Distribution::Independent,
+                n: 50,
+                d: 3,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let handle = reg.handle("d").unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let handle = Arc::clone(&handle);
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        let x = f64::from(t * 10 + i) / 40.0;
+                        handle
+                            .apply(&[Update::Insert(vec![x, 1.0 - x, 0.5])])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let snap = handle.snapshot();
+        assert_eq!(snap.version(), 40);
+        assert_eq!(snap.data().live_len(), 90);
+        assert_eq!(snap.tree().len(), 90);
+        snap.tree().check_invariants().unwrap();
+        // Every assigned id is distinct (50..90 in some order).
+        let mut ids: Vec<u32> = snap.data().iter().map(|(id, _)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..90).collect::<Vec<u32>>());
     }
 }

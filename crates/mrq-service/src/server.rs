@@ -12,7 +12,7 @@
 use crate::error::ServiceError;
 use crate::protocol::{
     self, bye_payload, error_payload, list_payload, pong_payload, query_payload, stats_payload,
-    write_frame, Request,
+    update_batch, update_payload, write_frame, Request,
 };
 use crate::service::{MrqService, QueryRequest};
 use std::io::{BufRead, BufReader, Read};
@@ -209,9 +209,11 @@ fn serve_connection(
                     .names()
                     .into_iter()
                     .filter_map(|name| {
+                        // Live records, matching `update` replies (the id
+                        // space also counts tombstoned slots).
                         registry
                             .get(&name)
-                            .map(|e| (name, e.data().len(), e.data().dims()))
+                            .map(|e| (name, e.data().live_len(), e.data().dims()))
                     })
                     .collect();
                 write_frame(&mut writer, &list_payload(&datasets))?;
@@ -220,6 +222,20 @@ fn serve_connection(
                 write_frame(&mut writer, &bye_payload())?;
                 signal.trigger();
                 return Ok(());
+            }
+            Ok(Request::Update {
+                dataset,
+                inserts,
+                deletes,
+            }) => {
+                // Updates run on the connection thread: they are serialized
+                // per dataset by the registry handle, and never compete with
+                // queries for the worker pool.
+                let payload = match service.update(&dataset, &update_batch(&inserts, &deletes)) {
+                    Ok(outcome) => update_payload(&outcome),
+                    Err(err) => error_payload(&err),
+                };
+                write_frame(&mut writer, &payload)?;
             }
             Ok(Request::Query {
                 dataset,

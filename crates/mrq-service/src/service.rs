@@ -5,9 +5,9 @@
 use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::error::ServiceError;
 use crate::pool::{JobOutcome, PoolConfig, PoolStats, QueryJob, WorkerPool};
-use crate::registry::DatasetRegistry;
+use crate::registry::{DatasetRegistry, UpdateOutcome};
 use mrq_core::{Algorithm, MaxRankResult};
-use mrq_data::RecordId;
+use mrq_data::{RecordId, Update};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -90,6 +90,9 @@ pub struct QueryAnswer {
     pub cached: bool,
     /// The concrete algorithm that produced it.
     pub algorithm: Algorithm,
+    /// The dataset version the answer was computed at (the snapshot taken
+    /// when the request was validated).
+    pub version: u64,
 }
 
 /// Combined counters for the `STATS` command.
@@ -108,6 +111,7 @@ pub struct PendingAnswer {
     rx: mpsc::Receiver<JobOutcome>,
     deadline: Option<Instant>,
     algorithm: Algorithm,
+    version: u64,
 }
 
 impl PendingAnswer {
@@ -135,6 +139,7 @@ impl PendingAnswer {
             result,
             cached: outcome.cached,
             algorithm: self.algorithm,
+            version: self.version,
         })
     }
 }
@@ -194,6 +199,8 @@ impl MrqService {
         request: &QueryRequest,
         block: bool,
     ) -> Result<PendingAnswer, ServiceError> {
+        // Snapshot: the job keeps this entry for its whole lifetime, so a
+        // concurrent update cannot move the data out from under it.
         let entry = self
             .registry
             .get(&request.dataset)
@@ -201,10 +208,18 @@ impl MrqService {
         let dims = entry.data().dims();
         if request.focal as usize >= entry.data().len() {
             return Err(ServiceError::BadRequest(format!(
-                "focal {} out of range (dataset '{}' has {} records)",
+                "focal {} out of range (dataset '{}' has {} record ids)",
                 request.focal,
                 request.dataset,
                 entry.data().len()
+            )));
+        }
+        if !entry.data().is_live(request.focal) {
+            return Err(ServiceError::BadRequest(format!(
+                "focal {} of dataset '{}' was deleted (as of version {}); pick a live record",
+                request.focal,
+                request.dataset,
+                entry.version()
             )));
         }
         if request.algorithm.requires_2d() && dims != 2 {
@@ -221,11 +236,13 @@ impl MrqService {
             .map(|t| Instant::now() + t);
         let cache_key = (!request.no_cache).then(|| CacheKey {
             dataset: request.dataset.clone(),
+            version: entry.version(),
             focal: request.focal,
             algorithm,
             tau: request.tau,
         });
         let (tx, rx) = mpsc::channel();
+        let version = entry.version();
         let job = QueryJob {
             entry,
             focal: request.focal,
@@ -245,7 +262,31 @@ impl MrqService {
             rx,
             deadline,
             algorithm,
+            version,
         })
+    }
+
+    /// Applies an update batch to a registered dataset.
+    ///
+    /// Updates to one dataset are serialized (per-dataset lock inside the
+    /// registry handle); queries already in flight keep the snapshot they
+    /// started with and queries arriving after the swap see the new version.
+    /// The batch is atomic — on the first rejected update nothing of the
+    /// batch becomes visible.  Runs on the calling thread: mutation latency
+    /// never competes with queries for the worker pool.
+    pub fn update(&self, dataset: &str, updates: &[Update]) -> Result<UpdateOutcome, ServiceError> {
+        if updates.is_empty() {
+            return Err(ServiceError::BadRequest(
+                "update needs at least one insert or delete".into(),
+            ));
+        }
+        let handle = self
+            .registry
+            .handle(dataset)
+            .ok_or_else(|| ServiceError::UnknownDataset(dataset.to_string()))?;
+        handle
+            .apply(updates)
+            .map_err(|e| ServiceError::BadRequest(format!("update rejected: {e}")))
     }
 
     /// Combined cache / pool / registry counters.
@@ -415,6 +456,78 @@ mod tests {
         assert_eq!(stats.pool.workers, 2);
         assert_eq!(stats.pool.executed, 1);
         assert_eq!(stats.cache.misses, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn update_invalidates_cache_by_version_not_flush() {
+        let service = demo_service(ServiceConfig::default());
+        let req = QueryRequest::new("demo", 5);
+        let before = service.query(&req).unwrap();
+        assert_eq!(before.version, 0);
+        assert_eq!(before.result.k_star, 3);
+
+        // Insert a record that dominates the focal: k* must worsen by one.
+        let outcome = service
+            .update("demo", &[Update::Insert(vec![0.95, 0.95])])
+            .unwrap();
+        assert_eq!(outcome.version, 1);
+        assert_eq!(outcome.inserted, vec![6]);
+
+        let after = service.query(&req).unwrap();
+        assert_eq!(after.version, 1);
+        assert!(
+            !after.cached,
+            "the version moved, so the old entry must not be served"
+        );
+        assert_eq!(after.result.k_star, 4);
+
+        // Both versions' entries coexist in the cache (no global flush).
+        let again = service.query(&req).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.result.k_star, 4);
+        service.shutdown();
+    }
+
+    #[test]
+    fn update_validation_errors() {
+        let service = demo_service(ServiceConfig::default());
+        assert!(matches!(
+            service.update("nope", &[Update::Delete(0)]),
+            Err(ServiceError::UnknownDataset(_))
+        ));
+        assert!(matches!(
+            service.update("demo", &[]),
+            Err(ServiceError::BadRequest(_))
+        ));
+        assert!(matches!(
+            service.update("demo", &[Update::Insert(vec![0.1, 0.2, 0.3])]),
+            Err(ServiceError::BadRequest(_))
+        ));
+        assert!(matches!(
+            service.update("demo", &[Update::Delete(99)]),
+            Err(ServiceError::BadRequest(_))
+        ));
+        // Nothing landed.
+        assert_eq!(service.registry().get("demo").unwrap().version(), 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn deleted_focal_is_rejected_with_a_friendly_error() {
+        let service = demo_service(ServiceConfig::default());
+        service.update("demo", &[Update::Delete(5)]).unwrap();
+        let err = service.query(&QueryRequest::new("demo", 5)).unwrap_err();
+        match err {
+            ServiceError::BadRequest(msg) => {
+                assert!(msg.contains("deleted"), "{msg}");
+                assert!(msg.contains("live record"), "{msg}");
+            }
+            other => panic!("expected BadRequest, got {other}"),
+        }
+        // Other focals still work, on the new snapshot.
+        let ok = service.query(&QueryRequest::new("demo", 0)).unwrap();
+        assert_eq!(ok.version, 1);
         service.shutdown();
     }
 

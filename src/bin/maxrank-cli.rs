@@ -5,6 +5,7 @@
 //!             [--threads 4] [--verbose]
 //! maxrank-cli --data options.csv --dims 4 --point 0.4,0.7,0.2,0.9
 //! maxrank-cli --data options.csv --dims 4 --focals 3,17,29,41 --threads 4
+//! maxrank-cli --data options.csv --dims 4 --insert 0.4,0.7,0.2,0.9 --delete 3 --focal 17
 //! maxrank-cli --demo                       # run the paper's Figure 1 example
 //! ```
 //!
@@ -18,6 +19,14 @@
 //! single-focal runs `--threads N` instead shards the within-leaf cell
 //! enumeration of that one query (BA / AA); `--verbose` adds the pruning and
 //! throughput counters (cells/sec, events pruned) to the report.
+//!
+//! `--insert x,y,...` (repeatable) and `--delete ID` (repeatable) mutate the
+//! dataset after loading, *through* the update machinery: each change goes
+//! through `Dataset::apply` and the R\*-tree's incremental insert/delete
+//! rather than a reload, exactly as the `UPDATE` verb of `maxrank-serve`
+//! does.  Inserts are applied first (ids continue after the loaded records),
+//! then deletes; a `--focal`/`--focals` id that was deleted is a friendly
+//! error, since its record no longer participates in the ranking.
 
 use maxrank::prelude::*;
 use mrq_data::io::read_csv;
@@ -31,6 +40,8 @@ struct Args {
     focal: Option<u32>,
     focals: Vec<u32>,
     point: Option<Vec<f64>>,
+    inserts: Vec<Vec<f64>>,
+    deletes: Vec<u32>,
     tau: usize,
     algorithm: Algorithm,
     regions_shown: usize,
@@ -46,6 +57,8 @@ fn parse_args() -> Result<Args, String> {
         focal: None,
         focals: Vec::new(),
         point: None,
+        inserts: Vec::new(),
+        deletes: Vec::new(),
         tau: 0,
         algorithm: Algorithm::Auto,
         regions_shown: 10,
@@ -101,6 +114,20 @@ fn parse_args() -> Result<Args, String> {
                     raw.split(',').map(|c| c.trim().parse()).collect();
                 args.point = Some(coords.map_err(|e| format!("--point: {e}"))?);
             }
+            "--insert" => {
+                let raw = it.next().ok_or("--insert needs comma-separated values")?;
+                let row: Result<Vec<f64>, _> = raw.split(',').map(|c| c.trim().parse()).collect();
+                args.inserts
+                    .push(row.map_err(|e| format!("--insert: {e}"))?);
+            }
+            "--delete" => {
+                args.deletes.push(
+                    it.next()
+                        .ok_or("--delete needs a record id")?
+                        .parse()
+                        .map_err(|e| format!("--delete: {e}"))?,
+                );
+            }
             "--tau" => {
                 args.tau = it
                     .next()
@@ -136,18 +163,72 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: maxrank-cli --data FILE.csv --dims D (--focal ID | --focals ID,ID,.. | --point x1,..,xD) \
+     [--insert x1,..,xD]* [--delete ID]* \
      [--tau T] [--algorithm auto|fca|ba|aa|aa2d] [--regions N] [--threads N] [--verbose]\n       \
      maxrank-cli --demo"
         .to_string()
+}
+
+/// Applies every `--insert` row and then every `--delete` id through the
+/// mutation machinery, mirroring the service's `UPDATE` path:
+/// `Dataset::apply` plus — when a tree is given — the R\*-tree's incremental
+/// insert/delete (never a reload).  The `--focals` path passes no tree: the
+/// service registry bulk-loads its own index over the mutated dataset, so
+/// maintaining one here would only duplicate the build.
+fn apply_updates(
+    data: &mut Dataset,
+    mut tree: Option<&mut RStarTree>,
+    args: &Args,
+) -> Result<(), String> {
+    for row in &args.inserts {
+        let applied = data
+            .apply(&Update::Insert(row.clone()))
+            .map_err(|e| format!("--insert {}: {e}", fmt_row(row)))?;
+        if let Some(tree) = tree.as_deref_mut() {
+            tree.insert(applied.inserted.expect("insert assigns an id"), row);
+        }
+    }
+    for &id in &args.deletes {
+        data.apply(&Update::Delete(id))
+            .map_err(|e| format!("--delete {id}: {e}"))?;
+        if let Some(tree) = tree.as_deref_mut() {
+            // A tombstoned slot still exposes its coordinates for the search.
+            let found = tree.delete(id, data.record(id));
+            debug_assert!(found, "dataset and index disagree on id {id}");
+        }
+    }
+    if !args.inserts.is_empty() || !args.deletes.is_empty() {
+        println!(
+            "updates applied   : +{} inserted, -{} deleted → {} live records (version {})",
+            args.inserts.len(),
+            args.deletes.len(),
+            data.live_len(),
+            data.version()
+        );
+    }
+    Ok(())
+}
+
+fn fmt_row(row: &[f64]) -> String {
+    row.iter().map(f64::to_string).collect::<Vec<_>>().join(",")
 }
 
 /// Evaluates every `--focals` record through the `mrq-service` worker pool
 /// (shared index, `--threads` workers) and prints one summary row per focal.
 fn run_multi_focal(data: Dataset, args: &Args) -> ExitCode {
     let n = data.len();
-    if let Some(&bad) = args.focals.iter().find(|&&id| id as usize >= n) {
-        eprintln!("--focals {bad} out of range (dataset has {n} records)");
-        return ExitCode::FAILURE;
+    for &id in &args.focals {
+        if id as usize >= n {
+            eprintln!("--focals {id} out of range (dataset has {n} record ids)");
+            return ExitCode::FAILURE;
+        }
+        if !data.is_live(id) {
+            eprintln!(
+                "--focals {id} refers to a deleted record (removed by --delete); \
+                 pick live focal ids"
+            );
+            return ExitCode::FAILURE;
+        }
     }
     let registry = Arc::new(DatasetRegistry::new());
     if let Err(e) = registry.register_loaded("cli", data) {
@@ -254,8 +335,24 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let mut data = data;
+
     if !args.focals.is_empty() {
+        // The service registry bulk-loads the index over the final dataset
+        // state, so the updates only need to reach the dataset here.
+        if let Err(msg) = apply_updates(&mut data, None, &args) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
         return run_multi_focal(data, &args);
+    }
+
+    // Single-focal/point path: bulk-load once, then mutate the index
+    // incrementally — the same insert/delete path the server's UPDATE uses.
+    let mut tree = RStarTree::bulk_load(&data);
+    if let Err(msg) = apply_updates(&mut data, Some(&mut tree), &args) {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
     }
 
     let (focal_point, focal_id) = if args.demo {
@@ -276,7 +373,7 @@ fn main() -> ExitCode {
             (None, Some(id)) => {
                 if id as usize >= data.len() {
                     eprintln!(
-                        "--focal {id} out of range (dataset has {} records)",
+                        "--focal {id} out of range (dataset has {} record ids)",
                         data.len()
                     );
                     return ExitCode::FAILURE;
@@ -293,7 +390,16 @@ fn main() -> ExitCode {
         }
     };
 
-    let tree = RStarTree::bulk_load(&data);
+    if let Some(id) = focal_id {
+        if !data.is_live(id) {
+            eprintln!(
+                "--focal {id} refers to a deleted record (removed by --delete); \
+                 pick a live focal or evaluate it as a what-if --point"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
     let engine = MaxRankQuery::new(&data, &tree);
     let config = MaxRankConfig {
         tau: args.tau,
@@ -308,7 +414,7 @@ fn main() -> ExitCode {
 
     println!(
         "dataset           : {} records × {} attributes",
-        data.len(),
+        data.live_len(),
         data.dims()
     );
     println!("focal             : {focal_point:?}");

@@ -3,11 +3,17 @@
 //! ```text
 //! maxrank-client --port 7171 --dataset demo --focal 5
 //! maxrank-client --addr 127.0.0.1:7171 --dataset bench --focal 17 --tau 2 --algorithm aa
+//! maxrank-client --port 7171 --dataset bench update --insert 0.4,0.7,0.2 --delete 17
 //! maxrank-client --port 7171 --stats
 //! maxrank-client --port 7171 --list
 //! maxrank-client --port 7171 --ping
 //! maxrank-client --port 7171 --shutdown
 //! ```
+//!
+//! `update` sends one atomic `UPDATE` batch: every `--insert x,y,...` row
+//! (repeatable) followed by every `--delete ID` (repeatable).  The server
+//! answers with the dataset's new version and the ids assigned to the
+//! inserted rows; see `docs/PROTOCOL.md` for the wire format.
 
 use maxrank::service::{Client, QueryOptions};
 use mrq_core::Algorithm;
@@ -24,6 +30,9 @@ struct Args {
     no_cache: bool,
     threads: usize,
     regions_shown: usize,
+    update: bool,
+    inserts: Vec<Vec<f64>>,
+    deletes: Vec<u32>,
     stats: bool,
     list: bool,
     ping: bool,
@@ -33,7 +42,9 @@ struct Args {
 fn usage() -> String {
     "usage: maxrank-client (--addr HOST:PORT | --port P) \
      (--dataset NAME --focal ID [--algorithm auto|fca|ba|aa|aa2d] [--tau T] \
-     [--timeout-ms MS] [--no-cache] [--threads N] [--regions N] | --stats | --list | --ping | --shutdown)"
+     [--timeout-ms MS] [--no-cache] [--threads N] [--regions N] \
+     | --dataset NAME update (--insert x,y,..)* (--delete ID)* \
+     | --stats | --list | --ping | --shutdown)"
         .to_string()
 }
 
@@ -48,6 +59,9 @@ fn parse_args() -> Result<Args, String> {
         no_cache: false,
         threads: 1,
         regions_shown: 10,
+        update: false,
+        inserts: Vec::new(),
+        deletes: Vec::new(),
         stats: false,
         list: false,
         ping: false,
@@ -112,6 +126,21 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--regions: {e}"))?
             }
+            "update" | "--update" => args.update = true,
+            "--insert" => {
+                let raw = it.next().ok_or("--insert needs comma-separated values")?;
+                let row: Result<Vec<f64>, _> = raw.split(',').map(|c| c.trim().parse()).collect();
+                args.inserts
+                    .push(row.map_err(|e| format!("--insert: {e}"))?);
+            }
+            "--delete" => {
+                args.deletes.push(
+                    it.next()
+                        .ok_or("--delete needs a record id")?
+                        .parse()
+                        .map_err(|e| format!("--delete: {e}"))?,
+                );
+            }
             "--stats" => args.stats = true,
             "--list" => args.list = true,
             "--ping" => args.ping = true,
@@ -168,6 +197,31 @@ fn main() -> ExitCode {
         client
             .shutdown_server()
             .map(|()| println!("server shut down"))
+    } else if args.update {
+        let Some(dataset) = &args.dataset else {
+            eprintln!("update needs --dataset NAME\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        if args.inserts.is_empty() && args.deletes.is_empty() {
+            eprintln!(
+                "update needs at least one --insert or --delete\n{}",
+                usage()
+            );
+            return ExitCode::FAILURE;
+        }
+        client
+            .update(dataset, &args.inserts, &args.deletes)
+            .map(|reply| {
+                println!("dataset           : {dataset}");
+                println!("version           : {}", reply.version);
+                println!("live records      : {}", reply.records);
+                if !reply.inserted.is_empty() {
+                    println!("inserted ids      : {:?}", reply.inserted);
+                }
+                if reply.deleted > 0 {
+                    println!("deleted records   : {}", reply.deleted);
+                }
+            })
     } else {
         let (Some(dataset), Some(focal)) = (&args.dataset, args.focal) else {
             eprintln!(
@@ -197,6 +251,7 @@ fn main() -> ExitCode {
                 println!("algorithm         : {}", reply.algorithm);
                 println!("result regions    : {}", reply.region_count);
                 println!("cached            : {}", reply.cached);
+                println!("dataset version   : {}", reply.version);
                 println!("page reads (I/O)  : {}", reply.io_reads);
                 println!("cpu time          : {:.3}s", reply.cpu_us as f64 / 1e6);
                 for (i, (order, w)) in reply.orders.iter().zip(&reply.witnesses).enumerate() {

@@ -55,16 +55,18 @@ pub use mrq_service as service;
 pub use mrq_core::{
     Algorithm, MaxRankConfig, MaxRankQuery, MaxRankResult, QueryStats, ResultRegion,
 };
-pub use mrq_data::{Dataset, Distribution, RealDataset, RecordId};
+pub use mrq_data::{Dataset, Distribution, RealDataset, RecordId, Update, UpdateError};
 pub use mrq_index::{order_of, top_k, RStarTree};
-pub use mrq_service::{DatasetRegistry, DatasetSpec, MrqService, QueryRequest, ServiceConfig};
+pub use mrq_service::{
+    DatasetRegistry, DatasetSpec, MrqService, QueryRequest, ServiceConfig, UpdateOutcome,
+};
 
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {
     pub use crate::{
         Algorithm, Dataset, DatasetRegistry, DatasetSpec, Distribution, MaxRankConfig,
         MaxRankQuery, MaxRankResult, MrqService, QueryRequest, RStarTree, RealDataset, RecordId,
-        ResultRegion, ServiceConfig,
+        ResultRegion, ServiceConfig, Update, UpdateError, UpdateOutcome,
     };
     pub use mrq_core::oracle;
     pub use mrq_index::{order_of, top_k};

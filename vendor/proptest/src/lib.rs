@@ -273,7 +273,7 @@ impl SizeRange for core::ops::RangeInclusive<usize> {
 pub mod collection {
     use super::{SizeRange, Strategy, TestRng};
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S, L> {
         elem: S,
         len: L,
