@@ -21,8 +21,12 @@ pub struct Measurement {
     pub regions: f64,
     /// Mean number of half-spaces inserted into the (mixed) arrangement.
     pub halfspaces: f64,
-    /// Mean number of LP cell tests.
+    /// Mean number of candidate cells decided (witness cache or LP).
     pub cells_tested: f64,
+    /// Mean number of simplex LPs actually solved.
+    pub lp_calls: f64,
+    /// Mean number of candidates proven non-empty by a cached witness.
+    pub witness_hits: f64,
     /// Number of queries averaged over.
     pub queries: usize,
 }
@@ -53,6 +57,8 @@ pub fn measure(
         m.regions += res.region_count() as f64;
         m.halfspaces += res.stats.halfspaces_inserted as f64;
         m.cells_tested += res.stats.cells_tested as f64;
+        m.lp_calls += res.stats.lp_calls as f64;
+        m.witness_hits += res.stats.witness_hits as f64;
     }
     let n = focal_ids.len().max(1) as f64;
     m.cpu_s /= n;
@@ -61,6 +67,8 @@ pub fn measure(
     m.regions /= n;
     m.halfspaces /= n;
     m.cells_tested /= n;
+    m.lp_calls /= n;
+    m.witness_hits /= n;
     m
 }
 
@@ -90,6 +98,25 @@ pub fn real_workload(ds: RealDataset, scale: f64, seed: u64) -> (Dataset, RStarT
 pub fn focal_ids(data: &Dataset, count: usize, seed: u64) -> Vec<u32> {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     synthetic::random_focal_ids(data, count, &mut rng)
+}
+
+/// The `count` records with the largest attribute sums, as deterministic
+/// *tractable* focal records: their `k*` is small, which keeps the
+/// within-leaf enumeration's Hamming-weight frontier shallow even at high
+/// dimensionality (random 8-d focals can be combinatorially infeasible —
+/// the paper reports ~1000 s per query there).  Ties break by id.
+pub fn tractable_focal_ids(data: &Dataset, count: usize) -> Vec<u32> {
+    let mut by_sum: Vec<(f64, u32)> = data
+        .iter()
+        .map(|(id, r)| (r.iter().sum::<f64>(), id))
+        .collect();
+    by_sum.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("finite attribute sums")
+            .then(a.1.cmp(&b.1))
+    });
+    by_sum.truncate(count.max(1));
+    by_sum.into_iter().map(|(_, id)| id).collect()
 }
 
 #[cfg(test)]

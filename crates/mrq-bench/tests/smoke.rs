@@ -94,8 +94,48 @@ fn every_experiment_is_listed_and_named() {
     let names: Vec<&str> = experiments::ALL.iter().map(|(n, _)| *n).collect();
     for expected in [
         "fig8-ab", "fig8-cd", "fig8-ef", "fig9", "table3", "table4", "fig10", "fig11", "fig12",
-        "ablation",
+        "dims", "ablation",
     ] {
         assert!(names.contains(&expected), "{expected} missing from ALL");
+    }
+}
+
+#[test]
+fn d6_tractable_focal_query_is_fast() {
+    // Regression guard for the witness-guided within-leaf fast path (PR 5):
+    // before it, a d = 6, n = 1000 IND query was intractable (the blind
+    // Hamming-weight enumeration proves every candidate with a from-scratch
+    // LP); with witness-first feasibility, implication-propagated combination
+    // search and the per-leaf LP arena it completes well under a second in
+    // release mode.  The bound is deliberately generous — it exists to catch
+    // a return of the blind path (minutes), not to flake on slow CI machines
+    // or debug builds.
+    use mrq_bench::runner::tractable_focal_ids;
+    use mrq_core::{MaxRankConfig, MaxRankQuery};
+    let (data, tree) = synthetic_workload(Distribution::Independent, 1_000, 6, 2015);
+    let ids = tractable_focal_ids(&data, 1);
+    let engine = MaxRankQuery::new(&data, &tree);
+    let start = std::time::Instant::now();
+    let res = engine.evaluate(
+        ids[0],
+        &MaxRankConfig::new().with_algorithm(Algorithm::AdvancedApproach),
+    );
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(60),
+        "AA d=6 n=1000 took {elapsed:?} — the within-leaf fast path regressed"
+    );
+    assert!(res.k_star >= 1);
+    // The fast path must actually be engaged.
+    assert!(res.stats.lp_calls > 0);
+    assert!(
+        res.stats.witness_hits > 0,
+        "witness cache should fire on a d=6 query"
+    );
+    // And it must still be exact: the witness of every region achieves the
+    // region's order on the raw data.
+    for region in &res.regions {
+        let q = region.representative_query();
+        assert_eq!(data.order_of(data.record(ids[0]), &q), region.order);
     }
 }

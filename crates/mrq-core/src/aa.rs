@@ -108,8 +108,7 @@ pub fn run_point(
             &state.qt,
             hard_limit,
             tau,
-            config.pair_pruning,
-            config.threads,
+            &config.cell_enum_options(),
             &mut stats,
         );
         if cells.is_empty() {

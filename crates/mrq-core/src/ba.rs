@@ -26,6 +26,10 @@ pub struct AlgoConfig {
     /// Whether the within-leaf module uses the pairwise containment
     /// conditions of Section 5.2 (subject of an ablation experiment).
     pub pair_pruning: bool,
+    /// Whether the within-leaf module proves candidate cells non-empty from
+    /// cached witness points before resorting to an LP.  The answer is
+    /// identical either way (subject of an ablation experiment).
+    pub witness_cache: bool,
     /// Number of threads the within-leaf cell enumeration shards its
     /// candidate-leaf frontier over (1 = sequential).  The answer is
     /// identical for any value; only wall-clock time changes.
@@ -37,7 +41,19 @@ impl Default for AlgoConfig {
         Self {
             quadtree: None,
             pair_pruning: true,
+            witness_cache: true,
             threads: 1,
+        }
+    }
+}
+
+impl AlgoConfig {
+    /// The within-leaf enumeration options this configuration selects.
+    pub(crate) fn cell_enum_options(&self) -> crate::withinleaf::CellEnumOptions {
+        crate::withinleaf::CellEnumOptions {
+            pair_pruning: self.pair_pruning,
+            witness_cache: self.witness_cache,
+            threads: self.threads.max(1),
         }
     }
 }
@@ -107,14 +123,7 @@ pub fn run_point(
         return trivial_result(d, base, tau, stats);
     }
 
-    let (cells, _) = enumerate_cells(
-        &qt,
-        None,
-        tau,
-        config.pair_pruning,
-        config.threads,
-        &mut stats,
-    );
+    let (cells, _) = enumerate_cells(&qt, None, tau, &config.cell_enum_options(), &mut stats);
     stats.io_reads = tree.io().reads().saturating_sub(io_base);
     let mut result = build_result(d, base, tau, cells, &registry, stats);
     result.stats.cpu_time = start.elapsed();

@@ -90,13 +90,21 @@ pub fn exhaustive(
     let simplex = reduced_simplex_constraint(d);
     let bounds = BoundingBox::unit(d - 1);
     stats.leaves_processed = 1;
+    // Every fast-path knob off: the oracle must stay on the plain
+    // per-candidate LP filter so it remains an *independent* reference for
+    // the witness-cache / implication-walker machinery it validates (the
+    // oracle's inputs are tiny, so the blind path costs nothing here).
     let cells = process_leaf(
         &bounds,
         &halfspaces,
         &simplex,
         usize::MAX,
         tau,
-        true,
+        &crate::withinleaf::CellEnumOptions {
+            pair_pruning: false,
+            witness_cache: false,
+            threads: 1,
+        },
         &mut stats,
     );
     let cells: Vec<ArrangementCell> = cells

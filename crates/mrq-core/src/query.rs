@@ -74,6 +74,9 @@ pub struct MaxRankConfig {
     pub algorithm: Algorithm,
     /// Whether the within-leaf pairwise pruning conditions are used.
     pub pair_pruning: bool,
+    /// Whether the within-leaf witness cache is used (BA / AA only; the
+    /// answer is identical either way).
+    pub witness_cache: bool,
     /// Optional quad-tree tuning (BA / AA only).
     pub quadtree: Option<QuadTreeConfig>,
     /// Threads for the within-leaf cell enumeration (BA / AA only; 0 and 1
@@ -88,6 +91,7 @@ impl MaxRankConfig {
             tau: 0,
             algorithm: Algorithm::Auto,
             pair_pruning: true,
+            witness_cache: true,
             quadtree: None,
             threads: 1,
         }
@@ -114,6 +118,7 @@ impl MaxRankConfig {
         AlgoConfig {
             quadtree: self.quadtree,
             pair_pruning: self.pair_pruning,
+            witness_cache: self.witness_cache,
             threads: self.threads.max(1),
         }
     }

@@ -47,10 +47,25 @@ pub struct QueryStats {
     pub halfspaces_inserted: usize,
     /// Number of quad-tree leaves processed by the within-leaf module.
     pub leaves_processed: usize,
-    /// Number of candidate cells whose non-emptiness was tested with the LP.
+    /// Number of candidate cells whose non-emptiness was decided (by the
+    /// witness cache or by an LP).
     pub cells_tested: usize,
+    /// Number of simplex LPs actually solved by the within-leaf module:
+    /// candidate feasibility tests plus the four tiny pair-condition LPs per
+    /// half-space pair.  The headline cost metric the witness cache drives
+    /// down.
+    pub lp_calls: usize,
+    /// Number of feasibility decisions answered by a cached witness point
+    /// instead of an LP: candidate cells proven non-empty by a whole-pattern
+    /// match, plus pairwise-condition combinations proven feasible by a
+    /// witness realising the two-row sign combination.
+    pub witness_hits: usize,
+    /// Number of combination-search subtrees cut by a violated pairwise
+    /// condition before their bit-strings were ever generated.
+    pub subtrees_pruned: usize,
     /// Number of bit-strings dismissed by the pairwise containment conditions
-    /// without an LP call (the optimisation of Section 5.2).
+    /// without an LP call (the optimisation of Section 5.2; every bit-string
+    /// inside a cut subtree counts once).
     pub bitstrings_pruned: usize,
     /// Number of expansion decisions skipped by the 2-d event sweep because
     /// the swap at the event cannot bring any interval below the current

@@ -10,20 +10,44 @@
 //! candidate bit-string is checked for non-emptiness with the feasibility LP
 //! (the paper uses Qhull half-space intersection for the same purpose).
 //!
-//! Two optimisations from the paper are implemented:
+//! # The fast path (see `docs/ARCHITECTURE.md`, "The within-leaf fast path")
 //!
-//! * bit-strings violating a *pairwise containment condition* (Figure 4) are
-//!   dismissed without an LP call.  We derive the conditions with four tiny
-//!   two-constraint LPs per pair, which also covers pairs whose supporting
-//!   hyperplanes cross outside the leaf;
-//! * enumeration stops at the first Hamming weight that yields a non-empty
-//!   cell (plus `τ` further weights for iMaxRank), and never exceeds the
-//!   caller-provided cap derived from the best order found so far.
+//! The cheapest LP is the one never run.  Around the bare enumeration sit
+//! four coordinated optimisations, none of which changes the cell set:
+//!
+//! * **witness-first feasibility** — every LP solved inside the leaf (pair
+//!   conditions, candidate cells, a deterministic centre probe) yields an
+//!   interior point.  Each point whose distance to every constraint of the
+//!   leaf exceeds the feasibility slack is cached under its full sign
+//!   pattern; a candidate bit-string matching a cached pattern is proven
+//!   non-empty by `O(m·d)` dot products instead of an LP
+//!   ([`QueryStats::witness_hits`]);
+//! * **implication-propagating combination search** — the pairwise Figure-4
+//!   conditions are compiled into per-position forbidden-bit word masks and
+//!   checked *inside* the combination recursion: the instant a prefix fixes a
+//!   bit that violates a condition against any earlier bit, the entire
+//!   subtree of completions is cut ([`QueryStats::subtrees_pruned`]), rather
+//!   than generating complete bit-strings and filtering them;
+//! * **word-packed bit-strings over an immutable constraint slab** — the
+//!   leaf's half-spaces are normalised once into a flat row-major matrix;
+//!   candidates are `u64` word bitsets and never materialise
+//!   `Vec<HalfSpace>`s;
+//! * **a reusable LP arena** — candidate LPs are assembled directly from the
+//!   slab into [`mrq_geometry::LpScratch`] buffers, so steady-state candidate
+//!   testing performs no allocation.
+//!
+//! Enumeration stops at the first Hamming weight that yields a non-empty
+//! cell (plus `τ` further weights for iMaxRank), and never exceeds the
+//! caller-provided cap derived from the best order found so far.
 
 use crate::batch::scatter;
 use crate::result::QueryStats;
-use mrq_geometry::{reduced_simplex_constraint, BoundingBox, CellSpec, HalfSpace, Region};
+use mrq_geometry::{
+    maximize_with, reduced_simplex_constraint, BoundingBox, HalfSpace, LpScratch, LpStatus, Region,
+    FEASIBILITY_SLACK,
+};
 use mrq_quadtree::{HalfSpaceId, HalfSpaceQuadTree, LeafView};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A non-empty cell found inside one leaf.
@@ -59,7 +83,32 @@ impl ArrangementCell {
     }
 }
 
-/// Per-pair forbidden bit combinations.
+/// Knobs of the within-leaf / whole-arrangement enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct CellEnumOptions {
+    /// Use the pairwise containment conditions of Section 5.2 (compiled into
+    /// the implication table that prunes the combination recursion).
+    pub pair_pruning: bool,
+    /// Use the per-leaf witness cache to prove candidate bit-strings
+    /// non-empty without an LP.  The cell set is identical either way; this
+    /// knob exists for ablation and differential testing.
+    pub witness_cache: bool,
+    /// Threads the leaf frontier is sharded over (1 = sequential).  The cell
+    /// set is identical for any value.
+    pub threads: usize,
+}
+
+impl Default for CellEnumOptions {
+    fn default() -> Self {
+        Self {
+            pair_pruning: true,
+            witness_cache: true,
+            threads: 1,
+        }
+    }
+}
+
+/// Per-pair forbidden bit combinations (Figure 4 of the paper).
 #[derive(Debug, Clone, Copy, Default)]
 struct PairConditions {
     forbid11: bool,
@@ -67,6 +116,540 @@ struct PairConditions {
     /// Bit of the *first* half-space 1, bit of the second 0 is impossible.
     forbid10: bool,
     forbid01: bool,
+}
+
+/// Number of `u64` words a packed bit-string over `m` positions needs.
+#[inline]
+fn words_for(m: usize) -> usize {
+    m.div_ceil(64).max(1)
+}
+
+/// Immutable per-leaf constraint slab: the leaf's partial-overlap half-spaces
+/// normalised once into a flat row-major matrix (`stride = dr + 1` floats per
+/// row: unit-norm coefficients followed by the rhs), plus the normalised
+/// simplex constraint.  Witness sign checks and LP row assembly both stream
+/// over these rows cache-linearly.
+struct LeafSlab {
+    dr: usize,
+    m: usize,
+    stride: usize,
+    /// `m` rows, "inside" orientation (`a · x > b` with `|a| = 1`).
+    rows: Vec<f64>,
+    /// The normalised permissible-simplex constraint (one row).
+    simplex: Vec<f64>,
+}
+
+impl LeafSlab {
+    fn build(dr: usize, partial: &[(HalfSpaceId, HalfSpace)], simplex: &HalfSpace) -> LeafSlab {
+        let stride = dr + 1;
+        let mut rows = Vec::with_capacity(partial.len() * stride);
+        for (_, h) in partial {
+            let hn = h.normalized();
+            debug_assert_eq!(hn.coeffs.len(), dr);
+            rows.extend_from_slice(&hn.coeffs);
+            rows.push(hn.rhs);
+        }
+        let sn = simplex.normalized();
+        let mut srow = Vec::with_capacity(stride);
+        srow.extend_from_slice(&sn.coeffs);
+        srow.push(sn.rhs);
+        LeafSlab {
+            dr,
+            m: partial.len(),
+            stride,
+            rows,
+            simplex: srow,
+        }
+    }
+
+    /// Normalised row `i` as `(coefficients, rhs)`.
+    #[inline]
+    fn row(&self, i: usize) -> (&[f64], f64) {
+        let base = i * self.stride;
+        (&self.rows[base..base + self.dr], self.rows[base + self.dr])
+    }
+
+    /// Oriented (inside-positive) slack of `x` against row `i`.
+    #[inline]
+    fn slack(&self, i: usize, x: &[f64]) -> f64 {
+        let (coeffs, rhs) = self.row(i);
+        coeffs.iter().zip(x).map(|(c, v)| c * v).sum::<f64>() - rhs
+    }
+
+    /// Oriented slack of `x` against the simplex constraint.
+    #[inline]
+    fn simplex_slack(&self, x: &[f64]) -> f64 {
+        self.simplex[..self.dr]
+            .iter()
+            .zip(x)
+            .map(|(c, v)| c * v)
+            .sum::<f64>()
+            - self.simplex[self.dr]
+    }
+}
+
+/// Per-leaf cache of interior points keyed by their full sign pattern over
+/// the slab rows.  Only points whose distance (in unit-normal terms) to
+/// *every* constraint of the leaf — slab rows, simplex, box faces — exceeds
+/// [`FEASIBILITY_SLACK`] are kept, so a pattern hit proves the candidate cell
+/// full-dimensional exactly when the LP would.
+///
+/// Besides whole-pattern lookups, the pool answers **pairwise** feasibility
+/// questions: `row_cover[r]` is a bitset over witnesses marking which lie
+/// inside slab row `r`, so "is any cached point inside `i` and outside `j`"
+/// is two word-`AND`s — this is what lets `compute_pair_conditions` skip
+/// most of its 4·C(m, 2) LPs once a few witnesses exist.
+struct WitnessPool {
+    index: HashMap<Vec<u64>, usize>,
+    /// `(interior point, minimum constraint distance)` per kept witness.
+    entries: Vec<(Vec<f64>, f64)>,
+    /// Per slab row, a bitset over witness indices (inside = bit set).
+    row_cover: Vec<Vec<u64>>,
+}
+
+impl WitnessPool {
+    fn new(m: usize) -> Self {
+        Self {
+            index: HashMap::new(),
+            entries: Vec::new(),
+            row_cover: vec![Vec::new(); m],
+        }
+    }
+
+    /// Classifies `point` against the whole slab and keeps it when every
+    /// constraint is cleared by more than the feasibility slack.
+    fn try_add(&mut self, point: Vec<f64>, slab: &LeafSlab, bounds: &BoundingBox) {
+        let mut min_slack = slab.simplex_slack(&point);
+        for ((x, lo), hi) in point.iter().zip(&bounds.lo).zip(&bounds.hi) {
+            min_slack = min_slack.min(x - lo).min(hi - x);
+        }
+        if min_slack <= FEASIBILITY_SLACK {
+            return; // outside (or too close to) the leaf box / simplex
+        }
+        let mut pattern = vec![0u64; words_for(slab.m)];
+        for i in 0..slab.m {
+            let s = slab.slack(i, &point);
+            if s > 0.0 {
+                pattern[i / 64] |= 1u64 << (i % 64);
+            }
+            min_slack = min_slack.min(s.abs());
+            if min_slack <= FEASIBILITY_SLACK {
+                return; // ambiguous pattern: the point sits on a boundary
+            }
+        }
+        self.insert(pattern, point, min_slack);
+    }
+
+    /// Inserts a witness whose pattern and slack are already certified (the
+    /// LP of the candidate itself).  First witness per pattern wins, keeping
+    /// the pool deterministic.
+    fn insert(&mut self, pattern: Vec<u64>, point: Vec<f64>, slack: f64) {
+        if self.index.contains_key(&pattern) {
+            return;
+        }
+        let w = self.entries.len();
+        let (word, bit) = (w / 64, 1u64 << (w % 64));
+        for (r, cover) in self.row_cover.iter_mut().enumerate() {
+            if cover.len() <= word {
+                cover.resize(word + 1, 0);
+            }
+            if pattern[r / 64] >> (r % 64) & 1 == 1 {
+                cover[word] |= bit;
+            }
+        }
+        self.index.insert(pattern, w);
+        self.entries.push((point, slack));
+    }
+
+    /// The cached interior point proving `pattern` non-empty, if any.
+    fn lookup(&self, pattern: &[u64]) -> Option<(&[f64], f64)> {
+        self.index
+            .get(pattern)
+            .map(|&i| (self.entries[i].0.as_slice(), self.entries[i].1))
+    }
+
+    /// Whether any cached witness realises the two-row sign combination
+    /// (`inside_i` / `inside_j` orientations of rows `i` and `j`) — if so,
+    /// that pair configuration is feasible without an LP.
+    fn any_pair_witness(&self, i: usize, j: usize, inside_i: bool, inside_j: bool) -> bool {
+        let n = self.entries.len();
+        if n == 0 {
+            return false;
+        }
+        let words = n.div_ceil(64);
+        let (ci, cj) = (&self.row_cover[i], &self.row_cover[j]);
+        for w in 0..words {
+            let valid = if w == words - 1 && !n.is_multiple_of(64) {
+                (1u64 << (n % 64)) - 1
+            } else {
+                !0u64
+            };
+            let a = if inside_i { ci[w] } else { !ci[w] };
+            let b = if inside_j { cj[w] } else { !cj[w] };
+            if a & b & valid != 0 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Reusable buffers for the per-candidate feasibility LPs.  Rows are
+/// assembled straight from the [`LeafSlab`] in exactly the constraint order
+/// [`mrq_geometry::CellSpec::solve`] uses (chosen rows, simplex, complements
+/// of the unchosen rows, box faces, ε-cap), so accept/reject decisions and
+/// witness points are identical to the specification path.
+struct LpArena {
+    scratch: LpScratch,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    /// Objective: maximise the common slack ε (the last LP variable).
+    c: Vec<f64>,
+}
+
+impl LpArena {
+    fn new(dr: usize) -> Self {
+        let nvars = dr + 1;
+        let mut c = vec![0.0; nvars];
+        c[nvars - 1] = 1.0;
+        Self {
+            scratch: LpScratch::new(),
+            a: Vec::new(),
+            b: Vec::new(),
+            c,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.a.clear();
+        self.b.clear();
+    }
+
+    /// Pushes the LP row of an "inside" constraint `a · x > b` (unit-norm):
+    /// `−a · x + ε ≤ −b`.
+    #[inline]
+    fn push_inside(&mut self, coeffs: &[f64], rhs: f64) {
+        self.a.extend(coeffs.iter().map(|c| -c));
+        self.a.push(1.0);
+        self.b.push(-rhs);
+    }
+
+    /// Pushes the LP row of an "outside" constraint (the complement of the
+    /// unit-norm `a · x > b`): `a · x + ε ≤ b`.
+    #[inline]
+    fn push_outside(&mut self, coeffs: &[f64], rhs: f64) {
+        self.a.extend_from_slice(coeffs);
+        self.a.push(1.0);
+        self.b.push(rhs);
+    }
+
+    /// Pushes the leaf-box face rows (`x_i > lo_i`, `x_i < hi_i` per
+    /// dimension, already unit-norm) and the ε ≤ 0.5 cap.
+    fn push_box_and_cap(&mut self, bounds: &BoundingBox) {
+        let dr = bounds.dim();
+        let nvars = dr + 1;
+        for i in 0..dr {
+            // lo face: e_i · x > lo_i  ⇒  −e_i · x + ε ≤ −lo_i.
+            let base = self.a.len();
+            self.a.resize(base + nvars, 0.0);
+            self.a[base + i] = -1.0;
+            self.a[base + nvars - 1] = 1.0;
+            self.b.push(-bounds.lo[i]);
+            // hi face: −e_i · x > −hi_i  ⇒  e_i · x + ε ≤ hi_i.
+            let base = self.a.len();
+            self.a.resize(base + nvars, 0.0);
+            self.a[base + i] = 1.0;
+            self.a[base + nvars - 1] = 1.0;
+            self.b.push(bounds.hi[i]);
+        }
+        // Cap ε so the LP is bounded even for cells with huge extent.
+        let base = self.a.len();
+        self.a.resize(base + nvars, 0.0);
+        self.a[base + nvars - 1] = 1.0;
+        self.b.push(0.5);
+    }
+
+    /// Runs the assembled LP; `Some((witness, slack))` iff the cell is
+    /// full-dimensional.
+    fn solve(&mut self, dr: usize) -> Option<(Vec<f64>, f64)> {
+        match maximize_with(&mut self.scratch, &self.c, &self.a, &self.b) {
+            LpStatus::Optimal(objective) if objective > FEASIBILITY_SLACK => {
+                Some((self.scratch.point()[..dr].to_vec(), objective))
+            }
+            _ => None,
+        }
+    }
+
+    /// Feasibility of the candidate bit-string `ones` over the slab.
+    fn solve_candidate(
+        &mut self,
+        slab: &LeafSlab,
+        ones: &[u64],
+        bounds: &BoundingBox,
+    ) -> Option<(Vec<f64>, f64)> {
+        self.clear();
+        for i in 0..slab.m {
+            if ones[i / 64] >> (i % 64) & 1 == 1 {
+                let (coeffs, rhs) = slab.row(i);
+                self.push_inside(coeffs, rhs);
+            }
+        }
+        self.push_inside(&slab.simplex[..slab.dr], slab.simplex[slab.dr]);
+        for i in 0..slab.m {
+            if ones[i / 64] >> (i % 64) & 1 == 0 {
+                let (coeffs, rhs) = slab.row(i);
+                self.push_outside(coeffs, rhs);
+            }
+        }
+        self.push_box_and_cap(bounds);
+        self.solve(slab.dr)
+    }
+
+    /// Feasibility of a two-constraint configuration (`inside_i` / `inside_j`
+    /// select the orientation of rows `i` and `j`), used to derive the
+    /// pairwise conditions without cloning any `HalfSpace`.
+    fn solve_pair(
+        &mut self,
+        slab: &LeafSlab,
+        i: usize,
+        j: usize,
+        inside_i: bool,
+        inside_j: bool,
+        bounds: &BoundingBox,
+    ) -> Option<(Vec<f64>, f64)> {
+        self.clear();
+        // Same row order CellSpec::solve would see: the inside rows first,
+        // then the simplex, then the complements.
+        for (idx, inside) in [(i, inside_i), (j, inside_j)] {
+            if inside {
+                let (coeffs, rhs) = slab.row(idx);
+                self.push_inside(coeffs, rhs);
+            }
+        }
+        self.push_inside(&slab.simplex[..slab.dr], slab.simplex[slab.dr]);
+        for (idx, inside) in [(i, inside_i), (j, inside_j)] {
+            if !inside {
+                let (coeffs, rhs) = slab.row(idx);
+                self.push_outside(coeffs, rhs);
+            }
+        }
+        self.push_box_and_cap(bounds);
+        self.solve(slab.dr)
+    }
+}
+
+/// The pairwise conditions compiled into per-position forbidden-bit masks:
+/// when the combination walker fixes position `p` to a value, one AND against
+/// the already-fixed ones/zeros words decides whether any earlier pair
+/// condition is violated — the 2-SAT-style implication table of the fast
+/// path.
+struct ImplicationTable {
+    words: usize,
+    /// Earlier positions `q` whose bit 1 forbids `p = 1` (`forbid11`).
+    m11: Vec<u64>,
+    /// Earlier positions `q` whose bit 0 forbids `p = 1` (`forbid01`).
+    m01: Vec<u64>,
+    /// Earlier positions `q` whose bit 1 forbids `p = 0` (`forbid10`).
+    m10: Vec<u64>,
+    /// Earlier positions `q` whose bit 0 forbids `p = 0` (`forbid00`).
+    m00: Vec<u64>,
+}
+
+impl ImplicationTable {
+    /// `conds` is the upper-triangular pair matrix, flattened as `i * m + j`
+    /// for `i < j`.
+    fn build(conds: &[PairConditions], m: usize) -> ImplicationTable {
+        let words = words_for(m);
+        let mut t = ImplicationTable {
+            words,
+            m11: vec![0; m * words],
+            m01: vec![0; m * words],
+            m10: vec![0; m * words],
+            m00: vec![0; m * words],
+        };
+        for i in 0..m {
+            for j in i + 1..m {
+                let c = conds[i * m + j];
+                let (word, bit) = (j * words + i / 64, 1u64 << (i % 64));
+                if c.forbid11 {
+                    t.m11[word] |= bit;
+                }
+                if c.forbid01 {
+                    t.m01[word] |= bit;
+                }
+                if c.forbid10 {
+                    t.m10[word] |= bit;
+                }
+                if c.forbid00 {
+                    t.m00[word] |= bit;
+                }
+            }
+        }
+        t
+    }
+
+    /// Whether fixing position `p` to `value` violates a pair condition
+    /// against any earlier fixed position.
+    #[inline]
+    fn violates(&self, p: usize, value: bool, ones: &[u64], zeros: &[u64]) -> bool {
+        let w = self.words;
+        let (vs_ones, vs_zeros) = if value {
+            (&self.m11[p * w..(p + 1) * w], &self.m01[p * w..(p + 1) * w])
+        } else {
+            (&self.m10[p * w..(p + 1) * w], &self.m00[p * w..(p + 1) * w])
+        };
+        vs_ones.iter().zip(ones).any(|(m, o)| m & o != 0)
+            || vs_zeros.iter().zip(zeros).any(|(m, z)| m & z != 0)
+    }
+}
+
+/// `C(n, k)` saturating at `usize::MAX` (used only for the pruned-candidate
+/// statistics).
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128) / (i + 1) as u128;
+        if acc > usize::MAX as u128 {
+            return usize::MAX;
+        }
+    }
+    acc as usize
+}
+
+/// Depth-first walk over all weight-`k` bit-strings of `m` positions as
+/// word-packed bitsets, cutting whole subtrees at the first violated pair
+/// condition.  Emits surviving bit-strings in the same lexicographic
+/// chosen-index order as [`for_each_combination`], and attributes every
+/// dismissed complete bit-string to exactly one pruned subtree, so the
+/// pruned count equals what generate-then-filter would have rejected.
+struct CombinationWalker<'a> {
+    m: usize,
+    table: Option<&'a ImplicationTable>,
+    ones: Vec<u64>,
+    zeros: Vec<u64>,
+    /// Subtrees cut by a violated condition.
+    subtrees_pruned: usize,
+    /// Complete bit-strings those subtrees would have contained.
+    bitstrings_pruned: usize,
+}
+
+impl<'a> CombinationWalker<'a> {
+    fn new(m: usize, table: Option<&'a ImplicationTable>) -> Self {
+        let words = words_for(m);
+        Self {
+            m,
+            table,
+            ones: vec![0; words],
+            zeros: vec![0; words],
+            subtrees_pruned: 0,
+            bitstrings_pruned: 0,
+        }
+    }
+
+    fn walk<F: FnMut(&[u64])>(&mut self, k: usize, f: &mut F) {
+        if k > self.m {
+            return;
+        }
+        self.rec(0, k, f);
+    }
+
+    fn prune(&mut self, positions_left: usize, ones_left: usize) {
+        self.subtrees_pruned += 1;
+        self.bitstrings_pruned = self
+            .bitstrings_pruned
+            .saturating_add(binomial(positions_left, ones_left));
+    }
+
+    fn rec<F: FnMut(&[u64])>(&mut self, pos: usize, ones_left: usize, f: &mut F) {
+        if pos == self.m {
+            debug_assert_eq!(ones_left, 0);
+            f(&self.ones);
+            return;
+        }
+        let positions_left = self.m - pos;
+        let (word, bit) = (pos / 64, 1u64 << (pos % 64));
+        // 1-branch first: lexicographic chosen-index order.
+        if ones_left > 0 {
+            if self
+                .table
+                .is_some_and(|t| t.violates(pos, true, &self.ones, &self.zeros))
+            {
+                self.prune(positions_left - 1, ones_left - 1);
+            } else {
+                self.ones[word] |= bit;
+                self.rec(pos + 1, ones_left - 1, f);
+                self.ones[word] &= !bit;
+            }
+        }
+        if ones_left < positions_left {
+            if self
+                .table
+                .is_some_and(|t| t.violates(pos, false, &self.ones, &self.zeros))
+            {
+                self.prune(positions_left - 1, ones_left);
+            } else {
+                self.zeros[word] |= bit;
+                self.rec(pos + 1, ones_left, f);
+                self.zeros[word] &= !bit;
+            }
+        }
+    }
+}
+
+/// Builds the [`Region`] of a proven-non-empty candidate: the same
+/// H-representation `CellSpec::all_constraints` would produce (chosen
+/// half-spaces, the simplex, complements of the unchosen, box faces) around
+/// the certified interior witness.
+fn materialize_region(
+    partial: &[(HalfSpaceId, HalfSpace)],
+    simplex: &HalfSpace,
+    bounds: &BoundingBox,
+    ones: &[u64],
+    witness: Vec<f64>,
+    slack: f64,
+) -> Region {
+    let dr = bounds.dim();
+    let mut constraints = Vec::with_capacity(partial.len() + 1 + 2 * dr);
+    for (i, (_, h)) in partial.iter().enumerate() {
+        if ones[i / 64] >> (i % 64) & 1 == 1 {
+            constraints.push(h.clone());
+        }
+    }
+    constraints.push(simplex.clone());
+    for (i, (_, h)) in partial.iter().enumerate() {
+        if ones[i / 64] >> (i % 64) & 1 == 0 {
+            constraints.push(h.complement());
+        }
+    }
+    for i in 0..dr {
+        let mut lo_coeffs = vec![0.0; dr];
+        lo_coeffs[i] = 1.0;
+        constraints.push(HalfSpace::new(lo_coeffs, bounds.lo[i]));
+        let mut hi_coeffs = vec![0.0; dr];
+        hi_coeffs[i] = -1.0;
+        constraints.push(HalfSpace::new(hi_coeffs, -bounds.hi[i]));
+    }
+    Region {
+        constraints,
+        bounds: bounds.clone(),
+        witness,
+        slack,
+    }
+}
+
+/// Chosen half-space ids of a packed candidate.
+fn chosen_ids(partial: &[(HalfSpaceId, HalfSpace)], ones: &[u64]) -> (usize, Vec<HalfSpaceId>) {
+    let mut ids = Vec::new();
+    for (i, (id, _)) in partial.iter().enumerate() {
+        if ones[i / 64] >> (i % 64) & 1 == 1 {
+            ids.push(*id);
+        }
+    }
+    (ids.len(), ids)
 }
 
 /// Processes one leaf: enumerates bit-strings over `partial` in increasing
@@ -77,21 +660,50 @@ struct PairConditions {
 /// * `collect_extra` — after the first weight `w0` with a non-empty cell,
 ///   keep enumerating up to `w0 + collect_extra` (τ of iMaxRank; 0 for plain
 ///   MaxRank);
-/// * `pair_pruning` — whether to use the pairwise containment conditions.
+/// * `options` — pair pruning / witness cache knobs ([`CellEnumOptions`];
+///   the `threads` field is ignored here — leaves are indivisible units of
+///   the parallel frontier).
 pub fn process_leaf(
     bounds: &BoundingBox,
     partial: &[(HalfSpaceId, HalfSpace)],
     simplex: &HalfSpace,
     max_weight: usize,
     collect_extra: usize,
-    pair_pruning: bool,
+    options: &CellEnumOptions,
     stats: &mut QueryStats,
 ) -> Vec<FoundCell> {
     let m = partial.len();
+    let dr = bounds.dim();
     let max_weight = max_weight.min(m);
+    let slab = LeafSlab::build(dr, partial, simplex);
+    let mut arena = LpArena::new(dr);
+    let mut pool = options.witness_cache.then(|| WitnessPool::new(m));
+    if let Some(pool) = &mut pool {
+        // Deterministic free probes: the leaf centre (often outside the
+        // simplex for coarse leaves) and a point pushed from the lower corner
+        // part-way toward the centre, scaled so it stays strictly inside the
+        // permissible simplex.  Whichever cells these land in are proven
+        // non-empty before any LP runs.
+        pool.try_add(bounds.center(), &slab, bounds);
+        let lo_sum: f64 = bounds.lo.iter().sum();
+        let half_extent_sum: f64 = (0..dr).map(|i| 0.5 * bounds.extent(i)).sum();
+        if half_extent_sum > 0.0 {
+            let t = 0.5 * (1.0 - lo_sum) / half_extent_sum;
+            // At t ≥ 1 the scaled probe IS the centre already classified
+            // above; only a genuinely distinct point is worth the O(m·d)
+            // classification.
+            if t > 0.0 && t < 1.0 {
+                let probe: Vec<f64> = (0..dr)
+                    .map(|i| bounds.lo[i] + t * 0.5 * bounds.extent(i))
+                    .collect();
+                pool.try_add(probe, &slab, bounds);
+            }
+        }
+    }
+
     let mut found = Vec::new();
     let mut first_nonempty: Option<usize> = None;
-    let mut pair_conditions: Option<Vec<Vec<PairConditions>>> = None;
+    let mut implications: Option<ImplicationTable> = None;
 
     let mut weight = 0usize;
     while weight <= max_weight {
@@ -102,48 +714,114 @@ pub fn process_leaf(
         }
         // Lazily derive the pairwise conditions once weights ≥ 2 are reached,
         // where they start paying for themselves.
-        if pair_pruning && weight >= 2 && pair_conditions.is_none() && m >= 2 {
-            pair_conditions = Some(compute_pair_conditions(bounds, partial, simplex, stats));
+        if options.pair_pruning && weight >= 2 && implications.is_none() && m >= 2 {
+            implications = Some(compute_pair_conditions(
+                &slab,
+                partial,
+                bounds,
+                &mut arena,
+                pool.as_mut(),
+                stats,
+            ));
         }
         let mut any_at_this_weight = false;
-        for_each_combination(m, weight, |chosen| {
-            if let Some(conds) = &pair_conditions {
-                if violates_conditions(chosen, m, conds) {
-                    stats.bitstrings_pruned += 1;
+        let mut walker = CombinationWalker::new(m, implications.as_ref());
+        walker.walk(weight, &mut |ones| {
+            stats.cells_tested += 1;
+            // Witness-first: a cached interior point with this exact sign
+            // pattern proves the cell non-empty with zero LP work.
+            if let Some(pool) = pool.as_ref() {
+                if let Some((point, slack)) = pool.lookup(ones) {
+                    stats.witness_hits += 1;
+                    any_at_this_weight = true;
+                    let (p_order, inside) = chosen_ids(partial, ones);
+                    let region =
+                        materialize_region(partial, simplex, bounds, ones, point.to_vec(), slack);
+                    found.push(FoundCell {
+                        p_order,
+                        inside,
+                        region,
+                    });
                     return;
                 }
             }
-            let mut inside = Vec::with_capacity(chosen.len() + 1);
-            let mut outside = Vec::with_capacity(m - chosen.len());
-            let mut inside_ids = Vec::with_capacity(chosen.len());
-            let mut chosen_iter = chosen.iter().peekable();
-            for (i, (id, h)) in partial.iter().enumerate() {
-                if chosen_iter.peek() == Some(&&i) {
-                    chosen_iter.next();
-                    inside.push(h.clone());
-                    inside_ids.push(*id);
-                } else {
-                    outside.push(h.clone());
-                }
-            }
-            inside.push(simplex.clone());
-            stats.cells_tested += 1;
-            let spec = CellSpec::new(inside, outside, bounds.clone());
-            if let Some(region) = spec.solve() {
+            stats.lp_calls += 1;
+            if let Some((witness, slack)) = arena.solve_candidate(&slab, ones, bounds) {
                 any_at_this_weight = true;
+                if let Some(pool) = pool.as_mut() {
+                    // The LP certifies every constraint distance ≥ slack.
+                    pool.insert(ones.to_vec(), witness.clone(), slack);
+                }
+                let (p_order, inside) = chosen_ids(partial, ones);
+                let region = materialize_region(partial, simplex, bounds, ones, witness, slack);
                 found.push(FoundCell {
-                    p_order: chosen.len(),
-                    inside: inside_ids,
+                    p_order,
+                    inside,
                     region,
                 });
             }
         });
+        stats.subtrees_pruned += walker.subtrees_pruned;
+        stats.bitstrings_pruned += walker.bitstrings_pruned;
         if any_at_this_weight && first_nonempty.is_none() {
             first_nonempty = Some(weight);
         }
         weight += 1;
     }
     found
+}
+
+/// Derives the pairwise conditions, witness-first: a cached point realising
+/// the two-row sign combination proves it feasible for free; only unproven
+/// combinations fall back to the tiny two-constraint LP (straight off the
+/// slab — no `HalfSpace` clones), whose witness then joins the pool.  The
+/// probes plus the first few pair witnesses typically prove the bulk of the
+/// 4·C(m, 2) combinations, so the quadratic pair derivation sheds most of
+/// its LPs.
+fn compute_pair_conditions(
+    slab: &LeafSlab,
+    partial: &[(HalfSpaceId, HalfSpace)],
+    bounds: &BoundingBox,
+    arena: &mut LpArena,
+    mut pool: Option<&mut WitnessPool>,
+    stats: &mut QueryStats,
+) -> ImplicationTable {
+    let m = slab.m;
+    debug_assert_eq!(partial.len(), m);
+    let mut conds = vec![PairConditions::default(); m * m];
+    for i in 0..m {
+        for j in i + 1..m {
+            let feasible = |inside_i: bool,
+                            inside_j: bool,
+                            arena: &mut LpArena,
+                            pool: &mut Option<&mut WitnessPool>,
+                            stats: &mut QueryStats| {
+                if let Some(pool) = pool.as_deref_mut() {
+                    if pool.any_pair_witness(i, j, inside_i, inside_j) {
+                        stats.witness_hits += 1;
+                        return true;
+                    }
+                }
+                stats.lp_calls += 1;
+                match arena.solve_pair(slab, i, j, inside_i, inside_j, bounds) {
+                    Some((witness, _)) => {
+                        if let Some(pool) = pool.as_deref_mut() {
+                            pool.try_add(witness, slab, bounds);
+                        }
+                        true
+                    }
+                    None => false,
+                }
+            };
+            conds[i * m + j] = PairConditions {
+                forbid11: !feasible(true, true, arena, &mut pool, stats),
+                forbid00: !feasible(false, false, arena, &mut pool, stats),
+                forbid10: !feasible(true, false, arena, &mut pool, stats),
+                forbid01: !feasible(false, true, arena, &mut pool, stats),
+            };
+        }
+    }
+    ImplicationTable::build(&conds, m)
 }
 
 /// Enumerates the cells of the arrangement held by the quad-tree, visiting
@@ -156,8 +834,8 @@ pub fn process_leaf(
 ///   irrelevant to MaxRank/iMaxRank).
 /// * With `hard_limit = None` the bound adapts: the enumeration returns every
 ///   cell with order ≤ (minimum order found) + `tau`.
-/// * `threads > 1` shards the leaf frontier over that many scoped threads;
-///   the cells returned are identical for any thread count.
+/// * `options.threads > 1` shards the leaf frontier over that many scoped
+///   threads; the cells returned are identical for any thread count.
 ///
 /// Returns the cells and the effective bound that was applied.
 ///
@@ -168,11 +846,10 @@ pub fn enumerate_cells(
     qt: &HalfSpaceQuadTree,
     hard_limit: Option<usize>,
     tau: usize,
-    pair_pruning: bool,
-    threads: usize,
+    options: &CellEnumOptions,
     stats: &mut QueryStats,
 ) -> (Vec<ArrangementCell>, usize) {
-    CellEnumerator::new().enumerate(qt, hard_limit, tau, pair_pruning, threads, stats)
+    CellEnumerator::new().enumerate(qt, hard_limit, tau, options, stats)
 }
 
 #[derive(Debug, Clone)]
@@ -205,11 +882,10 @@ impl CellEnumerator {
         qt: &HalfSpaceQuadTree,
         hard_limit: Option<usize>,
         tau: usize,
-        pair_pruning: bool,
-        threads: usize,
+        options: &CellEnumOptions,
         stats: &mut QueryStats,
     ) -> (Vec<ArrangementCell>, usize) {
-        assert!(threads >= 1, "at least one enumeration thread is required");
+        let threads = options.threads.max(1);
         let simplex = reduced_simplex_constraint(qt.reduced_dims() + 1);
         let mut leaves = qt.leaves();
         leaves.sort_by_key(|l| l.full.len());
@@ -288,7 +964,7 @@ impl CellEnumerator {
                     &simplex,
                     max_weight,
                     tau,
-                    pair_pruning,
+                    options,
                     &mut shard_stats,
                 );
                 if let Some(min) = cells.iter().map(|c| f + c.p_order).min() {
@@ -307,6 +983,9 @@ impl CellEnumerator {
                 stats.leaves_processed += shard_stats.leaves_processed;
                 stats.cells_tested += shard_stats.cells_tested;
                 stats.bitstrings_pruned += shard_stats.bitstrings_pruned;
+                stats.lp_calls += shard_stats.lp_calls;
+                stats.witness_hits += shard_stats.witness_hits;
+                stats.subtrees_pruned += shard_stats.subtrees_pruned;
                 computed
             })
             .collect();
@@ -342,6 +1021,11 @@ impl CellEnumerator {
 }
 
 /// Calls `f` with every sorted `k`-subset of `0..n`.
+///
+/// Kept as the specification the packed [`CombinationWalker`] is checked
+/// against (same subsets, same lexicographic order); production code uses the
+/// walker.
+#[cfg_attr(not(test), allow(dead_code))]
 fn for_each_combination<F: FnMut(&[usize])>(n: usize, k: usize, mut f: F) {
     if k > n {
         return;
@@ -374,62 +1058,6 @@ fn for_each_combination<F: FnMut(&[usize])>(n: usize, k: usize, mut f: F) {
     }
 }
 
-/// Derives, for every pair of partial-overlap half-spaces, which bit
-/// combinations are infeasible inside the leaf.
-fn compute_pair_conditions(
-    bounds: &BoundingBox,
-    partial: &[(HalfSpaceId, HalfSpace)],
-    simplex: &HalfSpace,
-    stats: &mut QueryStats,
-) -> Vec<Vec<PairConditions>> {
-    let m = partial.len();
-    let mut conds = vec![vec![PairConditions::default(); m]; m];
-    let feasible = |inside: Vec<HalfSpace>, outside: Vec<HalfSpace>, stats: &mut QueryStats| {
-        stats.cells_tested += 1;
-        let mut inside = inside;
-        inside.push(simplex.clone());
-        CellSpec::new(inside, outside, bounds.clone())
-            .solve()
-            .is_some()
-    };
-    for i in 0..m {
-        for j in i + 1..m {
-            let hi = &partial[i].1;
-            let hj = &partial[j].1;
-            let c = PairConditions {
-                forbid11: !feasible(vec![hi.clone(), hj.clone()], vec![], stats),
-                forbid00: !feasible(vec![], vec![hi.clone(), hj.clone()], stats),
-                forbid10: !feasible(vec![hi.clone()], vec![hj.clone()], stats),
-                forbid01: !feasible(vec![hj.clone()], vec![hi.clone()], stats),
-            };
-            conds[i][j] = c;
-        }
-    }
-    conds
-}
-
-/// Checks whether the chosen subset (sorted indices of 1-bits) violates any
-/// pairwise condition.
-fn violates_conditions(chosen: &[usize], m: usize, conds: &[Vec<PairConditions>]) -> bool {
-    let mut bits = vec![false; m];
-    for &i in chosen {
-        bits[i] = true;
-    }
-    for i in 0..m {
-        for j in i + 1..m {
-            let c = &conds[i][j];
-            match (bits[i], bits[j]) {
-                (true, true) if c.forbid11 => return true,
-                (false, false) if c.forbid00 => return true,
-                (true, false) if c.forbid10 => return true,
-                (false, true) if c.forbid01 => return true,
-                _ => {}
-            }
-        }
-    }
-    false
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,6 +1068,17 @@ mod tests {
 
     fn simplex2() -> HalfSpace {
         reduced_simplex_constraint(3)
+    }
+
+    fn opts() -> CellEnumOptions {
+        CellEnumOptions::default()
+    }
+
+    fn lp_only() -> CellEnumOptions {
+        CellEnumOptions {
+            witness_cache: false,
+            ..CellEnumOptions::default()
+        }
     }
 
     #[test]
@@ -465,6 +1104,104 @@ mod tests {
         assert_eq!(all, 1);
     }
 
+    fn unpack(ones: &[u64], m: usize) -> Vec<usize> {
+        (0..m)
+            .filter(|&i| ones[i / 64] >> (i % 64) & 1 == 1)
+            .collect()
+    }
+
+    /// Deterministic pseudo-random pair-condition matrix; `density` in 0..=4
+    /// controls how many of the four flags fire.
+    fn random_conds(m: usize, seed: u64, density: u64) -> Vec<PairConditions> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut conds = vec![PairConditions::default(); m * m];
+        for i in 0..m {
+            for j in i + 1..m {
+                conds[i * m + j] = PairConditions {
+                    forbid11: next() % 7 < density,
+                    forbid00: next() % 7 < density,
+                    forbid10: next() % 7 < density,
+                    forbid01: next() % 7 < density,
+                };
+            }
+        }
+        conds
+    }
+
+    /// Reference filter over a complete bit-string (what the pre-walker code
+    /// applied to every generated combination).
+    fn violates_complete(chosen: &[usize], m: usize, conds: &[PairConditions]) -> bool {
+        let mut bits = vec![false; m];
+        for &i in chosen {
+            bits[i] = true;
+        }
+        for i in 0..m {
+            for j in i + 1..m {
+                let c = &conds[i * m + j];
+                match (bits[i], bits[j]) {
+                    (true, true) if c.forbid11 => return true,
+                    (false, false) if c.forbid00 => return true,
+                    (true, false) if c.forbid10 => return true,
+                    (false, true) if c.forbid01 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn packed_walker_equals_for_each_combination_exhaustively() {
+        // Property: over every (m ≤ 12, k), with and without conditions, the
+        // packed walker emits exactly the combinations that generate-then-
+        // filter keeps, in the same order, and attributes exactly the
+        // rejected ones to pruned subtrees.
+        for m in 0..=12usize {
+            for k in 0..=m {
+                for density in [0u64, 1, 3] {
+                    let conds = random_conds(m, 0x5eed ^ (m as u64) << 8 ^ k as u64, density);
+                    let table = ImplicationTable::build(&conds, m);
+                    let mut expected = Vec::new();
+                    let mut rejected = 0usize;
+                    for_each_combination(m, k, |c| {
+                        if density > 0 && violates_complete(c, m, &conds) {
+                            rejected += 1;
+                        } else {
+                            expected.push(c.to_vec());
+                        }
+                    });
+                    let mut got = Vec::new();
+                    let mut walker = CombinationWalker::new(m, (density > 0).then_some(&table));
+                    walker.walk(k, &mut |ones| got.push(unpack(ones, m)));
+                    assert_eq!(got, expected, "m={m} k={k} density={density}");
+                    assert_eq!(
+                        walker.bitstrings_pruned, rejected,
+                        "pruned-count mismatch m={m} k={k} density={density}"
+                    );
+                    if rejected > 0 {
+                        assert!(walker.subtrees_pruned > 0);
+                        assert!(walker.subtrees_pruned <= rejected);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(12, 6), 924);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(200, 100), usize::MAX);
+    }
+
     #[test]
     fn figure3_within_leaf_example() {
         // Analogue of paper Figure 3(b), leaf l1: the half-spaces of the
@@ -484,7 +1221,7 @@ mod tests {
             &simplex2(),
             usize::MAX,
             0,
-            true,
+            &opts(),
             &mut stats,
         );
         assert!(!cells.is_empty());
@@ -512,7 +1249,7 @@ mod tests {
             &simplex2(),
             usize::MAX,
             0,
-            true,
+            &opts(),
             &mut stats,
         );
         assert_eq!(cells.len(), 1);
@@ -533,7 +1270,7 @@ mod tests {
             &simplex2(),
             usize::MAX,
             0,
-            true,
+            &opts(),
             &mut stats,
         );
         assert!(plain.iter().all(|c| c.p_order == 0));
@@ -543,7 +1280,7 @@ mod tests {
             &simplex2(),
             usize::MAX,
             2,
-            true,
+            &opts(),
             &mut stats,
         );
         let weights: Vec<usize> = extended.iter().map(|c| c.p_order).collect();
@@ -561,11 +1298,31 @@ mod tests {
         // Two complementary half-spaces covering the leaf: weight-0 cell empty.
         let partial = vec![(0u32, hs(&[1.0, 0.0], 0.4)), (1u32, hs(&[-1.0, 0.0], -0.6))];
         let mut stats = QueryStats::default();
-        let capped = process_leaf(&bounds, &partial, &simplex2(), 0, 0, true, &mut stats);
+        let capped = process_leaf(&bounds, &partial, &simplex2(), 0, 0, &opts(), &mut stats);
         assert!(capped.is_empty());
-        let uncapped = process_leaf(&bounds, &partial, &simplex2(), 2, 0, true, &mut stats);
+        let uncapped = process_leaf(&bounds, &partial, &simplex2(), 2, 0, &opts(), &mut stats);
         assert!(!uncapped.is_empty());
         assert!(uncapped.iter().all(|c| c.p_order == 1));
+    }
+
+    /// Sorted `(p_order, inside)` keys of a cell list.
+    fn cell_keys(cells: &[FoundCell]) -> Vec<(usize, Vec<HalfSpaceId>)> {
+        let mut keys: Vec<_> = cells
+            .iter()
+            .map(|c| (c.p_order, c.inside.clone()))
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    fn rich_partial() -> Vec<(HalfSpaceId, HalfSpace)> {
+        vec![
+            (0u32, hs(&[1.0, 0.2], 0.5)),
+            (1u32, hs(&[-1.0, 0.3], -0.4)),
+            (2u32, hs(&[0.3, 1.0], 0.7)),
+            (3u32, hs(&[1.0, 1.0], 1.1)),
+            (4u32, hs(&[-0.5, 1.0], 0.1)),
+        ]
     }
 
     #[test]
@@ -573,34 +1330,100 @@ mod tests {
         // The pruned and unpruned enumerations must find exactly the same
         // cells (same weights and same inside-sets).
         let bounds = BoundingBox::unit(2);
-        let partial = vec![
-            (0u32, hs(&[1.0, 0.2], 0.5)),
-            (1u32, hs(&[-1.0, 0.3], -0.4)),
-            (2u32, hs(&[0.3, 1.0], 0.7)),
-            (3u32, hs(&[1.0, 1.0], 1.1)),
-            (4u32, hs(&[-0.5, 1.0], 0.1)),
-        ];
+        let partial = rich_partial();
         let mut s1 = QueryStats::default();
         let mut s2 = QueryStats::default();
-        let with = process_leaf(&bounds, &partial, &simplex2(), usize::MAX, 3, true, &mut s1);
+        let with = process_leaf(
+            &bounds,
+            &partial,
+            &simplex2(),
+            usize::MAX,
+            3,
+            &opts(),
+            &mut s1,
+        );
         let without = process_leaf(
             &bounds,
             &partial,
             &simplex2(),
             usize::MAX,
             3,
-            false,
+            &CellEnumOptions {
+                pair_pruning: false,
+                ..opts()
+            },
             &mut s2,
         );
-        let key = |c: &FoundCell| (c.p_order, c.inside.clone());
-        let mut a: Vec<_> = with.iter().map(key).collect();
-        let mut b: Vec<_> = without.iter().map(key).collect();
-        a.sort();
-        b.sort();
-        assert_eq!(a, b);
+        assert_eq!(cell_keys(&with), cell_keys(&without));
         // Pruning must have dismissed at least one bit-string in this richly
         // overlapping configuration.
         assert!(s1.bitstrings_pruned > 0);
+        assert!(s1.subtrees_pruned > 0);
+        assert_eq!(s2.subtrees_pruned, 0);
+    }
+
+    #[test]
+    fn witness_cache_matches_lp_only_cell_for_cell() {
+        // The witness fast path must not change the cell set, and must save
+        // LP calls on a richly overlapping leaf.
+        let bounds = BoundingBox::unit(2);
+        let partial = rich_partial();
+        for pair_pruning in [true, false] {
+            let mut s_wit = QueryStats::default();
+            let mut s_lp = QueryStats::default();
+            let with_witness = process_leaf(
+                &bounds,
+                &partial,
+                &simplex2(),
+                usize::MAX,
+                3,
+                &CellEnumOptions {
+                    pair_pruning,
+                    witness_cache: true,
+                    threads: 1,
+                },
+                &mut s_wit,
+            );
+            let lp_only = process_leaf(
+                &bounds,
+                &partial,
+                &simplex2(),
+                usize::MAX,
+                3,
+                &CellEnumOptions {
+                    pair_pruning,
+                    witness_cache: false,
+                    threads: 1,
+                },
+                &mut s_lp,
+            );
+            assert_eq!(
+                cell_keys(&with_witness),
+                cell_keys(&lp_only),
+                "pair_pruning={pair_pruning}"
+            );
+            assert_eq!(s_wit.cells_tested, s_lp.cells_tested);
+            assert_eq!(s_lp.witness_hits, 0);
+            assert!(
+                s_wit.lp_calls <= s_lp.lp_calls,
+                "witness cache must never add LP calls: {} vs {}",
+                s_wit.lp_calls,
+                s_lp.lp_calls
+            );
+            assert_eq!(s_lp.lp_calls, s_wit.lp_calls + s_wit.witness_hits);
+            if pair_pruning {
+                // The pair-condition LPs seed the pool, so some candidate
+                // must be answered without an LP on this rich leaf.
+                assert!(
+                    s_wit.witness_hits > 0,
+                    "expected witness hits with pair pruning on"
+                );
+            }
+            // Every witness of every cell must be strictly interior.
+            for c in &with_witness {
+                assert!(c.region.contains(&c.region.witness.clone()));
+            }
+        }
     }
 
     #[test]
@@ -620,7 +1443,7 @@ mod tests {
             qt.insert(h.clone());
         }
         let mut stats = QueryStats::default();
-        let (cells, _) = enumerate_cells(&qt, None, 0, true, 1, &mut stats);
+        let (cells, _) = enumerate_cells(&qt, None, 0, &opts(), &mut stats);
         assert!(!cells.is_empty());
         let min_order = cells.iter().map(|c| c.order).min().unwrap();
         // Dense grid reference.
@@ -646,6 +1469,8 @@ mod tests {
         }
         assert!(stats.leaves_processed > 0);
         assert!(stats.cells_tested > 0);
+        assert!(stats.lp_calls > 0);
+        assert!(stats.lp_calls + stats.witness_hits >= stats.cells_tested);
     }
 
     #[test]
@@ -665,9 +1490,13 @@ mod tests {
         }
         for hard_limit in [None, Some(3)] {
             let mut seq_stats = QueryStats::default();
-            let (seq, seq_limit) = enumerate_cells(&qt, hard_limit, 1, true, 1, &mut seq_stats);
+            let (seq, seq_limit) = enumerate_cells(&qt, hard_limit, 1, &opts(), &mut seq_stats);
             let mut par_stats = QueryStats::default();
-            let (par, par_limit) = enumerate_cells(&qt, hard_limit, 1, true, 4, &mut par_stats);
+            let par_opts = CellEnumOptions {
+                threads: 4,
+                ..opts()
+            };
+            let (par, par_limit) = enumerate_cells(&qt, hard_limit, 1, &par_opts, &mut par_stats);
             assert_eq!(seq_limit, par_limit, "hard_limit {hard_limit:?}");
             let key = |c: &ArrangementCell| {
                 let mut full = c.full.clone();
@@ -684,6 +1513,45 @@ mod tests {
     }
 
     #[test]
+    fn lp_only_enumeration_matches_witness_enumeration_across_leaves() {
+        // The whole-arrangement enumeration agrees cell-for-cell between the
+        // witness fast path and the LP-only path, and the fast path issues
+        // strictly fewer LPs.
+        let mut qt = HalfSpaceQuadTree::new(2);
+        let mut v = 0.47f64;
+        for _ in 0..20 {
+            v = (v * 997.0).fract();
+            let a = v * 2.0 - 1.0;
+            v = (v * 997.0).fract();
+            let b = v * 2.0 - 1.0;
+            v = (v * 997.0).fract();
+            qt.insert(hs(&[a, b], v * 0.8 - 0.2));
+        }
+        let mut s_wit = QueryStats::default();
+        let mut s_lp = QueryStats::default();
+        let (wit, wl) = enumerate_cells(&qt, None, 1, &opts(), &mut s_wit);
+        let (lp, ll) = enumerate_cells(&qt, None, 1, &lp_only(), &mut s_lp);
+        assert_eq!(wl, ll);
+        let key = |c: &ArrangementCell| {
+            let mut full = c.full.clone();
+            full.sort_unstable();
+            (c.order, full, c.inside_partial.clone())
+        };
+        let mut a: Vec<_> = wit.iter().map(key).collect();
+        let mut b: Vec<_> = lp.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(
+            s_wit.lp_calls < s_lp.lp_calls,
+            "witness cache must reduce LP calls ({} vs {})",
+            s_wit.lp_calls,
+            s_lp.lp_calls
+        );
+        assert!(s_wit.witness_hits > 0);
+    }
+
+    #[test]
     fn enumerate_cells_hard_limit_returns_all_below() {
         let mut qt = HalfSpaceQuadTree::new(2);
         // Three nested half-spaces produce cells of orders 0..=3 along the
@@ -694,14 +1562,14 @@ mod tests {
         // With a hard limit of 2 and tau = 2, every cell within 2 of each
         // leaf's minimum and with order ≤ 2 must be reported.
         let mut stats = QueryStats::default();
-        let (cells, limit) = enumerate_cells(&qt, Some(2), 2, true, 1, &mut stats);
+        let (cells, limit) = enumerate_cells(&qt, Some(2), 2, &opts(), &mut stats);
         assert_eq!(limit, 2);
         let orders: std::collections::BTreeSet<usize> = cells.iter().map(|c| c.order).collect();
         assert!(orders.contains(&0) && orders.contains(&1) && orders.contains(&2));
         assert!(!orders.contains(&3));
         // With tau = 0 only the minimum-order cells survive.
         let mut stats = QueryStats::default();
-        let (cells, _) = enumerate_cells(&qt, None, 0, true, 1, &mut stats);
+        let (cells, _) = enumerate_cells(&qt, None, 0, &opts(), &mut stats);
         assert!(cells.iter().all(|c| c.order == 0));
     }
 }

@@ -190,6 +190,29 @@ const CASES: &[Case] = &[
         focal: Focal::WellRankedRecord(0),
         exhaustive: true,
     },
+    // --- 4-d: BA and AA with the 3-d reduced grid as ground truth (added
+    // with the witness-guided within-leaf fast path, whose savings start to
+    // matter here) ---
+    Case {
+        label: "ind-4d-record-tau0",
+        dist: Distribution::Independent,
+        n: 32,
+        d: 4,
+        seed: 114,
+        tau: 0,
+        focal: Focal::WellRankedRecord(1),
+        exhaustive: true,
+    },
+    Case {
+        label: "anti-4d-record-tau2",
+        dist: Distribution::AntiCorrelated,
+        n: 28,
+        d: 4,
+        seed: 115,
+        tau: 2,
+        focal: Focal::WellRankedRecord(0),
+        exhaustive: true,
+    },
 ];
 
 /// Focal records whose best attainable rank is small keep the exhaustive
@@ -228,6 +251,22 @@ fn reduced_grid(d: usize) -> Vec<Vec<f64>> {
                     let (q1, q2) = (i as f64 / 40.0, j as f64 / 40.0);
                     if q1 + q2 < 1.0 - 1e-9 {
                         grid.push(vec![q1, q2]);
+                    }
+                }
+            }
+            grid
+        }
+        4 => {
+            // Coarser in 3 reduced dimensions: ~12³ candidate points, ~200
+            // of which survive the simplex filter.
+            let mut grid = Vec::new();
+            for i in 1..12 {
+                for j in 1..12 {
+                    for k in 1..12 {
+                        let (q1, q2, q3) = (i as f64 / 12.0, j as f64 / 12.0, k as f64 / 12.0);
+                        if q1 + q2 + q3 < 1.0 - 1e-9 {
+                            grid.push(vec![q1, q2, q3]);
+                        }
                     }
                 }
             }
@@ -392,5 +431,6 @@ fn case_table_covers_the_advertised_matrix() {
         .iter()
         .any(|c| matches!(c.focal, Focal::WellRankedRecord(_))));
     assert!(CASES.iter().any(|c| c.d == 2) && CASES.iter().any(|c| c.d == 3));
+    assert!(CASES.iter().any(|c| c.d == 4));
     assert!(CASES.iter().any(|c| c.exhaustive) && CASES.iter().any(|c| !c.exhaustive));
 }

@@ -1,0 +1,231 @@
+//! Differential property tests for the witness-guided within-leaf fast path
+//! (PR 5): the witness-cache enumeration and the LP-only enumeration must
+//! agree **cell for cell** — same `k*`, same regions (order + outranking
+//! set), same coverage at every grid point — across the advertised matrix
+//! FCA / BA / AA × d ∈ {2, 3, 4} × τ ∈ {0, 2}, and the fast path must never
+//! issue *more* LPs than the LP-only path.
+//!
+//! A proptest sweep then hammers BA vs AA with both knob settings on random
+//! seeds/focals, asserting the four evaluations agree pairwise.
+
+use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery, MaxRankResult};
+use mrq_data::{synthetic, Distribution};
+use mrq_index::RStarTree;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Canonical fingerprint of a result: `k*` plus the sorted multiset of
+/// `(order, sorted outranking ids)` region keys.
+fn fingerprint(res: &MaxRankResult) -> (usize, Vec<(usize, Vec<u32>)>) {
+    let mut regions: Vec<(usize, Vec<u32>)> = res
+        .regions
+        .iter()
+        .map(|r| {
+            let mut ids = r.outranking.clone();
+            ids.sort_unstable();
+            (r.order, ids)
+        })
+        .collect();
+    regions.sort();
+    (res.k_star, regions)
+}
+
+/// A modest grid of reduced query vectors strictly inside the simplex.
+fn grid(d: usize) -> Vec<Vec<f64>> {
+    let steps = match d {
+        2 => 64,
+        3 => 16,
+        _ => 8,
+    };
+    let dr = d - 1;
+    let mut out = Vec::new();
+    let mut idx = vec![1usize; dr];
+    loop {
+        let q: Vec<f64> = idx.iter().map(|&i| i as f64 / steps as f64).collect();
+        if q.iter().sum::<f64>() < 1.0 - 1e-9 {
+            out.push(q);
+        }
+        // Odometer increment.
+        let mut pos = 0;
+        loop {
+            idx[pos] += 1;
+            if idx[pos] < steps {
+                break;
+            }
+            idx[pos] = 1;
+            pos += 1;
+            if pos == dr {
+                return out;
+            }
+        }
+    }
+}
+
+#[test]
+fn witness_cache_is_answer_invariant_across_the_matrix() {
+    for d in [2usize, 3, 4] {
+        let algorithms: &[Algorithm] = if d == 2 {
+            &[
+                Algorithm::Fca,
+                Algorithm::BasicApproach,
+                Algorithm::AdvancedApproach,
+            ]
+        } else {
+            &[Algorithm::BasicApproach, Algorithm::AdvancedApproach]
+        };
+        let n = match d {
+            2 => 70,
+            3 => 55,
+            _ => 40,
+        };
+        for (di, dist) in [Distribution::Independent, Distribution::AntiCorrelated]
+            .into_iter()
+            .enumerate()
+        {
+            let mut rng = StdRng::seed_from_u64(5_000 + d as u64 * 10 + di as u64);
+            let data = synthetic::generate(dist, n, d, &mut rng);
+            let tree = RStarTree::bulk_load(&data);
+            let engine = MaxRankQuery::new(&data, &tree);
+            // A well-ranked focal keeps high-d enumeration frontiers shallow.
+            let focal = data
+                .iter()
+                .max_by(|a, b| {
+                    let sa: f64 = a.1.iter().sum();
+                    let sb: f64 = b.1.iter().sum();
+                    sa.partial_cmp(&sb).unwrap().then(b.0.cmp(&a.0))
+                })
+                .map(|(id, _)| id)
+                .unwrap();
+            for tau in [0usize, 2] {
+                for &algo in algorithms {
+                    let label = format!("{} d={d} {dist:?} tau={tau}", algo.name());
+                    let with = engine.evaluate(
+                        focal,
+                        &MaxRankConfig {
+                            tau,
+                            algorithm: algo,
+                            witness_cache: true,
+                            ..MaxRankConfig::new()
+                        },
+                    );
+                    let without = engine.evaluate(
+                        focal,
+                        &MaxRankConfig {
+                            tau,
+                            algorithm: algo,
+                            witness_cache: false,
+                            ..MaxRankConfig::new()
+                        },
+                    );
+                    assert_eq!(
+                        fingerprint(&with),
+                        fingerprint(&without),
+                        "cell sets diverged [{label}]"
+                    );
+                    // Identical candidate work, answered with fewer LPs.
+                    assert_eq!(
+                        with.stats.cells_tested, without.stats.cells_tested,
+                        "{label}"
+                    );
+                    assert_eq!(without.stats.witness_hits, 0, "{label}");
+                    assert_eq!(
+                        without.stats.lp_calls,
+                        with.stats.lp_calls + with.stats.witness_hits,
+                        "every witness hit must replace exactly one LP [{label}]"
+                    );
+                    // Coverage agrees pointwise, not just as a fingerprint.
+                    for q in grid(d) {
+                        assert_eq!(
+                            with.order_at(&q),
+                            without.order_at(&q),
+                            "coverage diverged at {q:?} [{label}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn witness_cache_saves_lp_calls_somewhere_in_the_matrix() {
+    // The invariance test above allows hits to be zero case-by-case (tiny
+    // leaves may never reach weight 2); in aggregate across the matrix the
+    // cache must fire and must strictly reduce LP calls.
+    let mut total_hits = 0usize;
+    let mut lp_with = 0usize;
+    let mut lp_without = 0usize;
+    for d in [3usize, 4] {
+        let mut rng = StdRng::seed_from_u64(9_100 + d as u64);
+        let data = synthetic::generate(Distribution::AntiCorrelated, 60, d, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        let engine = MaxRankQuery::new(&data, &tree);
+        for focal in [0u32, 11, 23] {
+            for witness_cache in [true, false] {
+                let res = engine.evaluate(
+                    focal,
+                    &MaxRankConfig {
+                        tau: 1,
+                        algorithm: Algorithm::AdvancedApproach,
+                        witness_cache,
+                        ..MaxRankConfig::new()
+                    },
+                );
+                if witness_cache {
+                    total_hits += res.stats.witness_hits;
+                    lp_with += res.stats.lp_calls;
+                } else {
+                    lp_without += res.stats.lp_calls;
+                }
+            }
+        }
+    }
+    assert!(
+        total_hits > 0,
+        "witness cache never fired across the matrix"
+    );
+    assert!(
+        lp_with < lp_without,
+        "witness cache must strictly reduce LP calls ({lp_with} vs {lp_without})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random 3-d instances: BA and AA, each with the witness cache on and
+    /// off, must all agree on `k*` and the region fingerprint.
+    #[test]
+    fn four_way_agreement_on_random_3d_instances(seed in 0u64..1_000, focal_rank in 0usize..6) {
+        let mut rng = StdRng::seed_from_u64(77_000 + seed);
+        let data = synthetic::generate(Distribution::Independent, 45, 3, &mut rng);
+        let tree = RStarTree::bulk_load(&data);
+        let engine = MaxRankQuery::new(&data, &tree);
+        // Pick the focal_rank-th best record by attribute sum.
+        let mut by_sum: Vec<(f64, u32)> = data
+            .iter()
+            .map(|(id, r)| (r.iter().sum::<f64>(), id))
+            .collect();
+        by_sum.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let focal = by_sum[focal_rank].1;
+        // Within one algorithm the witness knob must not change anything;
+        // across algorithms only `k*` is comparable (AA's mixed arrangement
+        // decomposes the same answer region into different cells, and its
+        // outranking lists cover only the records it accessed).
+        let mut k_stars = Vec::new();
+        for algo in [Algorithm::BasicApproach, Algorithm::AdvancedApproach] {
+            let mut prints = Vec::new();
+            for witness_cache in [true, false] {
+                let res = engine.evaluate(focal, &MaxRankConfig {
+                    algorithm: algo,
+                    witness_cache,
+                    ..MaxRankConfig::new()
+                });
+                prints.push(fingerprint(&res));
+            }
+            prop_assert_eq!(&prints[0], &prints[1], "algo {}", algo.name());
+            k_stars.push(prints[0].0);
+        }
+        prop_assert_eq!(k_stars[0], k_stars[1], "BA vs AA k*");
+    }
+}

@@ -26,7 +26,7 @@ pub mod vector;
 
 pub use boxes::{BoundingBox, BoxRelation};
 pub use halfspace::{HalfSpace, Hyperplane};
-pub use lp::{maximize, LpOutcome};
+pub use lp::{maximize, maximize_with, LpOutcome, LpScratch, LpStatus};
 pub use reduced::{
     halfline_for_record, halfspace_for_record, reduced_simplex_constraint, reduced_space_box,
     HalfLine2d,

@@ -52,6 +52,43 @@ impl LpOutcome {
     }
 }
 
+/// Status of a [`maximize_with`] solve; the optimal point lives in the
+/// [`LpScratch`] it was solved with (no per-call allocation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LpStatus {
+    /// An optimal solution was found with this objective value.
+    Optimal(f64),
+    /// The constraint system has no solution.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+}
+
+/// Reusable simplex workspace: tableau, basis and solution buffers survive
+/// across solves, so a caller issuing thousands of tiny feasibility LPs (the
+/// within-leaf cell enumeration) performs zero allocations per call after the
+/// first.
+#[derive(Debug, Default, Clone)]
+pub struct LpScratch {
+    data: Vec<f64>,
+    basis: Vec<usize>,
+    point: Vec<f64>,
+}
+
+impl LpScratch {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The maximiser of the most recent [`maximize_with`] call that returned
+    /// [`LpStatus::Optimal`].  Contents are unspecified after a non-optimal
+    /// solve.
+    pub fn point(&self) -> &[f64] {
+        &self.point
+    }
+}
+
 const PIVOT_TOL: f64 = 1e-10;
 const FEAS_TOL: f64 = 1e-7;
 /// Hard cap on simplex pivots; problems in this workspace are tiny, so hitting
@@ -59,20 +96,20 @@ const FEAS_TOL: f64 = 1e-7;
 /// MaxRank: a cell is then conservatively treated as empty).
 const MAX_ITERS: usize = 10_000;
 
-/// Dense simplex tableau.
+/// Dense simplex tableau over borrowed scratch buffers.
 ///
 /// Layout: `rows = m` constraint rows plus one objective row; `cols = n`
 /// structural variables, `m` slack variables, optional artificials, plus the
 /// right-hand side as the last column.
-struct Tableau {
+struct Tableau<'a> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: &'a mut [f64],
     /// Basic variable (column index) of each constraint row.
-    basis: Vec<usize>,
+    basis: &'a mut [usize],
 }
 
-impl Tableau {
+impl Tableau<'_> {
     #[inline]
     fn at(&self, r: usize, c: usize) -> f64 {
         self.data[r * self.cols + c]
@@ -164,24 +201,52 @@ impl Tableau {
 /// Panics if the dimensions of `c`, `a` and `b` are inconsistent.
 pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
     let n = c.len();
-    let m = a.len();
-    assert_eq!(b.len(), m, "rhs length must match the number of rows");
     for row in a {
         assert_eq!(row.len(), n, "every row must have the objective's length");
     }
+    let a_flat: Vec<f64> = a.iter().flat_map(|row| row.iter().copied()).collect();
+    let mut scratch = LpScratch::new();
+    match maximize_with(&mut scratch, c, &a_flat, b) {
+        LpStatus::Optimal(objective) => LpOutcome::Optimal {
+            objective,
+            point: scratch.point.clone(),
+        },
+        LpStatus::Infeasible => LpOutcome::Infeasible,
+        LpStatus::Unbounded => LpOutcome::Unbounded,
+    }
+}
+
+/// [`maximize`] over a flat row-major constraint matrix (`m` rows of `n = c
+/// .len()` entries each) and a reusable [`LpScratch`], the allocation-free
+/// entry point the within-leaf cell enumeration drives.  On
+/// [`LpStatus::Optimal`] the maximiser is available as [`LpScratch::point`].
+///
+/// # Panics
+/// Panics if `a_flat.len() != c.len() * b.len()`.
+pub fn maximize_with(scratch: &mut LpScratch, c: &[f64], a_flat: &[f64], b: &[f64]) -> LpStatus {
+    let n = c.len();
+    let m = b.len();
+    assert_eq!(
+        a_flat.len(),
+        n * m,
+        "flat constraint matrix must be m rows of n entries"
+    );
 
     // Count rows that need an artificial variable (negative rhs after adding
     // the slack).
-    let neg_rows: Vec<usize> = (0..m).filter(|&i| b[i] < 0.0).collect();
-    let n_art = neg_rows.len();
+    let n_art = b.iter().filter(|&&bi| bi < 0.0).count();
     // Columns: n structural + m slack + n_art artificial + 1 rhs.
     let cols = n + m + n_art + 1;
     let rows = m + 1;
+    scratch.data.clear();
+    scratch.data.resize(rows * cols, 0.0);
+    scratch.basis.clear();
+    scratch.basis.resize(m, 0);
     let mut t = Tableau {
         rows,
         cols,
-        data: vec![0.0; rows * cols],
-        basis: vec![0; m],
+        data: &mut scratch.data,
+        basis: &mut scratch.basis,
     };
 
     // Fill constraint rows.  Row i:  a_i · y + s_i = b_i.  If b_i < 0 the row
@@ -190,7 +255,7 @@ pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
     for i in 0..m {
         let negate = b[i] < 0.0;
         let sign = if negate { -1.0 } else { 1.0 };
-        for (j, &aij) in a[i].iter().enumerate() {
+        for (j, &aij) in a_flat[i * n..(i + 1) * n].iter().enumerate() {
             *t.at_mut(i, j) = sign * aij;
         }
         *t.at_mut(i, n + i) = sign; // slack
@@ -227,7 +292,7 @@ pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
         let ok = t.optimize(n + m + n_art);
         let obj = t.at(rows - 1, cols - 1);
         if !ok || obj > FEAS_TOL {
-            return LpOutcome::Infeasible;
+            return LpStatus::Infeasible;
         }
         // Drive any remaining artificial variables out of the basis.
         for r in 0..m {
@@ -275,24 +340,23 @@ pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
     // Forbid artificial columns from re-entering.
     let usable = n + m;
     if !t.optimize(usable) {
-        return LpOutcome::Unbounded;
+        return LpStatus::Unbounded;
     }
 
-    // Extract the solution.
-    let mut y = vec![0.0; n];
+    // Extract the solution into the scratch's point buffer (a disjoint field,
+    // so it can be written while the tableau still borrows data/basis).
+    scratch.point.clear();
+    scratch.point.resize(n, 0.0);
     for r in 0..m {
         let bv = t.basis[r];
         if bv < n {
-            y[bv] = t.at(r, cols - 1);
+            scratch.point[bv] = t.at(r, cols - 1);
         }
     }
     // The tableau's objective cell holds -(c·y) + constant bookkeeping; compute
     // the objective directly from the point for clarity and robustness.
-    let objective = c.iter().zip(&y).map(|(ci, yi)| ci * yi).sum();
-    LpOutcome::Optimal {
-        objective,
-        point: y,
-    }
+    let objective = c.iter().zip(&scratch.point).map(|(ci, yi)| ci * yi).sum();
+    LpStatus::Optimal(objective)
 }
 
 #[cfg(test)]
@@ -414,6 +478,37 @@ mod tests {
         );
         assert_close(out.objective().unwrap(), 0.3);
         assert_close(out.point().unwrap()[0], 0.5);
+    }
+
+    #[test]
+    fn scratch_reuse_across_solves() {
+        // One scratch, three solves of different shapes: results must match
+        // the allocating entry point, and the point buffer must be refreshed
+        // between calls.
+        let mut scratch = LpScratch::new();
+        let s1 = maximize_with(
+            &mut scratch,
+            &[1.0, 1.0],
+            &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+            &[2.0, 3.0, 4.0],
+        );
+        assert_eq!(s1, LpStatus::Optimal(4.0));
+        assert_eq!(scratch.point().len(), 2);
+        let s2 = maximize_with(&mut scratch, &[1.0], &[-1.0, 1.0], &[-2.0, 1.0]);
+        assert_eq!(s2, LpStatus::Infeasible);
+        let s3 = maximize_with(&mut scratch, &[1.0], &[1.0], &[7.0]);
+        match s3 {
+            LpStatus::Optimal(v) => {
+                assert_close(v, 7.0);
+                assert_close(scratch.point()[0], 7.0);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+        // Unbounded is reported through the same status type.
+        assert_eq!(
+            maximize_with(&mut scratch, &[1.0], &[], &[]),
+            LpStatus::Unbounded
+        );
     }
 
     #[test]

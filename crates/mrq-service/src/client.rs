@@ -5,6 +5,7 @@ use crate::cache::CacheStats;
 use crate::pool::PoolStats;
 use crate::protocol::json::Json;
 use crate::protocol::{read_frame, write_frame, Request};
+use crate::querystats::DatasetQueryStats;
 use mrq_core::Algorithm;
 use mrq_data::RecordId;
 use std::io::BufReader;
@@ -105,6 +106,9 @@ pub struct StatsReply {
     pub pool: PoolStats,
     /// Registered dataset names.
     pub datasets: Vec<String>,
+    /// Cumulative per-dataset query statistics (ordered by dataset name;
+    /// absent entries mean the dataset was never queried).
+    pub per_dataset: Vec<DatasetQueryStats>,
 }
 
 /// A blocking protocol client over one TCP connection.
@@ -278,6 +282,31 @@ impl Client {
         };
         let cache = section("cache")?;
         let pool = section("pool")?;
+        // `query_stats` was added in PR 5; tolerate servers without it.
+        let per_dataset = value
+            .get("query_stats")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(|d| {
+                Ok(DatasetQueryStats {
+                    dataset: d
+                        .get("dataset")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| {
+                            ClientError::Protocol("query_stats entry without dataset".into())
+                        })?
+                        .to_string(),
+                    queries: num(d, "queries")? as u64,
+                    cache_hits: num(d, "cache_hits")? as u64,
+                    cpu_us: num(d, "cpu_us")? as u64,
+                    io_reads: num(d, "io_reads")? as u64,
+                    cells_tested: num(d, "cells_tested")? as u64,
+                    lp_calls: num(d, "lp_calls")? as u64,
+                    witness_hits: num(d, "witness_hits")? as u64,
+                })
+            })
+            .collect::<Result<Vec<_>, ClientError>>()?;
         Ok(StatsReply {
             cache: CacheStats {
                 hits: num(&cache, "hits")? as u64,
@@ -301,6 +330,7 @@ impl Client {
                 .iter()
                 .filter_map(|v| v.as_str().map(str::to_string))
                 .collect(),
+            per_dataset,
         })
     }
 
@@ -382,6 +412,13 @@ mod tests {
         assert_eq!(stats.cache.hits, 1);
         assert_eq!(stats.datasets, vec!["demo".to_string()]);
         assert_eq!(stats.pool.workers, 2);
+        // Per-dataset totals round-trip through the wire format.
+        assert_eq!(stats.per_dataset.len(), 1);
+        let demo = &stats.per_dataset[0];
+        assert_eq!(demo.dataset, "demo");
+        assert_eq!(demo.queries, 1);
+        assert_eq!(demo.cache_hits, 1);
+        assert!(demo.io_reads > 0);
 
         assert_eq!(client.list().unwrap(), vec![("demo".to_string(), 6, 2)]);
 

@@ -45,6 +45,7 @@ pub mod client;
 pub mod error;
 pub mod pool;
 pub mod protocol;
+pub mod querystats;
 pub mod registry;
 pub mod server;
 pub mod service;
@@ -53,6 +54,7 @@ pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use client::{Client, ClientError, QueryOptions, QueryReply, StatsReply, UpdateReply};
 pub use error::ServiceError;
 pub use pool::{PoolConfig, PoolStats, WorkerPool};
+pub use querystats::{DatasetQueryStats, QueryStatsBook};
 pub use registry::{DatasetEntry, DatasetHandle, DatasetRegistry, DatasetSpec, UpdateOutcome};
 pub use server::Server;
 pub use service::{MrqService, QueryAnswer, QueryRequest, ServiceConfig, ServiceStats};

@@ -25,6 +25,7 @@
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::error::ServiceError;
+use crate::querystats::QueryStatsBook;
 use crate::registry::DatasetEntry;
 use mrq_core::{evaluate_batch, Algorithm, MaxRankConfig, MaxRankResult};
 use mrq_data::RecordId;
@@ -127,6 +128,7 @@ struct Shared {
     not_full: Condvar,
     config: PoolConfig,
     cache: Arc<ResultCache>,
+    query_stats: Arc<QueryStatsBook>,
     executed: AtomicU64,
     coalesced: AtomicU64,
     timed_out: AtomicU64,
@@ -152,7 +154,11 @@ impl WorkerPool {
     ///
     /// # Panics
     /// Panics if `workers`, `queue_capacity` or `coalesce_limit` is zero.
-    pub fn new(config: PoolConfig, cache: Arc<ResultCache>) -> Self {
+    pub fn new(
+        config: PoolConfig,
+        cache: Arc<ResultCache>,
+        query_stats: Arc<QueryStatsBook>,
+    ) -> Self {
         assert!(config.workers >= 1, "at least one worker is required");
         assert!(
             config.queue_capacity >= 1,
@@ -171,6 +177,7 @@ impl WorkerPool {
             not_full: Condvar::new(),
             config,
             cache,
+            query_stats,
             executed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
@@ -318,6 +325,7 @@ fn run_batch(shared: &Shared, batch: Vec<QueryJob>) {
         }
         if let Some(key) = &job.cache_key {
             if let Some(hit) = shared.cache.get(key) {
+                shared.query_stats.record_cache_hit(job.entry.name());
                 respond(&job, Ok(hit), true);
                 continue;
             }
@@ -347,6 +355,9 @@ fn run_batch(shared: &Shared, batch: Vec<QueryJob>) {
                 .executed
                 .fetch_add(pending.len() as u64, Ordering::Relaxed);
             for (job, result) in pending.iter().zip(results) {
+                shared
+                    .query_stats
+                    .record_executed(job.entry.name(), &result.stats);
                 let result = Arc::new(result);
                 if let Some(key) = &job.cache_key {
                     shared.cache.insert(key.clone(), Arc::clone(&result));
@@ -416,6 +427,7 @@ mod tests {
                 coalesce_limit: 16,
             },
             cache,
+            Arc::new(QueryStatsBook::new()),
         )
     }
 

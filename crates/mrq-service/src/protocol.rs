@@ -438,6 +438,24 @@ pub fn stats_payload(stats: &ServiceStats) -> String {
         ("coalesced".into(), Json::Num(stats.pool.coalesced as f64)),
         ("timed_out".into(), Json::Num(stats.pool.timed_out as f64)),
     ]);
+    let query_stats = Json::Arr(
+        stats
+            .per_dataset
+            .iter()
+            .map(|d| {
+                Json::Obj(vec![
+                    ("dataset".into(), Json::Str(d.dataset.clone())),
+                    ("queries".into(), Json::Num(d.queries as f64)),
+                    ("cache_hits".into(), Json::Num(d.cache_hits as f64)),
+                    ("cpu_us".into(), Json::Num(d.cpu_us as f64)),
+                    ("io_reads".into(), Json::Num(d.io_reads as f64)),
+                    ("cells_tested".into(), Json::Num(d.cells_tested as f64)),
+                    ("lp_calls".into(), Json::Num(d.lp_calls as f64)),
+                    ("witness_hits".into(), Json::Num(d.witness_hits as f64)),
+                ])
+            })
+            .collect(),
+    );
     Json::Obj(vec![
         ("ok".into(), Json::Bool(true)),
         ("cache".into(), cache),
@@ -452,6 +470,7 @@ pub fn stats_payload(stats: &ServiceStats) -> String {
                     .collect(),
             ),
         ),
+        ("query_stats".into(), query_stats),
     ])
     .to_string()
 }

@@ -5,6 +5,7 @@
 use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::error::ServiceError;
 use crate::pool::{JobOutcome, PoolConfig, PoolStats, QueryJob, WorkerPool};
+use crate::querystats::{DatasetQueryStats, QueryStatsBook};
 use crate::registry::{DatasetRegistry, UpdateOutcome};
 use mrq_core::{Algorithm, MaxRankResult};
 use mrq_data::{RecordId, Update};
@@ -104,6 +105,9 @@ pub struct ServiceStats {
     pub pool: PoolStats,
     /// Registered dataset names.
     pub datasets: Vec<String>,
+    /// Cumulative per-dataset query statistics (ordered by dataset name;
+    /// datasets never queried are absent).
+    pub per_dataset: Vec<DatasetQueryStats>,
 }
 
 /// A pending answer: the validated request was accepted by the queue.
@@ -149,6 +153,7 @@ impl PendingAnswer {
 pub struct MrqService {
     registry: Arc<DatasetRegistry>,
     cache: Arc<ResultCache>,
+    query_stats: Arc<QueryStatsBook>,
     pool: WorkerPool,
     config: ServiceConfig,
 }
@@ -157,6 +162,7 @@ impl MrqService {
     /// Builds a service over an existing registry.
     pub fn new(registry: Arc<DatasetRegistry>, config: ServiceConfig) -> Self {
         let cache = Arc::new(ResultCache::new(config.cache_capacity));
+        let query_stats = Arc::new(QueryStatsBook::new());
         let pool = WorkerPool::new(
             PoolConfig {
                 workers: config.workers,
@@ -164,10 +170,12 @@ impl MrqService {
                 coalesce_limit: config.coalesce_limit,
             },
             Arc::clone(&cache),
+            Arc::clone(&query_stats),
         );
         Self {
             registry,
             cache,
+            query_stats,
             pool,
             config,
         }
@@ -289,12 +297,14 @@ impl MrqService {
             .map_err(|e| ServiceError::BadRequest(format!("update rejected: {e}")))
     }
 
-    /// Combined cache / pool / registry counters.
+    /// Combined cache / pool / registry counters plus per-dataset query
+    /// totals.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             cache: self.cache.stats(),
             pool: self.pool.stats(),
             datasets: self.registry.names(),
+            per_dataset: self.query_stats.snapshot(),
         }
     }
 
@@ -456,6 +466,48 @@ mod tests {
         assert_eq!(stats.pool.workers, 2);
         assert_eq!(stats.pool.executed, 1);
         assert_eq!(stats.cache.misses, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn stats_accumulates_per_dataset_query_totals() {
+        let service = demo_service(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let registry = Arc::clone(service.registry());
+        registry
+            .register(
+                "d3",
+                &DatasetSpec::Synthetic {
+                    dist: mrq_data::Distribution::Independent,
+                    n: 60,
+                    d: 3,
+                    seed: 5,
+                },
+            )
+            .unwrap();
+        // Two distinct demo queries, one repeat (cache hit), one 3-d query.
+        service.query(&QueryRequest::new("demo", 5)).unwrap();
+        service.query(&QueryRequest::new("demo", 1)).unwrap();
+        service.query(&QueryRequest::new("demo", 5)).unwrap();
+        service.query(&QueryRequest::new("d3", 7)).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.per_dataset.len(), 2);
+        // Ordered by name: d3 before demo.
+        let d3 = &stats.per_dataset[0];
+        let demo = &stats.per_dataset[1];
+        assert_eq!(d3.dataset, "d3");
+        assert_eq!(demo.dataset, "demo");
+        assert_eq!(demo.queries, 2);
+        assert_eq!(demo.cache_hits, 1);
+        assert_eq!(d3.queries, 1);
+        assert_eq!(d3.cache_hits, 0);
+        // The 3-d evaluation runs the within-leaf module, so its LP /
+        // candidate counters must have moved.
+        assert!(d3.cells_tested > 0);
+        assert!(d3.lp_calls > 0);
+        assert!(d3.io_reads > 0);
         service.shutdown();
     }
 

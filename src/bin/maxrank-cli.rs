@@ -444,6 +444,18 @@ fn main() -> ExitCode {
             result.stats.cells_tested, cells_per_sec
         );
         println!(
+            "LP calls          : {} (simplex solves: candidates + pair conditions)",
+            result.stats.lp_calls
+        );
+        println!(
+            "witness hits      : {} (cells proven non-empty without an LP)",
+            result.stats.witness_hits
+        );
+        println!(
+            "subtrees pruned   : {} (combination-search cuts)",
+            result.stats.subtrees_pruned
+        );
+        println!(
             "events pruned     : {} (2-d sweep expansion skips)",
             result.stats.events_pruned
         );

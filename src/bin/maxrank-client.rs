@@ -186,6 +186,33 @@ fn main() -> ExitCode {
                 "jobs            : {} executed, {} coalesced, {} timed out",
                 s.pool.executed, s.pool.coalesced, s.pool.timed_out
             );
+            if !s.per_dataset.is_empty() {
+                println!("per-dataset query statistics:");
+                println!(
+                    "  {:<16} {:>8} {:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
+                    "dataset",
+                    "queries",
+                    "cached",
+                    "cpu_s",
+                    "io",
+                    "cells",
+                    "lp_calls",
+                    "witness_hits"
+                );
+                for d in &s.per_dataset {
+                    println!(
+                        "  {:<16} {:>8} {:>8} {:>12.4} {:>10} {:>10} {:>10} {:>12}",
+                        d.dataset,
+                        d.queries,
+                        d.cache_hits,
+                        d.cpu_us as f64 / 1e6,
+                        d.io_reads,
+                        d.cells_tested,
+                        d.lp_calls,
+                        d.witness_hits
+                    );
+                }
+            }
         })
     } else if args.list {
         client.list().map(|datasets| {
