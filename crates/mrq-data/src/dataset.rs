@@ -60,6 +60,11 @@ pub enum UpdateError {
     NoSuchRecord(RecordId),
     /// A deletion referenced an id that was already deleted.
     AlreadyDeleted(RecordId),
+    /// The update was valid but could not be made durable (write-ahead log
+    /// append or checkpoint failed; see [`crate::storage`]).  The in-memory
+    /// dataset is left untouched: an update that is not durable is not
+    /// committed.
+    Storage(String),
 }
 
 impl std::fmt::Display for UpdateError {
@@ -71,6 +76,7 @@ impl std::fmt::Display for UpdateError {
             UpdateError::NonFinite => write!(f, "record attributes must be finite"),
             UpdateError::NoSuchRecord(id) => write!(f, "no record with id {id}"),
             UpdateError::AlreadyDeleted(id) => write!(f, "record {id} is already deleted"),
+            UpdateError::Storage(msg) => write!(f, "durable log write failed: {msg}"),
         }
     }
 }
@@ -271,6 +277,74 @@ impl Dataset {
     #[inline]
     fn slots(&self) -> usize {
         self.values.len() / self.dims
+    }
+
+    /// The raw value storage (`slots() * dims()` coordinates, tombstoned
+    /// slots included).  Crate-internal: used by [`crate::storage`] to encode
+    /// snapshots.
+    #[inline]
+    pub(crate) fn raw_values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The tombstone bitmap words (`slots().div_ceil(64)` of them, one bit
+    /// per slot, 1 = deleted).  Crate-internal: used by [`crate::storage`].
+    #[inline]
+    pub(crate) fn tombstone_words(&self) -> &[u64] {
+        &self.dead
+    }
+
+    /// Rebuilds a dataset from its storage representation (snapshot decode).
+    /// Validates the shape invariants a well-formed dataset maintains; the
+    /// error string describes the first violation found.
+    pub(crate) fn from_storage(
+        dims: usize,
+        values: Vec<f64>,
+        dead: Vec<u64>,
+        version: u64,
+    ) -> Result<Self, String> {
+        if dims < 2 {
+            return Err(format!("dimensionality {dims} (need at least 2)"));
+        }
+        if !values.len().is_multiple_of(dims) {
+            return Err(format!(
+                "{} values do not divide into {dims}-dimensional records",
+                values.len()
+            ));
+        }
+        let slots = values.len() / dims;
+        if dead.len() != slots.div_ceil(64) {
+            return Err(format!(
+                "tombstone bitmap has {} words, {slots} slots need {}",
+                dead.len(),
+                slots.div_ceil(64)
+            ));
+        }
+        if let Some(pos) = values.iter().position(|x| !x.is_finite()) {
+            return Err(format!("non-finite attribute value at slot {}", pos / dims));
+        }
+        let tombstones: u32 = dead.iter().map(|w| w.count_ones()).sum();
+        if tombstones as usize > slots {
+            return Err(format!(
+                "{tombstones} tombstone bits set for {slots} slots (stray bits beyond the id space)"
+            ));
+        }
+        if !slots.is_multiple_of(64) {
+            if let Some(last) = dead.last() {
+                if last >> (slots % 64) != 0 {
+                    return Err(
+                        "tombstone bits set beyond the id space in the final bitmap word".into(),
+                    );
+                }
+            }
+        }
+        Ok(Self {
+            dims,
+            live: slots - tombstones as usize,
+            values,
+            dead,
+            version,
+        })
     }
 
     /// Whether slot `i` (in range) is live.

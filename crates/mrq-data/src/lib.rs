@@ -12,12 +12,15 @@
 //! * [`dominance`] — dominance tests, focal-record partitioning, naive skyline,
 //! * [`synthetic`] — IND / COR / ANTI generators,
 //! * [`realistic`] — the simulated HOTEL / HOUSE / NBA / PITCH / BAT datasets,
-//! * [`io`] — minimal CSV persistence (no external dependencies).
+//! * [`io`] — minimal CSV persistence (no external dependencies),
+//! * [`storage`] — durable snapshots and a write-ahead update log with
+//!   crash recovery (torn-tail detection, idempotent replay, checkpoints).
 
 pub mod dataset;
 pub mod dominance;
 pub mod io;
 pub mod realistic;
+pub mod storage;
 pub mod synthetic;
 
 pub use dataset::{Applied, Dataset, RecordId, Update, UpdateError};

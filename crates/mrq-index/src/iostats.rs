@@ -4,6 +4,15 @@
 //! accesses with a 4 KB page size, one R\*-tree node per page.  Algorithms in
 //! this workspace run in memory, so the counter simulates that cost model:
 //! every R\*-tree node *read* during a query increments the counter by one.
+//!
+//! This is a **simulated** figure — nothing is actually paged in or out, and
+//! the counter is therefore independent of the durability layer.  The *real*
+//! file I/O the system performs (reading `snapshot.bin` and replaying
+//! `wal.log` during recovery) is counted separately, in bytes and pages of
+//! the same 4 KiB size, by `mrq_data::storage::RecoveryReport` and surfaced
+//! through the service's `STATS` durability counters.  Keep the two apart
+//! when reading reports: `io_reads` reproduces the paper's cost model,
+//! `recovery_pages_read` measures disk traffic that genuinely happened.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

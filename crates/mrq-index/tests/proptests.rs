@@ -209,4 +209,89 @@ proptest! {
         prop_assert_eq!(order_of(&tree, &p, &q), data.order_of(&p, &q));
         prop_assert_eq!(order_of(&rebuilt, &p, &q), data.order_of(&p, &q));
     }
+
+    /// Crash-recovery replay drives the index the same way live updates do:
+    /// an op sequence is committed through a `DatasetStore` WAL, the store
+    /// is reopened (snapshot load + replay), and the recovered batches are
+    /// fed into an incrementally maintained tree.  The invariants must hold
+    /// after **every** replayed batch, and the final tree must agree with a
+    /// bulk load over the recovered records.
+    #[test]
+    fn recovery_replayed_sequences_preserve_tree_invariants(
+        data in dataset_strategy(3),
+        ops in prop::collection::vec((any::<bool>(), any::<u64>(), prop::collection::vec(0.0f64..1.0, 3)), 1..40),
+    ) {
+        use mrq_data::storage::{read_wal, replay_batch, DatasetStore, WalBatch, WalOp};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mrq_index_replay_{}_{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Commit the op sequence through the WAL, one batch per op.
+        let base = data;
+        let mut live = base.clone();
+        let mut store = DatasetStore::create(&dir, &base).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let mut committed = 0u64;
+        for (is_delete, pick, row) in ops {
+            let op = if is_delete && live.live_len() > 0 {
+                let ids: Vec<u32> = live.iter().map(|(id, _)| id).collect();
+                let id = ids[(pick % ids.len() as u64) as usize];
+                live.apply(&Update::Delete(id)).map_err(|e| TestCaseError::fail(e.to_string()))?;
+                WalOp::Delete { id }
+            } else {
+                let applied = live
+                    .apply(&Update::Insert(row.clone()))
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                WalOp::Insert { id: applied.inserted.unwrap(), row }
+            };
+            let batch = WalBatch { lsn: live.version(), ops: vec![op] };
+            store.append(&batch).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            committed += 1;
+        }
+        drop(store);
+
+        // Recover, then replay the recovered log into an incremental tree
+        // over the snapshot state — exactly what a durable registry does.
+        let (_store, recovered, report) =
+            DatasetStore::open(&dir).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(report.batches_replayed, committed);
+        prop_assert_eq!(&recovered, &live);
+
+        let wal = read_wal(&DatasetStore::wal_path(&dir)).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let config = RStarConfig { max_entries: 5, min_entries: 2, reinsert_count: 1 };
+        let mut replayed = base.clone();
+        let mut tree = RStarTree::bulk_load_with_config(&base, config);
+        for batch in &wal.batches {
+            prop_assert!(replay_batch(&mut replayed, batch).map_err(TestCaseError::fail)?);
+            for op in &batch.ops {
+                match op {
+                    WalOp::Insert { id, row } => tree.insert(*id, row),
+                    // A tombstoned slot still exposes its coordinates —
+                    // exactly what the tree search needs.
+                    WalOp::Delete { id } => prop_assert!(tree.delete(*id, replayed.record(*id))),
+                }
+            }
+            tree.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        prop_assert_eq!(&replayed, &recovered);
+        prop_assert_eq!(tree.len(), recovered.live_len());
+
+        // The replay-maintained tree answers like a bulk load over the
+        // recovered records.
+        let rebuilt = RStarTree::bulk_load_with_config(&recovered, config);
+        let query = BoundingBox::new(vec![0.1, 0.2, 0.0], vec![0.9, 0.8, 0.7]);
+        let mut a = tree.range_ids(&query);
+        let mut b = rebuilt.range_ids(&query);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(tree.range_count(&query), rebuilt.range_count(&query));
+
+        std::fs::remove_dir_all(&dir).map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
 }

@@ -6,6 +6,7 @@ use crate::pool::PoolStats;
 use crate::protocol::json::Json;
 use crate::protocol::{read_frame, write_frame, Request};
 use crate::querystats::DatasetQueryStats;
+use crate::registry::DurabilityStats;
 use mrq_core::Algorithm;
 use mrq_data::RecordId;
 use std::io::BufReader;
@@ -109,6 +110,8 @@ pub struct StatsReply {
     /// Cumulative per-dataset query statistics (ordered by dataset name;
     /// absent entries mean the dataset was never queried).
     pub per_dataset: Vec<DatasetQueryStats>,
+    /// Durability counters (all zero against a server without `--data-dir`).
+    pub durability: DurabilityStats,
 }
 
 /// A blocking protocol client over one TCP connection.
@@ -307,6 +310,24 @@ impl Client {
                 })
             })
             .collect::<Result<Vec<_>, ClientError>>()?;
+        // `durability` was added in PR 6; tolerate servers without it.
+        let durability = value
+            .get("durability")
+            .map(|d| {
+                let field = |key: &str| num(d, key).map(|v| v as u64);
+                Ok::<_, ClientError>(DurabilityStats {
+                    durable_datasets: field("durable_datasets")?,
+                    recovered_datasets: field("recovered_datasets")?,
+                    wal_batches_replayed: field("wal_batches_replayed")?,
+                    torn_bytes_discarded: field("torn_bytes_discarded")?,
+                    recovery_pages_read: field("recovery_pages_read")?,
+                    wal_appends: field("wal_appends")?,
+                    wal_appended_bytes: field("wal_appended_bytes")?,
+                    checkpoints: field("checkpoints")?,
+                })
+            })
+            .transpose()?
+            .unwrap_or_default();
         Ok(StatsReply {
             cache: CacheStats {
                 hits: num(&cache, "hits")? as u64,
@@ -331,6 +352,7 @@ impl Client {
                 .filter_map(|v| v.as_str().map(str::to_string))
                 .collect(),
             per_dataset,
+            durability,
         })
     }
 

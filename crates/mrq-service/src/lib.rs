@@ -55,7 +55,10 @@ pub use client::{Client, ClientError, QueryOptions, QueryReply, StatsReply, Upda
 pub use error::ServiceError;
 pub use pool::{PoolConfig, PoolStats, WorkerPool};
 pub use querystats::{DatasetQueryStats, QueryStatsBook};
-pub use registry::{DatasetEntry, DatasetHandle, DatasetRegistry, DatasetSpec, UpdateOutcome};
+pub use registry::{
+    DatasetEntry, DatasetHandle, DatasetRegistry, DatasetSpec, DurabilityOptions, DurabilityStats,
+    UpdateOutcome,
+};
 pub use server::Server;
 pub use service::{MrqService, QueryAnswer, QueryRequest, ServiceConfig, ServiceStats};
 

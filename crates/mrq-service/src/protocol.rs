@@ -456,6 +456,35 @@ pub fn stats_payload(stats: &ServiceStats) -> String {
             })
             .collect(),
     );
+    let d = &stats.durability;
+    let durability = Json::Obj(vec![
+        (
+            "durable_datasets".into(),
+            Json::Num(d.durable_datasets as f64),
+        ),
+        (
+            "recovered_datasets".into(),
+            Json::Num(d.recovered_datasets as f64),
+        ),
+        (
+            "wal_batches_replayed".into(),
+            Json::Num(d.wal_batches_replayed as f64),
+        ),
+        (
+            "torn_bytes_discarded".into(),
+            Json::Num(d.torn_bytes_discarded as f64),
+        ),
+        (
+            "recovery_pages_read".into(),
+            Json::Num(d.recovery_pages_read as f64),
+        ),
+        ("wal_appends".into(), Json::Num(d.wal_appends as f64)),
+        (
+            "wal_appended_bytes".into(),
+            Json::Num(d.wal_appended_bytes as f64),
+        ),
+        ("checkpoints".into(), Json::Num(d.checkpoints as f64)),
+    ]);
     Json::Obj(vec![
         ("ok".into(), Json::Bool(true)),
         ("cache".into(), cache),
@@ -471,6 +500,7 @@ pub fn stats_payload(stats: &ServiceStats) -> String {
             ),
         ),
         ("query_stats".into(), query_stats),
+        ("durability".into(), durability),
     ])
     .to_string()
 }

@@ -19,14 +19,29 @@
 //! per-handle mutex; queries are never blocked (they read the previous
 //! snapshot until the swap).  A batch is atomic: if any update in it is
 //! rejected the swap does not happen and the visible snapshot is unchanged.
+//!
+//! # Durability
+//!
+//! [`DatasetRegistry::register_durable`] backs a dataset with an on-disk
+//! store (`mrq_data::storage`): a binary snapshot plus a write-ahead log.
+//! [`DatasetHandle::apply`] then appends each batch to the WAL (fsynced)
+//! *before* swapping the new snapshot in, so a batch is committed exactly
+//! when it is durable; when the log outgrows
+//! [`DurabilityOptions::checkpoint_wal_bytes`] the snapshot is rewritten and
+//! the log truncated.  On restart the registry recovers the dataset from
+//! disk (snapshot load + idempotent WAL replay with torn-tail detection)
+//! and reports what it did through [`RecoveryReport`] and the cumulative
+//! [`DurabilityStats`].
 
 use mrq_core::MaxRankQuery;
 use mrq_data::io::read_csv;
+use mrq_data::storage::{DatasetStore, RecoveryReport, WalBatch, WalOp};
 use mrq_data::{synthetic, Dataset, Distribution, RealDataset, RecordId, Update, UpdateError};
 use mrq_index::RStarTree;
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// One immutable snapshot of a dataset: records, index, version.
@@ -89,13 +104,106 @@ pub struct UpdateOutcome {
     pub records: usize,
 }
 
+/// Durable-registration knobs (see [`DatasetRegistry::register_durable`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityOptions {
+    /// When the WAL grows past this many bytes, the next applied batch
+    /// triggers a checkpoint (snapshot rewrite + log truncation).
+    pub checkpoint_wal_bytes: u64,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        Self {
+            checkpoint_wal_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// Cumulative durability counters, shared by every durable dataset of one
+/// registry.  All counters are **real** file I/O — bytes genuinely written
+/// to or read from disk — in contrast to the simulated per-query `io_reads`
+/// cost model (see `mrq_data::storage` and `mrq_index::IoStats` docs).
+#[derive(Debug, Default)]
+struct DurabilityBook {
+    durable_datasets: AtomicU64,
+    recovered_datasets: AtomicU64,
+    wal_batches_replayed: AtomicU64,
+    torn_bytes_discarded: AtomicU64,
+    recovery_pages_read: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_appended_bytes: AtomicU64,
+    checkpoints: AtomicU64,
+}
+
+impl DurabilityBook {
+    fn record_recovery(&self, report: &RecoveryReport) {
+        self.recovered_datasets.fetch_add(1, Ordering::Relaxed);
+        self.wal_batches_replayed
+            .fetch_add(report.batches_replayed, Ordering::Relaxed);
+        self.torn_bytes_discarded
+            .fetch_add(report.torn_bytes_discarded, Ordering::Relaxed);
+        self.recovery_pages_read
+            .fetch_add(report.pages_read, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> DurabilityStats {
+        DurabilityStats {
+            durable_datasets: self.durable_datasets.load(Ordering::Relaxed),
+            recovered_datasets: self.recovered_datasets.load(Ordering::Relaxed),
+            wal_batches_replayed: self.wal_batches_replayed.load(Ordering::Relaxed),
+            torn_bytes_discarded: self.torn_bytes_discarded.load(Ordering::Relaxed),
+            recovery_pages_read: self.recovery_pages_read.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_appended_bytes: self.wal_appended_bytes.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time durability counters, surfaced through `STATS` (see
+/// [`DatasetRegistry::durability_stats`]).  All zeros when no dataset was
+/// registered durably.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Datasets currently backed by an on-disk store.
+    pub durable_datasets: u64,
+    /// Datasets recovered from an existing store at registration time.
+    pub recovered_datasets: u64,
+    /// WAL batches replayed across all recoveries.
+    pub wal_batches_replayed: u64,
+    /// Torn WAL tail bytes discarded across all recoveries.
+    pub torn_bytes_discarded: u64,
+    /// Real 4 KiB pages read from disk during recovery (actual file reads,
+    /// *not* the paper's simulated page-access model).
+    pub recovery_pages_read: u64,
+    /// Update batches appended (and fsynced) to write-ahead logs.
+    pub wal_appends: u64,
+    /// Bytes appended to write-ahead logs.
+    pub wal_appended_bytes: u64,
+    /// Checkpoints taken (snapshot rewrite + WAL truncation).
+    pub checkpoints: u64,
+}
+
+/// The storage side of a durable handle: the open store plus the
+/// checkpoint policy and the registry-wide counter book.
+#[derive(Debug)]
+struct DurableState {
+    store: Mutex<DatasetStore>,
+    options: DurabilityOptions,
+    book: Arc<DurabilityBook>,
+}
+
 /// The mutable cell behind a registered name: the current snapshot plus the
-/// per-dataset update serialization lock.
+/// per-dataset update serialization lock (and, for durable datasets, the
+/// on-disk store).
 #[derive(Debug)]
 pub struct DatasetHandle {
     current: RwLock<Arc<DatasetEntry>>,
     /// Serializes [`DatasetHandle::apply`] calls; queries never take it.
     update_lock: Mutex<()>,
+    /// Present when the dataset is backed by a snapshot + WAL on disk.
+    durable: Option<DurableState>,
 }
 
 impl DatasetHandle {
@@ -103,7 +211,38 @@ impl DatasetHandle {
         Self {
             current: RwLock::new(entry),
             update_lock: Mutex::new(()),
+            durable: None,
         }
+    }
+
+    fn new_durable(entry: Arc<DatasetEntry>, state: DurableState) -> Self {
+        Self {
+            current: RwLock::new(entry),
+            update_lock: Mutex::new(()),
+            durable: Some(state),
+        }
+    }
+
+    /// Whether this dataset is backed by an on-disk store.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Checkpoints a durable dataset now (no-op returning `false` for an
+    /// in-memory one): rewrites the snapshot at the current version and
+    /// truncates the WAL.
+    pub fn checkpoint(&self) -> Result<bool, UpdateError> {
+        let Some(dur) = &self.durable else {
+            return Ok(false);
+        };
+        let _serial = self.update_lock.lock().expect("update lock poisoned");
+        let snap = self.snapshot();
+        let mut store = dur.store.lock().expect("store lock poisoned");
+        store
+            .checkpoint(&snap.data)
+            .map_err(|e| UpdateError::Storage(e.to_string()))?;
+        dur.book.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
     }
 
     /// The current snapshot (a cheap `Arc` clone).
@@ -118,6 +257,12 @@ impl DatasetHandle {
     /// `apply` calls on the same handle are serialized; queries keep reading
     /// the previous snapshot until the swap and finish on whichever snapshot
     /// they started with.
+    ///
+    /// For a durable dataset the batch is appended to the write-ahead log
+    /// (and fsynced) **before** the snapshot swap — durability before
+    /// visibility, so a crash can lose at most updates that were never
+    /// acknowledged.  A failed append ([`UpdateError::Storage`]) discards
+    /// the batch entirely.
     pub fn apply(&self, updates: &[Update]) -> Result<UpdateOutcome, UpdateError> {
         let _serial = self.update_lock.lock().expect("update lock poisoned");
         let base = self.snapshot();
@@ -125,6 +270,7 @@ impl DatasetHandle {
         let mut tree = base.tree.clone();
         let mut inserted = Vec::new();
         let mut deleted = 0usize;
+        let mut ops = Vec::with_capacity(updates.len());
         for update in updates {
             let applied = data.apply(update)?;
             match update {
@@ -132,6 +278,10 @@ impl DatasetHandle {
                     let id = applied.inserted.expect("insert reports an id");
                     tree.insert(id, row);
                     inserted.push(id);
+                    ops.push(WalOp::Insert {
+                        id,
+                        row: row.clone(),
+                    });
                 }
                 Update::Delete(id) => {
                     // The tombstoned slot still exposes its coordinates,
@@ -139,7 +289,28 @@ impl DatasetHandle {
                     let found = tree.delete(*id, data.record(*id));
                     debug_assert!(found, "dataset and index disagree on id {id}");
                     deleted += 1;
+                    ops.push(WalOp::Delete { id: *id });
                 }
+            }
+        }
+        if let Some(dur) = &self.durable {
+            let mut store = dur.store.lock().expect("store lock poisoned");
+            let batch = WalBatch {
+                lsn: data.version(),
+                ops,
+            };
+            let bytes = store
+                .append(&batch)
+                .map_err(|e| UpdateError::Storage(e.to_string()))?;
+            dur.book.wal_appends.fetch_add(1, Ordering::Relaxed);
+            dur.book
+                .wal_appended_bytes
+                .fetch_add(bytes, Ordering::Relaxed);
+            if store.wal_bytes() > dur.options.checkpoint_wal_bytes {
+                store
+                    .checkpoint(&data)
+                    .map_err(|e| UpdateError::Storage(e.to_string()))?;
+                dur.book.checkpoints.fetch_add(1, Ordering::Relaxed);
             }
         }
         let entry = Arc::new(DatasetEntry {
@@ -307,6 +478,18 @@ impl DatasetSpec {
             }
         }
     }
+
+    /// The dimensionality this spec would materialise to — known without
+    /// materialising it.  Used to cross-check a recovered store against the
+    /// spec it is registered under.
+    pub fn dims(&self) -> usize {
+        match self {
+            DatasetSpec::Demo => 2,
+            DatasetSpec::Synthetic { d, .. } => *d,
+            DatasetSpec::Real { which, .. } => which.spec().dims,
+            DatasetSpec::Csv { dims, .. } => *dims,
+        }
+    }
 }
 
 /// A named collection of loaded datasets and their indexes.
@@ -319,6 +502,7 @@ impl DatasetSpec {
 #[derive(Debug, Default)]
 pub struct DatasetRegistry {
     entries: RwLock<HashMap<String, Arc<DatasetHandle>>>,
+    durability: Arc<DurabilityBook>,
 }
 
 impl DatasetRegistry {
@@ -335,6 +519,87 @@ impl DatasetRegistry {
 
     /// Registers an already-loaded dataset (builds the index here).
     pub fn register_loaded(&self, name: &str, data: Dataset) -> Result<Arc<DatasetEntry>, String> {
+        Self::validate_name(name)?;
+        if data.is_empty() {
+            return Err(format!("dataset '{name}' is empty"));
+        }
+        self.insert_entry(name, data, None)
+    }
+
+    /// Registers a dataset backed by an on-disk store at `data_dir/name`.
+    ///
+    /// If a store already exists there, the dataset is **recovered** from it
+    /// (snapshot + WAL replay; the spec is only cross-checked for matching
+    /// dimensionality) and the returned report says what recovery did.
+    /// Otherwise the spec is materialised and a fresh store is created.
+    pub fn register_durable(
+        &self,
+        name: &str,
+        spec: &DatasetSpec,
+        data_dir: &Path,
+        options: DurabilityOptions,
+    ) -> Result<(Arc<DatasetEntry>, Option<RecoveryReport>), String> {
+        Self::validate_name(name)?;
+        let dir = data_dir.join(name);
+        if DatasetStore::exists(&dir) {
+            let (store, data, report) =
+                DatasetStore::open(&dir).map_err(|e| format!("dataset '{name}': {e}"))?;
+            if data.dims() != spec.dims() {
+                return Err(format!(
+                    "dataset '{name}': the store at {} holds {}-dimensional records but the \
+                     spec describes {} dimensions (refusing to serve mismatched data)",
+                    dir.display(),
+                    data.dims(),
+                    spec.dims()
+                ));
+            }
+            self.durability.record_recovery(&report);
+            let entry = self.insert_durable(name, data, store, options)?;
+            Ok((entry, Some(report)))
+        } else {
+            let data = spec.materialize()?;
+            if data.is_empty() {
+                return Err(format!("dataset '{name}' is empty"));
+            }
+            let store =
+                DatasetStore::create(&dir, &data).map_err(|e| format!("dataset '{name}': {e}"))?;
+            let entry = self.insert_durable(name, data, store, options)?;
+            Ok((entry, None))
+        }
+    }
+
+    /// Like [`DatasetRegistry::register_durable`] but with an in-memory
+    /// initial state instead of a spec: `initial` seeds the store on first
+    /// registration and is **ignored** when a store already exists at
+    /// `data_dir/name` (the disk state, which includes every durably
+    /// committed update, wins).
+    pub fn register_loaded_durable(
+        &self,
+        name: &str,
+        initial: Dataset,
+        data_dir: &Path,
+        options: DurabilityOptions,
+    ) -> Result<(Arc<DatasetEntry>, Option<RecoveryReport>), String> {
+        Self::validate_name(name)?;
+        let dir = data_dir.join(name);
+        if DatasetStore::exists(&dir) {
+            let (store, data, report) =
+                DatasetStore::open(&dir).map_err(|e| format!("dataset '{name}': {e}"))?;
+            self.durability.record_recovery(&report);
+            let entry = self.insert_durable(name, data, store, options)?;
+            Ok((entry, Some(report)))
+        } else {
+            if initial.is_empty() {
+                return Err(format!("dataset '{name}' is empty"));
+            }
+            let store = DatasetStore::create(&dir, &initial)
+                .map_err(|e| format!("dataset '{name}': {e}"))?;
+            let entry = self.insert_durable(name, initial, store, options)?;
+            Ok((entry, None))
+        }
+    }
+
+    fn validate_name(name: &str) -> Result<(), String> {
         if name.is_empty()
             || !name
                 .chars()
@@ -344,9 +609,34 @@ impl DatasetRegistry {
                 "invalid dataset name '{name}' (use ASCII letters, digits, '-', '_')"
             ));
         }
-        if data.is_empty() {
-            return Err(format!("dataset '{name}' is empty"));
-        }
+        Ok(())
+    }
+
+    fn insert_durable(
+        &self,
+        name: &str,
+        data: Dataset,
+        store: DatasetStore,
+        options: DurabilityOptions,
+    ) -> Result<Arc<DatasetEntry>, String> {
+        let state = DurableState {
+            store: Mutex::new(store),
+            options,
+            book: Arc::clone(&self.durability),
+        };
+        let entry = self.insert_entry(name, data, Some(state))?;
+        self.durability
+            .durable_datasets
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(entry)
+    }
+
+    fn insert_entry(
+        &self,
+        name: &str,
+        data: Dataset,
+        durable: Option<DurableState>,
+    ) -> Result<Arc<DatasetEntry>, String> {
         // Check the name *before* paying for the index build (seconds on
         // large datasets); re-check under the write lock in case two
         // registrations raced past the pre-check.
@@ -358,15 +648,43 @@ impl DatasetRegistry {
             return Err(err);
         }
         let entry = Arc::new(DatasetEntry::build(name, data));
+        let handle = match durable {
+            None => DatasetHandle::new(Arc::clone(&entry)),
+            Some(state) => DatasetHandle::new_durable(Arc::clone(&entry), state),
+        };
         let mut map = self.entries.write().expect("registry lock poisoned");
         if let Some(err) = taken(&map) {
             return Err(err);
         }
-        map.insert(
-            name.to_string(),
-            Arc::new(DatasetHandle::new(Arc::clone(&entry))),
-        );
+        map.insert(name.to_string(), Arc::new(handle));
         Ok(entry)
+    }
+
+    /// Checkpoints every durable dataset (snapshot rewrite + WAL
+    /// truncation), e.g. on clean shutdown so the next start is a pure
+    /// snapshot load.  Returns how many datasets were checkpointed.
+    pub fn checkpoint_all(&self) -> Result<usize, String> {
+        let handles: Vec<(String, Arc<DatasetHandle>)> = {
+            let map = self.entries.read().expect("registry lock poisoned");
+            map.iter()
+                .map(|(name, handle)| (name.clone(), Arc::clone(handle)))
+                .collect()
+        };
+        let mut checkpointed = 0;
+        for (name, handle) in handles {
+            match handle.checkpoint() {
+                Ok(true) => checkpointed += 1,
+                Ok(false) => {}
+                Err(e) => return Err(format!("dataset '{name}': {e}")),
+            }
+        }
+        Ok(checkpointed)
+    }
+
+    /// Point-in-time durability counters (all zeros when nothing is
+    /// durable).
+    pub fn durability_stats(&self) -> DurabilityStats {
+        self.durability.snapshot()
     }
 
     /// Looks up the **current snapshot** of a dataset by name.  The returned

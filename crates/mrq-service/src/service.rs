@@ -6,7 +6,7 @@ use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::error::ServiceError;
 use crate::pool::{JobOutcome, PoolConfig, PoolStats, QueryJob, WorkerPool};
 use crate::querystats::{DatasetQueryStats, QueryStatsBook};
-use crate::registry::{DatasetRegistry, UpdateOutcome};
+use crate::registry::{DatasetRegistry, DurabilityStats, UpdateOutcome};
 use mrq_core::{Algorithm, MaxRankResult};
 use mrq_data::{RecordId, Update};
 use std::sync::{mpsc, Arc};
@@ -108,6 +108,9 @@ pub struct ServiceStats {
     /// Cumulative per-dataset query statistics (ordered by dataset name;
     /// datasets never queried are absent).
     pub per_dataset: Vec<DatasetQueryStats>,
+    /// Durability counters (recovery, WAL appends, checkpoints) — real file
+    /// I/O, all zeros when no dataset is registered durably.
+    pub durability: DurabilityStats,
 }
 
 /// A pending answer: the validated request was accepted by the queue.
@@ -292,9 +295,13 @@ impl MrqService {
             .registry
             .handle(dataset)
             .ok_or_else(|| ServiceError::UnknownDataset(dataset.to_string()))?;
-        handle
-            .apply(updates)
-            .map_err(|e| ServiceError::BadRequest(format!("update rejected: {e}")))
+        handle.apply(updates).map_err(|e| match e {
+            // A storage failure is the server's problem, not the client's.
+            mrq_data::UpdateError::Storage(msg) => {
+                ServiceError::Internal(format!("update not committed: {msg}"))
+            }
+            other => ServiceError::BadRequest(format!("update rejected: {other}")),
+        })
     }
 
     /// Combined cache / pool / registry counters plus per-dataset query
@@ -305,6 +312,7 @@ impl MrqService {
             pool: self.pool.stats(),
             datasets: self.registry.names(),
             per_dataset: self.query_stats.snapshot(),
+            durability: self.registry.durability_stats(),
         }
     }
 

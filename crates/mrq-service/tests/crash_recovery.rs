@@ -1,0 +1,442 @@
+//! The crash-injection differential harness — the acceptance test of the
+//! durability subsystem.
+//!
+//! A child process (this same test binary, re-executed with the
+//! `MRQ_CRASH_CHILD` environment set) runs a **deterministic, seeded**
+//! interleaving of `UPDATE` batches and queries against a durably registered
+//! dataset, and dies in one of three ways:
+//!
+//! * killed cold with `SIGKILL` at a parent-chosen moment,
+//! * aborted **mid-WAL-append** through the `MRQ_STORAGE_CRASH_WAL_BYTES`
+//!   fault hook (a genuinely torn record, fsynced partially, then
+//!   `std::process::abort`),
+//! * or a clean exit, after which the parent additionally truncates a copy
+//!   of the WAL at arbitrary byte offsets.
+//!
+//! The parent then recovers the store and replays the *same* seeded script
+//! against an in-memory mirror up to the recovered version.  Because every
+//! script step is a pure function of the shared RNG and the mirror state,
+//! the recovered dataset must equal the mirror **exactly** — any batch that
+//! was acknowledged but lost, resurrected half-applied, or replayed with
+//! drifted insert ids shows up as an inequality.  On top of the state
+//! check, served answers after recovery are compared against fresh
+//! single-shot evaluations on the mirror (same fingerprints and witnesses
+//! as `update_diff.rs`), and every recovery is performed twice to prove
+//! replay is idempotent.
+//!
+//! Seeds are pinned (CI runs them all); set `MRQ_CRASH_SEEDS` to a
+//! comma-separated list to override.
+
+mod common;
+
+use common::{assert_witnesses_hold, fingerprint, fresh_eval, random_batch};
+use mrq_core::Algorithm;
+use mrq_data::storage::{DatasetStore, RecoveryReport};
+use mrq_data::{synthetic, Dataset, Distribution, Update};
+use mrq_service::{DatasetRegistry, DurabilityOptions, MrqService, QueryRequest, ServiceConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DATASET: &str = "dyn";
+const INITIAL_N: usize = 32;
+const DIMS: usize = 3;
+
+/// The pinned seed set, overridable via `MRQ_CRASH_SEEDS=1,2,3`.
+fn seeds() -> Vec<u64> {
+    match std::env::var("MRQ_CRASH_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(|t| t.parse().expect("MRQ_CRASH_SEEDS: comma-separated u64s"))
+            .collect(),
+        Err(_) => vec![0xC0FFEE, 11, 20150801],
+    }
+}
+
+/// A scratch directory unique to this process and tag.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mrq_crash_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The initial dataset and the script RNG, both derived from one seed.  The
+/// generator consumes draws, so child and parent must call this the same
+/// way to stay aligned.
+fn initial_dataset(seed: u64) -> (Dataset, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = synthetic::generate(Distribution::Independent, INITIAL_N, DIMS, &mut rng);
+    (data, rng)
+}
+
+/// One step of the workload script.
+enum Action {
+    Update(Vec<Update>),
+    Query(u32),
+}
+
+/// Draws the next step.  Pure in (mirror state, RNG): the child executes
+/// the action, the parent replays only the updates — but both *draw* the
+/// query focals, keeping the two RNG streams in lockstep.
+fn script_step(mirror: &Dataset, rng: &mut StdRng) -> Action {
+    if rng.gen_bool(0.6) {
+        Action::Update(random_batch(mirror, rng))
+    } else {
+        let live: Vec<u32> = mirror.iter().map(|(id, _)| id).collect();
+        Action::Query(live[rng.gen_range(0..live.len())])
+    }
+}
+
+/// Spawns the workload child: this same test binary, filtered down to
+/// [`crash_child`], with the script parameters in the environment.
+/// `steps == 0` means "run until killed".
+fn spawn_child(dir: &Path, seed: u64, steps: usize, extra_env: &[(&str, String)]) -> Child {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut cmd = Command::new(exe);
+    cmd.arg("crash_child")
+        .arg("--exact")
+        .arg("--test-threads=1")
+        .env("MRQ_CRASH_CHILD", "1")
+        .env("MRQ_CRASH_SEED", seed.to_string())
+        .env("MRQ_CRASH_DIR", dir)
+        .env("MRQ_CRASH_STEPS", steps.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    cmd.spawn().expect("spawn crash child")
+}
+
+/// The workload body, run **only** in the re-executed child (a no-op test
+/// in a normal run).  Applies the seeded script through a durably
+/// registered service until it is told to stop — or until the parent kills
+/// it, or the storage fault hook aborts it mid-append.
+#[test]
+fn crash_child() {
+    if std::env::var("MRQ_CRASH_CHILD").is_err() {
+        return;
+    }
+    let seed: u64 = std::env::var("MRQ_CRASH_SEED").unwrap().parse().unwrap();
+    let dir = PathBuf::from(std::env::var("MRQ_CRASH_DIR").unwrap());
+    let steps: usize = std::env::var("MRQ_CRASH_STEPS").unwrap().parse().unwrap();
+    let checkpoint_wal_bytes: u64 = std::env::var("MRQ_CRASH_CHECKPOINT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DurabilityOptions::default().checkpoint_wal_bytes);
+
+    let (initial, mut rng) = initial_dataset(seed);
+    let registry = Arc::new(DatasetRegistry::new());
+    registry
+        .register_loaded_durable(
+            DATASET,
+            initial.clone(),
+            &dir,
+            DurabilityOptions {
+                checkpoint_wal_bytes,
+            },
+        )
+        .unwrap();
+    let service = MrqService::new(
+        Arc::clone(&registry),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut mirror = initial;
+    let mut step = 0usize;
+    loop {
+        match script_step(&mirror, &mut rng) {
+            Action::Update(batch) => {
+                service.update(DATASET, &batch).unwrap();
+                for update in &batch {
+                    mirror.apply(update).unwrap();
+                }
+            }
+            Action::Query(focal) => {
+                service
+                    .query(&QueryRequest::new(DATASET, focal))
+                    .expect("child query");
+            }
+        }
+        step += 1;
+        if steps != 0 && step >= steps {
+            break;
+        }
+    }
+    service.shutdown();
+}
+
+/// Recovers the store at `dir` and differentials it against a from-scratch
+/// replay of the same seeded script:
+///
+/// 1. the recovered version must fall **on a batch boundary** of the script
+///    (atomicity: no half-applied batch survives a crash),
+/// 2. the recovered dataset must equal the mirror replayed to that version
+///    (no committed batch lost, none resurrected, no insert-id drift),
+/// 3. the recovered R\*-tree passes its structural invariants,
+/// 4. served answers equal fresh single-shot evaluations on the mirror.
+fn recover_and_verify(dir: &Path, seed: u64) -> (u64, Option<RecoveryReport>) {
+    let (initial, mut rng) = initial_dataset(seed);
+    let registry = Arc::new(DatasetRegistry::new());
+    let (entry, report) = registry
+        .register_loaded_durable(DATASET, initial.clone(), dir, DurabilityOptions::default())
+        .unwrap();
+    let recovered_version = entry.version();
+
+    let mut mirror = initial;
+    let mut guard = 0u32;
+    while mirror.version() < recovered_version {
+        if let Action::Update(batch) = script_step(&mirror, &mut rng) {
+            for update in &batch {
+                mirror.apply(update).unwrap();
+            }
+        }
+        guard += 1;
+        assert!(
+            guard < 1_000_000,
+            "recovered version {recovered_version} is not reachable by the script"
+        );
+    }
+    assert_eq!(
+        mirror.version(),
+        recovered_version,
+        "recovered version {recovered_version} falls inside a batch: \
+         a crash must never commit half a batch"
+    );
+    assert_eq!(
+        entry.data(),
+        &mirror,
+        "recovered dataset diverged from the in-memory replay at version {recovered_version} \
+         (seed {seed})"
+    );
+    entry.tree().check_invariants().unwrap();
+
+    let service = MrqService::new(
+        Arc::clone(&registry),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let live: Vec<u32> = mirror.iter().map(|(id, _)| id).collect();
+    let stride = (live.len() / 4).max(1);
+    for (i, &focal) in live.iter().step_by(stride).enumerate() {
+        let algorithm = [
+            Algorithm::BasicApproach,
+            Algorithm::AdvancedApproach,
+            Algorithm::Auto,
+        ][i % 3];
+        let tau = i % 2;
+        let answer = service
+            .query(&QueryRequest {
+                algorithm,
+                tau,
+                ..QueryRequest::new(DATASET, focal)
+            })
+            .unwrap();
+        assert_eq!(answer.version, recovered_version);
+        let fresh = fresh_eval(&mirror, focal, algorithm, tau);
+        assert_eq!(
+            fingerprint(&answer.result),
+            fingerprint(&fresh),
+            "post-recovery answer diverged from a fresh rebuild at version \
+             {recovered_version} (seed {seed}, focal {focal}, {algorithm:?}, tau {tau})"
+        );
+        assert_witnesses_hold(&answer.result, &mirror, focal);
+    }
+    service.shutdown();
+    (recovered_version, report)
+}
+
+/// SIGKILL at a parent-chosen moment, with an aggressive checkpoint
+/// threshold so kills also land around snapshot-rewrite/log-truncate
+/// windows.  Recovery must land on a committed batch boundary and match
+/// the replayed mirror; recovering twice must agree (idempotent replay).
+#[test]
+fn sigkill_mid_run_recovers_a_committed_prefix() {
+    for seed in seeds() {
+        let dir = scratch_dir(&format!("sigkill_{seed}"));
+        let mut child = spawn_child(
+            &dir,
+            seed,
+            0,
+            &[("MRQ_CRASH_CHECKPOINT", "2048".to_string())],
+        );
+        std::thread::sleep(Duration::from_millis(40 + (seed % 5) * 45));
+        child.kill().expect("SIGKILL the workload child");
+        child.wait().unwrap();
+
+        let (version, _) = recover_and_verify(&dir, seed);
+        let (again, report) = recover_and_verify(&dir, seed);
+        assert_eq!(again, version, "recovery must be idempotent (seed {seed})");
+        let report = report.expect("second open recovers an existing store");
+        assert_eq!(
+            report.torn_bytes_discarded, 0,
+            "the first recovery already repaired the tail"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Death **inside** a WAL append: the storage fault hook writes a partial
+/// record (fsynced!) and aborts, so the log genuinely ends mid-record.
+/// Recovery must discard exactly that torn tail and keep every previously
+/// acknowledged batch.
+#[test]
+fn abort_mid_wal_append_discards_only_the_torn_tail() {
+    for seed in seeds() {
+        let dir = scratch_dir(&format!("abort_{seed}"));
+        // Post-header byte budget before the hook tears an append; the
+        // default (large) checkpoint threshold keeps the log growing
+        // monotonically toward it.
+        let budget = 150 + (seed % 997);
+        let mut child = spawn_child(
+            &dir,
+            seed,
+            0,
+            &[("MRQ_STORAGE_CRASH_WAL_BYTES", budget.to_string())],
+        );
+        let status = child.wait().unwrap();
+        assert!(
+            !status.success(),
+            "the child must die by abort, not exit cleanly (seed {seed})"
+        );
+
+        let (version, report) = recover_and_verify(&dir, seed);
+        let report = report.expect("the initial snapshot always exists");
+        assert_eq!(report.version, version);
+        // The budget admits at least one whole batch (a max-size 3-op batch
+        // is ~110 bytes), so some committed history must survive the abort.
+        assert!(version > 0, "no batch committed before the abort");
+        // The cut usually lands mid-record; when it happens to fall on a
+        // record boundary the tail is empty — both are legal, silently
+        // losing a *committed* batch is not (checked by the differential).
+        let (again, _) = recover_and_verify(&dir, seed);
+        assert_eq!(again, version);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// A clean run, then the WAL of a copy of the store is truncated at
+/// arbitrary (seeded) byte offsets — including inside the header and at
+/// offset 0.  Every truncation point must recover to exactly the committed
+/// prefix the surviving bytes describe.
+#[test]
+fn wal_truncated_at_arbitrary_offsets_recovers_the_surviving_prefix() {
+    for seed in seeds() {
+        let dir = scratch_dir(&format!("trunc_{seed}"));
+        // Checkpoints disabled: the whole history stays in the WAL, so a
+        // cut can land anywhere in it.
+        let status = spawn_child(
+            &dir,
+            seed,
+            40,
+            &[("MRQ_CRASH_CHECKPOINT", u64::MAX.to_string())],
+        )
+        .wait()
+        .unwrap();
+        assert!(status.success(), "clean child run failed (seed {seed})");
+
+        let (full_version, _) = recover_and_verify(&dir, seed);
+        let wal = std::fs::read(DatasetStore::wal_path(&dir.join(DATASET))).unwrap();
+        let snapshot = std::fs::read(DatasetStore::snapshot_path(&dir.join(DATASET))).unwrap();
+
+        let mut cut_rng = StdRng::seed_from_u64(seed ^ 0x7A11);
+        for case in 0..8 {
+            let cut = cut_rng.gen_range(0..=wal.len());
+            let tdir = scratch_dir(&format!("trunc_{seed}_{case}"));
+            let store_dir = tdir.join(DATASET);
+            std::fs::create_dir_all(&store_dir).unwrap();
+            std::fs::write(DatasetStore::snapshot_path(&store_dir), &snapshot).unwrap();
+            std::fs::write(DatasetStore::wal_path(&store_dir), &wal[..cut]).unwrap();
+
+            let (version, _) = recover_and_verify(&tdir, seed);
+            assert!(
+                version <= full_version,
+                "a truncated log cannot recover beyond the full history"
+            );
+            std::fs::remove_dir_all(&tdir).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// No crash at all: restart-and-resume plus explicit checkpointing, driven
+/// through the service layer, with the durability counters checked along
+/// the way.
+#[test]
+fn clean_restart_resumes_the_log_and_checkpoint_empties_it() {
+    let seed = seeds()[0];
+    let dir = scratch_dir("clean_restart");
+    let (initial, mut rng) = initial_dataset(seed);
+
+    // Life 1: create the store, commit a few batches.
+    let mut mirror = initial.clone();
+    {
+        let registry = Arc::new(DatasetRegistry::new());
+        let (_, report) = registry
+            .register_loaded_durable(DATASET, initial.clone(), &dir, DurabilityOptions::default())
+            .unwrap();
+        assert!(report.is_none(), "first registration creates, not recovers");
+        let service = MrqService::new(Arc::clone(&registry), ServiceConfig::default());
+        for _ in 0..5 {
+            let batch = random_batch(&mirror, &mut rng);
+            service.update(DATASET, &batch).unwrap();
+            for update in &batch {
+                mirror.apply(update).unwrap();
+            }
+        }
+        let stats = service.stats().durability;
+        assert_eq!(stats.durable_datasets, 1);
+        assert_eq!(stats.wal_appends, 5);
+        assert!(stats.wal_appended_bytes > 0);
+        assert_eq!(stats.recovered_datasets, 0);
+        service.shutdown();
+    }
+
+    // Life 2: recover (pure WAL replay), commit more, checkpoint on the
+    // way out.
+    {
+        let registry = Arc::new(DatasetRegistry::new());
+        let (entry, report) = registry
+            .register_loaded_durable(DATASET, initial.clone(), &dir, DurabilityOptions::default())
+            .unwrap();
+        let report = report.expect("second registration recovers");
+        assert_eq!(report.batches_replayed, 5);
+        assert_eq!(entry.data(), &mirror);
+        let service = MrqService::new(Arc::clone(&registry), ServiceConfig::default());
+        for _ in 0..3 {
+            let batch = random_batch(&mirror, &mut rng);
+            service.update(DATASET, &batch).unwrap();
+            for update in &batch {
+                mirror.apply(update).unwrap();
+            }
+        }
+        let stats = service.stats().durability;
+        assert_eq!(stats.recovered_datasets, 1);
+        assert_eq!(stats.wal_batches_replayed, 5);
+        assert_eq!(registry.checkpoint_all().unwrap(), 1);
+        assert_eq!(service.stats().durability.checkpoints, 1);
+        service.shutdown();
+    }
+
+    // Life 3: the checkpoint made restart a pure snapshot load.
+    {
+        let registry = Arc::new(DatasetRegistry::new());
+        let (entry, report) = registry
+            .register_loaded_durable(DATASET, initial, &dir, DurabilityOptions::default())
+            .unwrap();
+        let report = report.expect("recovers from the checkpointed snapshot");
+        assert_eq!(report.batches_replayed, 0);
+        assert_eq!(report.snapshot_version, mirror.version());
+        assert_eq!(entry.data(), &mirror);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

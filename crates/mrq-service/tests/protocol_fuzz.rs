@@ -1,0 +1,239 @@
+//! Fuzz-style property tests for the hand-rolled protocol layer: the JSON
+//! subset parser, `Request` decoding and the length-prefixed frame reader
+//! must **never panic**, whatever bytes arrive — a serving process shares
+//! its address space between all connections, so a parser panic is a
+//! denial of service.  On top of the no-panic properties, every request
+//! verb must survive an encode → parse round trip unchanged, and rendering
+//! a parsed value must be a fixpoint.
+
+use mrq_core::Algorithm;
+use mrq_service::protocol::json::{self, Json};
+use mrq_service::protocol::{read_frame, write_frame, Request};
+use proptest::prelude::*;
+
+/// Wholly arbitrary bytes (the "line noise" regime).
+fn arbitrary_bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=255u8, 0..max)
+}
+
+/// Bytes folded onto the JSON alphabet, so draws routinely get past the
+/// first character and stress nesting, number and escape handling instead
+/// of just the "unexpected leading byte" branch.
+fn jsonish_string(max: usize) -> impl Strategy<Value = String> {
+    const ALPHABET: &[u8] = br#"{}[]",:0123456789.eE+-truefalsn\u "#;
+    prop::collection::vec(0u8..=255u8, 0..max).prop_map(|bytes| {
+        bytes
+            .iter()
+            .map(|b| ALPHABET[(*b as usize) % ALPHABET.len()] as char)
+            .collect()
+    })
+}
+
+/// A valid dataset name.
+fn name_strategy() -> impl Strategy<Value = String> {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-_";
+    prop::collection::vec(0u8..=255u8, 1..12).prop_map(|bytes| {
+        bytes
+            .iter()
+            .map(|b| ALPHABET[(*b as usize) % ALPHABET.len()] as char)
+            .collect()
+    })
+}
+
+/// Any finite `f64`, bit-pattern uniform (subnormals, huge magnitudes,
+/// negative zero included) — all must survive the decimal wire format.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    any::<u64>()
+        .prop_map(f64::from_bits)
+        .prop_filter("finite", |x| x.is_finite())
+}
+
+const ALGORITHMS: [Algorithm; 5] = [
+    Algorithm::Auto,
+    Algorithm::Fca,
+    Algorithm::BasicApproach,
+    Algorithm::AdvancedApproach,
+    Algorithm::AdvancedApproach2D,
+];
+
+fn query_strategy() -> impl Strategy<Value = Request> {
+    (
+        name_strategy(),
+        any::<u32>(),
+        0usize..ALGORITHMS.len(),
+        (0usize..4, any::<bool>(), any::<bool>(), 0u64..1_000_000),
+        (1usize..9, any::<bool>(), 0usize..1000),
+    )
+        .prop_map(
+            |(
+                dataset,
+                focal,
+                algo,
+                (tau, no_cache, has_timeout, timeout),
+                (threads, has_max, max),
+            )| {
+                Request::Query {
+                    dataset,
+                    focal,
+                    algorithm: ALGORITHMS[algo],
+                    tau,
+                    timeout_ms: has_timeout.then_some(timeout),
+                    no_cache,
+                    max_regions: has_max.then_some(max),
+                    threads,
+                }
+            },
+        )
+}
+
+fn update_strategy() -> impl Strategy<Value = Request> {
+    (
+        name_strategy(),
+        prop::collection::vec(prop::collection::vec(finite_f64(), 0..5), 0..4),
+        prop::collection::vec(any::<u32>(), 0..5),
+    )
+        .prop_map(|(dataset, inserts, mut deletes)| {
+            if inserts.is_empty() && deletes.is_empty() {
+                // The wire format rejects empty batches, so keep at least
+                // one operation in every generated request.
+                deletes.push(0);
+            }
+            Request::Update {
+                dataset,
+                inserts,
+                deletes,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The JSON parser returns `Err`, never panics, on arbitrary byte soup.
+    #[test]
+    fn json_parse_never_panics_on_arbitrary_bytes(bytes in arbitrary_bytes(256)) {
+        let input = String::from_utf8_lossy(&bytes);
+        let _ = json::parse(&input);
+    }
+
+    /// Alphabet-weighted inputs reach the deep branches (nesting, escapes,
+    /// numbers); whenever such an input *does* parse, rendering it is a
+    /// fixpoint: parse(render(v)) renders identically.
+    #[test]
+    fn json_parse_render_is_a_fixpoint(input in jsonish_string(256)) {
+        if let Ok(v) = json::parse(&input) {
+            let rendered = v.to_string();
+            let reparsed = json::parse(&rendered)
+                .map_err(|e| TestCaseError::fail(format!("render not parseable: {e}\n{rendered}")))?;
+            prop_assert_eq!(reparsed.to_string(), rendered);
+        }
+    }
+
+    /// Request decoding never panics — on noise or on JSON-shaped noise.
+    #[test]
+    fn request_parse_never_panics(bytes in arbitrary_bytes(200), jsonish in jsonish_string(200)) {
+        let _ = Request::parse(&String::from_utf8_lossy(&bytes));
+        let _ = Request::parse(&jsonish);
+    }
+
+    /// The frame reader never panics on arbitrary bytes, even when asked to
+    /// keep reading frames until the stream is exhausted.
+    #[test]
+    fn read_frame_never_panics_on_arbitrary_bytes(bytes in arbitrary_bytes(300)) {
+        let mut stream: &[u8] = &bytes;
+        for _ in 0..4 {
+            match read_frame(&mut stream) {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// write_frame → read_frame restores any payload byte-for-byte,
+    /// including newlines, NULs and replacement characters.
+    #[test]
+    fn frame_round_trip(bytes in arbitrary_bytes(300)) {
+        let payload = String::from_utf8_lossy(&bytes).into_owned();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut stream: &[u8] = &wire;
+        let got = read_frame(&mut stream).unwrap().expect("frame present");
+        prop_assert_eq!(got, payload);
+        prop_assert!(read_frame(&mut stream).unwrap().is_none(), "exactly one frame");
+    }
+
+    /// All six verbs survive encode → parse unchanged — both directly and
+    /// through the frame layer.
+    #[test]
+    fn every_verb_round_trips(query in query_strategy(), update in update_strategy()) {
+        for request in [
+            query,
+            update,
+            Request::Stats,
+            Request::List,
+            Request::Ping,
+            Request::Shutdown,
+        ] {
+            let encoded = request.encode();
+            let parsed = Request::parse(&encoded)
+                .map_err(|e| TestCaseError::fail(format!("{e}\n{encoded}")))?;
+            prop_assert_eq!(&parsed, &request);
+
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &encoded).unwrap();
+            let mut stream: &[u8] = &wire;
+            let payload = read_frame(&mut stream).unwrap().expect("frame present");
+            let parsed = Request::parse(&payload)
+                .map_err(|e| TestCaseError::fail(format!("{e}\n{payload}")))?;
+            prop_assert_eq!(&parsed, &request);
+        }
+    }
+
+    /// Valid requests with random byte corruption (flips and truncation)
+    /// never panic the decoder — they parse to *something* or error out.
+    #[test]
+    fn mutated_valid_payloads_never_panic(
+        query in query_strategy(),
+        update in update_strategy(),
+        flips in prop::collection::vec((any::<usize>(), 0u8..=255u8), 1..8),
+        cut in any::<usize>(),
+    ) {
+        for request in [query, update] {
+            let mut bytes = request.encode().into_bytes();
+            for (pos, val) in &flips {
+                let i = pos % bytes.len();
+                bytes[i] = *val;
+            }
+            bytes.truncate(cut % (bytes.len() + 1));
+            let _ = Request::parse(&String::from_utf8_lossy(&bytes));
+        }
+    }
+}
+
+/// Directed (non-random) regressions the fuzz strategies would only hit by
+/// luck: depth bombs, huge length prefixes, surrogate escapes.
+#[test]
+fn adversarial_inputs_error_cleanly() {
+    // A nesting bomb must hit the depth cap, not the stack guard.
+    let bomb = format!("{}1{}", "[".repeat(10_000), "]".repeat(10_000));
+    assert!(json::parse(&bomb).is_err());
+
+    // Lone surrogates are rejected; a conforming pair combines.
+    assert!(json::parse(r#""\ud800""#).is_err());
+    assert!(json::parse(r#""\udc00""#).is_err());
+    assert!(json::parse(r#""\ud83d_""#).is_err());
+    // Direct UTF-8 and an escaped surrogate pair decode to the same char.
+    assert_eq!(json::parse(r#""😀""#).unwrap(), Json::Str("😀".to_string()));
+    let pair = format!(r#""{bs}ud83d{bs}ude00""#, bs = '\\');
+    assert_eq!(json::parse(&pair).unwrap(), Json::Str("😀".to_string()));
+
+    // A frame whose header promises more than the cap must error, not
+    // allocate 16 GiB.
+    let mut stream: &[u8] = b"17179869184\nx";
+    assert!(read_frame(&mut stream).is_err());
+
+    // Unknown verbs and non-object payloads error without panicking.
+    assert!(Request::parse("[1,2,3]").is_err());
+    assert!(Request::parse("{\"cmd\":\"nope\"}").is_err());
+    assert!(Request::parse("").is_err());
+}

@@ -17,99 +17,15 @@
 //! evaluation at the version it reports, proving in-flight queries finish
 //! on the snapshot they validated against while later ones see the new one.
 
-use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery, MaxRankResult};
-use mrq_data::{synthetic, Dataset, Distribution, Update};
-use mrq_index::RStarTree;
+mod common;
+
+use common::{assert_witnesses_hold, fingerprint, fresh_eval, random_batch};
+use mrq_core::Algorithm;
+use mrq_data::{synthetic, Dataset, Distribution};
 use mrq_service::{DatasetRegistry, MrqService, QueryRequest, ServiceConfig};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::Arc;
-
-/// The semantic payload of a result, rendered canonically.  Statistics are
-/// excluded (they differ run to run by nature), and so is list *order*
-/// inside a region: the incrementally maintained tree visits leaves in a
-/// different order than a bulk-loaded one, which permutes the outranking
-/// ids and the H-representation without changing the answer.  Witness
-/// points are validated separately (they must attain the region's order on
-/// the version's data).
-fn fingerprint(result: &MaxRankResult) -> String {
-    let mut regions: Vec<String> = result
-        .regions
-        .iter()
-        .map(|r| {
-            let mut outranking = r.outranking.clone();
-            outranking.sort_unstable();
-            let mut constraints: Vec<String> = r
-                .region
-                .constraints
-                .iter()
-                .map(|h| format!("{h:?}"))
-                .collect();
-            constraints.sort();
-            format!(
-                "order={} outranking={outranking:?} constraints={constraints:?} bounds={:?}",
-                r.order, r.region.bounds
-            )
-        })
-        .collect();
-    regions.sort();
-    format!(
-        "dims={} k*={} tau={} regions={regions:?}",
-        result.dims, result.k_star, result.tau
-    )
-}
-
-/// Every region's witness must attain the region's order on `data` — this is
-/// the semantic check that the geometric payload of a served answer is
-/// correct for the version it claims.
-fn assert_witnesses_hold(result: &MaxRankResult, data: &Dataset, focal: u32) {
-    let p = data.record(focal);
-    for region in &result.regions {
-        let q = region.representative_query();
-        assert_eq!(
-            data.order_of(p, &q),
-            region.order,
-            "witness order mismatch at version {}",
-            data.version()
-        );
-    }
-}
-
-/// Evaluates (focal, algo, τ) on a freshly bulk-loaded index over `data`.
-fn fresh_eval(data: &Dataset, focal: u32, algorithm: Algorithm, tau: usize) -> MaxRankResult {
-    let tree = RStarTree::bulk_load(data);
-    MaxRankQuery::new(data, &tree).evaluate(
-        focal,
-        &MaxRankConfig {
-            tau,
-            algorithm,
-            ..MaxRankConfig::new()
-        },
-    )
-}
-
-/// Builds a valid update batch against the mirror's current state: inserts
-/// are fresh rows, deletes are distinct live ids.
-fn random_batch(mirror: &Dataset, rng: &mut StdRng) -> Vec<Update> {
-    let d = mirror.dims();
-    let mut batch = Vec::new();
-    let mut doomed: Vec<u32> = Vec::new();
-    for _ in 0..rng.gen_range(1..=3) {
-        let live: Vec<u32> = mirror
-            .iter()
-            .map(|(id, _)| id)
-            .filter(|id| !doomed.contains(id))
-            .collect();
-        if rng.gen_bool(0.5) || live.len() <= 5 {
-            batch.push(Update::Insert((0..d).map(|_| rng.gen::<f64>()).collect()));
-        } else {
-            let id = live[rng.gen_range(0..live.len())];
-            doomed.push(id);
-            batch.push(Update::Delete(id));
-        }
-    }
-    batch
-}
 
 fn run_script(d: usize, dist: Distribution, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -6,6 +6,7 @@
 //! maxrank-cli --data options.csv --dims 4 --point 0.4,0.7,0.2,0.9
 //! maxrank-cli --data options.csv --dims 4 --focals 3,17,29,41 --threads 4
 //! maxrank-cli --data options.csv --dims 4 --insert 0.4,0.7,0.2,0.9 --delete 3 --focal 17
+//! maxrank-cli --data-dir /var/lib/maxrank --dataset hotels --focal 17
 //! maxrank-cli --demo                       # run the paper's Figure 1 example
 //! ```
 //!
@@ -27,15 +28,26 @@
 //! does.  Inserts are applied first (ids continue after the loaded records),
 //! then deletes; a `--focal`/`--focals` id that was deleted is a friendly
 //! error, since its record no longer participates in the ranking.
+//!
+//! `--data-dir DIR --dataset NAME` loads the durable store a
+//! `maxrank-serve --data-dir DIR` process left under `DIR/NAME/` instead of
+//! a CSV: the snapshot is read, the write-ahead log is replayed over it
+//! (exactly the server's recovery path), and the query runs against the
+//! recovered state.  The CLI never writes the store — `--insert`/`--delete`
+//! stay in-memory what-ifs — and a damaged store produces a diagnostic, not
+//! a panic; see the unit tests, which pin one message per failure mode.
 
 use maxrank::prelude::*;
 use mrq_data::io::read_csv;
-use std::path::PathBuf;
+use mrq_data::storage::{DatasetStore, RecoveryReport, SNAPSHOT_FILE};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 struct Args {
     data: Option<PathBuf>,
+    data_dir: Option<PathBuf>,
+    dataset: Option<String>,
     dims: Option<usize>,
     focal: Option<u32>,
     focals: Vec<u32>,
@@ -53,6 +65,8 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         data: None,
+        data_dir: None,
+        dataset: None,
         dims: None,
         focal: None,
         focals: Vec::new(),
@@ -70,6 +84,10 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--data" => args.data = Some(PathBuf::from(it.next().ok_or("--data needs a path")?)),
+            "--data-dir" => {
+                args.data_dir = Some(PathBuf::from(it.next().ok_or("--data-dir needs a path")?))
+            }
+            "--dataset" => args.dataset = Some(it.next().ok_or("--dataset needs a name")?),
             "--dims" => {
                 args.dims = Some(
                     it.next()
@@ -162,11 +180,38 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: maxrank-cli --data FILE.csv --dims D (--focal ID | --focals ID,ID,.. | --point x1,..,xD) \
+    "usage: maxrank-cli (--data FILE.csv --dims D | --data-dir DIR --dataset NAME) \
+     (--focal ID | --focals ID,ID,.. | --point x1,..,xD) \
      [--insert x1,..,xD]* [--delete ID]* \
      [--tau T] [--algorithm auto|fca|ba|aa|aa2d] [--regions N] [--threads N] [--verbose]\n       \
-     maxrank-cli --demo"
+     maxrank-cli --demo\n       \
+     --data-dir loads a durable store written by `maxrank-serve --data-dir` \
+     (snapshot + WAL replay)"
         .to_string()
+}
+
+/// Loads the durable store `maxrank-serve --data-dir DIR` keeps under
+/// `DIR/NAME/`, replaying the write-ahead log over the snapshot — the same
+/// recovery the server performs on restart.  The store is opened read-only
+/// from the CLI's point of view (it is dropped immediately, nothing is
+/// appended), and every failure mode maps to a human-readable message
+/// instead of a panic: a missing store, a file that is not a MaxRank
+/// snapshot, an on-disk format this build does not read, a checksum
+/// mismatch, and a WAL that disagrees with the snapshot's dimensionality
+/// are each pinned by a unit test below.
+fn load_store(dir: &Path, name: &str) -> Result<(Dataset, RecoveryReport), String> {
+    let store_dir = dir.join(name);
+    if !DatasetStore::exists(&store_dir) {
+        return Err(format!(
+            "no dataset store named '{name}' under {} (expected {}; durable stores \
+             are created by `maxrank-serve --data-dir`)",
+            dir.display(),
+            store_dir.join(SNAPSHOT_FILE).display()
+        ));
+    }
+    let (_store, data, report) =
+        DatasetStore::open(&store_dir).map_err(|e| format!("cannot load dataset '{name}': {e}"))?;
+    Ok((data, report))
 }
 
 /// Applies every `--insert` row and then every `--delete` id through the
@@ -307,9 +352,38 @@ fn main() -> ExitCode {
         DatasetSpec::Demo
             .materialize()
             .expect("the demo dataset is embedded")
+    } else if let Some(dir) = &args.data_dir {
+        if args.data.is_some() {
+            eprintln!("--data and --data-dir are mutually exclusive\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+        let Some(name) = &args.dataset else {
+            eprintln!("--data-dir needs --dataset NAME\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        match load_store(dir, name) {
+            Ok((data, report)) => {
+                println!(
+                    "store '{name}'    : recovered at version {} ({} WAL batches replayed, \
+                     {} torn bytes discarded, {} pages read)",
+                    report.version,
+                    report.batches_replayed,
+                    report.torn_bytes_discarded,
+                    report.pages_read
+                );
+                data
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
         let Some(path) = &args.data else {
-            eprintln!("--data is required (or use --demo)\n{}", usage());
+            eprintln!(
+                "--data is required (or use --data-dir or --demo)\n{}",
+                usage()
+            );
             return ExitCode::FAILURE;
         };
         let Some(dims) = args.dims else {
@@ -485,4 +559,107 @@ fn main() -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// One test per `--data-dir` failure mode: the CLI must turn every way a
+/// store can be damaged into a specific diagnostic, never a panic.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrq_data::storage::WAL_FILE;
+    use std::fs;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("maxrank-cli-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn sample_dataset() -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..16)
+            .map(|i| {
+                let x = (i as f64 + 1.0) / 17.0;
+                vec![x, 1.0 - x, (x * 7.0) % 1.0]
+            })
+            .collect();
+        Dataset::from_rows(3, &rows)
+    }
+
+    #[test]
+    fn loads_a_healthy_store() {
+        let dir = temp_dir("healthy");
+        let data = sample_dataset();
+        DatasetStore::create(&dir.join("bench"), &data).expect("create store");
+        let (loaded, report) = load_store(&dir, "bench").expect("healthy store loads");
+        assert_eq!(loaded.live_len(), data.live_len());
+        assert_eq!(report.version, data.version());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_store_names_the_expected_path() {
+        let dir = temp_dir("missing");
+        let msg = load_store(&dir, "nope").unwrap_err();
+        assert!(msg.contains("no dataset store named 'nope'"), "{msg}");
+        assert!(msg.contains(SNAPSHOT_FILE), "{msg}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_snapshot_file_reports_bad_magic() {
+        let dir = temp_dir("magic");
+        let store = dir.join("bench");
+        fs::create_dir_all(&store).unwrap();
+        fs::write(store.join(SNAPSHOT_FILE), b"definitely not a snapshot").unwrap();
+        let msg = load_store(&dir, "bench").unwrap_err();
+        assert!(msg.contains("cannot load dataset 'bench'"), "{msg}");
+        assert!(msg.contains("not a MaxRank snapshot file"), "{msg}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_format_version_reports_the_mismatch() {
+        let dir = temp_dir("version");
+        let store = dir.join("bench");
+        fs::create_dir_all(&store).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MRQSNAP\0");
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        fs::write(store.join(SNAPSHOT_FILE), &buf).unwrap();
+        let msg = load_store(&dir, "bench").unwrap_err();
+        assert!(msg.contains("format version 99 is not supported"), "{msg}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flipped_snapshot_reports_a_checksum_mismatch() {
+        let dir = temp_dir("corrupt");
+        let store = dir.join("bench");
+        DatasetStore::create(&store, &sample_dataset()).expect("create store");
+        let path = store.join(SNAPSHOT_FILE);
+        let mut buf = fs::read(&path).unwrap();
+        let mid = buf.len() / 2; // inside the values region, after the header
+        buf[mid] ^= 0xFF;
+        fs::write(&path, &buf).unwrap();
+        let msg = load_store(&dir, "bench").unwrap_err();
+        assert!(msg.contains("is corrupt"), "{msg}");
+        assert!(msg.contains("checksum mismatch"), "{msg}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_with_wrong_dimensionality_is_rejected() {
+        let dir = temp_dir("dims");
+        let store = dir.join("bench");
+        DatasetStore::create(&store, &sample_dataset()).expect("create store");
+        let path = store.join(WAL_FILE);
+        let mut buf = fs::read(&path).unwrap();
+        // WAL header layout: 8 magic bytes, u32 format version, u32 dims.
+        buf[12..16].copy_from_slice(&4u32.to_le_bytes());
+        fs::write(&path, &buf).unwrap();
+        let msg = load_store(&dir, "bench").unwrap_err();
+        assert!(msg.contains("WAL header says 4 attributes"), "{msg}");
+        let _ = fs::remove_dir_all(&dir);
+    }
 }

@@ -186,6 +186,25 @@ fn main() -> ExitCode {
                 "jobs            : {} executed, {} coalesced, {} timed out",
                 s.pool.executed, s.pool.coalesced, s.pool.timed_out
             );
+            if s.durability.durable_datasets > 0 {
+                let d = &s.durability;
+                println!(
+                    "durability      : {} durable ({} recovered), {} WAL appends \
+                     ({} bytes), {} checkpoints",
+                    d.durable_datasets,
+                    d.recovered_datasets,
+                    d.wal_appends,
+                    d.wal_appended_bytes,
+                    d.checkpoints
+                );
+                if d.recovered_datasets > 0 {
+                    println!(
+                        "recovery        : {} batches replayed, {} torn bytes \
+                         discarded, {} pages read",
+                        d.wal_batches_replayed, d.torn_bytes_discarded, d.recovery_pages_read
+                    );
+                }
+            }
             if !s.per_dataset.is_empty() {
                 println!("per-dataset query statistics:");
                 println!(

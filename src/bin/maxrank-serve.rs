@@ -14,10 +14,20 @@
 //! scripts (CI, tests) can find it.  The server runs until a client sends the
 //! `SHUTDOWN` command, then drains accepted work and exits cleanly.
 //!
-//! See `docs/ARCHITECTURE.md` ("The serving layer") for the protocol grammar
-//! and the threading model.
+//! With `--data-dir DIR` every dataset becomes **durable**: its records live
+//! in a binary snapshot plus a write-ahead log under `DIR/NAME/`, every
+//! `UPDATE` batch is fsynced to the log before it is acknowledged, and a
+//! restart recovers the committed state (replaying the log over the
+//! snapshot, discarding a torn tail left by a crash).  A clean shutdown
+//! checkpoints each dataset so the next start is a pure snapshot load.
+//!
+//! See `docs/ARCHITECTURE.md` ("The serving layer", "Persistence and
+//! recovery") for the protocol grammar and the threading model.
 
-use maxrank::service::{DatasetRegistry, DatasetSpec, MrqService, Server, ServiceConfig};
+use maxrank::service::{
+    DatasetRegistry, DatasetSpec, DurabilityOptions, MrqService, Server, ServiceConfig,
+};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -30,14 +40,19 @@ struct Args {
     queue: Option<usize>,
     cache: Option<usize>,
     deadline_ms: Option<u64>,
+    data_dir: Option<PathBuf>,
+    checkpoint_wal_bytes: Option<u64>,
 }
 
 fn usage() -> String {
     "usage: maxrank-serve (--demo | --dataset NAME=SPEC)... [--listen HOST:PORT] \
-     [--port-file PATH] [--workers N] [--queue N] [--cache N] [--deadline-ms MS]\n\
+     [--port-file PATH] [--workers N] [--queue N] [--cache N] [--deadline-ms MS] \
+     [--data-dir DIR] [--checkpoint-wal-bytes N]\n\
      SPEC: demo | ind:n=1000,d=3,seed=42 | cor:... | anti:... | \
      hotel:scale=0.01,seed=1 | house:... | nba:... | pitch:... | bat:... | \
-     csv:path=FILE,dims=D"
+     csv:path=FILE,dims=D\n\
+     --data-dir makes every dataset durable (snapshot + WAL under DIR/NAME/, \
+     recovered on restart)"
         .to_string()
 }
 
@@ -50,6 +65,8 @@ fn parse_args() -> Result<Args, String> {
         queue: None,
         cache: None,
         deadline_ms: None,
+        data_dir: None,
+        checkpoint_wal_bytes: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -86,6 +103,16 @@ fn parse_args() -> Result<Args, String> {
             "--deadline-ms" => {
                 args.deadline_ms = Some(parse_num(&mut it, "--deadline-ms")? as u64);
             }
+            "--data-dir" => {
+                args.data_dir = Some(PathBuf::from(it.next().ok_or("--data-dir needs a path")?));
+            }
+            "--checkpoint-wal-bytes" => {
+                let n = parse_num(&mut it, "--checkpoint-wal-bytes")? as u64;
+                if n == 0 {
+                    return Err("--checkpoint-wal-bytes must be at least 1".into());
+                }
+                args.checkpoint_wal_bytes = Some(n);
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
@@ -115,16 +142,45 @@ fn main() -> ExitCode {
         }
     };
 
+    let durability = DurabilityOptions {
+        checkpoint_wal_bytes: args
+            .checkpoint_wal_bytes
+            .unwrap_or(DurabilityOptions::default().checkpoint_wal_bytes),
+    };
     let registry = Arc::new(DatasetRegistry::new());
     for (name, spec) in &args.datasets {
         let start = std::time::Instant::now();
-        match registry.register(name, spec) {
-            Ok(entry) => println!(
-                "dataset '{name}': {} records × {} attributes, index built in {:.2}s",
-                entry.data().len(),
-                entry.data().dims(),
-                start.elapsed().as_secs_f64()
-            ),
+        let outcome = match &args.data_dir {
+            None => registry.register(name, spec).map(|entry| (entry, None)),
+            Some(dir) => registry.register_durable(name, spec, dir, durability),
+        };
+        match outcome {
+            Ok((entry, None)) => {
+                println!(
+                    "dataset '{name}': {} records × {} attributes, index built in {:.2}s{}",
+                    entry.data().len(),
+                    entry.data().dims(),
+                    start.elapsed().as_secs_f64(),
+                    if args.data_dir.is_some() {
+                        " (durable, fresh store)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            Ok((entry, Some(report))) => {
+                println!(
+                    "dataset '{name}': recovered at version {} ({} live records, \
+                     {} WAL batches replayed, {} torn bytes discarded, {} pages read) \
+                     in {:.2}s",
+                    report.version,
+                    entry.data().live_len(),
+                    report.batches_replayed,
+                    report.torn_bytes_discarded,
+                    report.pages_read,
+                    start.elapsed().as_secs_f64()
+                );
+            }
             Err(e) => {
                 eprintln!("failed to load dataset '{name}': {e}");
                 return ExitCode::FAILURE;
@@ -140,7 +196,7 @@ fn main() -> ExitCode {
         default_deadline: args.deadline_ms.map(Duration::from_millis),
         ..defaults
     };
-    let service = Arc::new(MrqService::new(registry, config));
+    let service = Arc::new(MrqService::new(Arc::clone(&registry), config));
     let server = match Server::start(service, args.listen.as_str()) {
         Ok(s) => s,
         Err(e) => {
@@ -162,6 +218,16 @@ fn main() -> ExitCode {
 
     // Runs until a client sends SHUTDOWN; then drain and exit cleanly.
     server.wait();
+    if args.data_dir.is_some() {
+        // A final checkpoint makes the next start a pure snapshot load.
+        match registry.checkpoint_all() {
+            Ok(n) => println!("checkpointed {n} dataset(s)"),
+            Err(e) => {
+                eprintln!("shutdown checkpoint failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     println!("shut down cleanly");
     ExitCode::SUCCESS
 }
