@@ -34,6 +34,7 @@ pub mod ba;
 pub mod batch;
 pub(crate) mod common;
 pub mod fca;
+pub mod maintain;
 pub mod oracle;
 pub mod query;
 pub mod result;
@@ -41,6 +42,8 @@ pub mod reverse_topk;
 pub mod withinleaf;
 
 pub use batch::{evaluate_batch, most_promotable};
+pub use maintain::{classify_delta, shift_result, triage_delete, triage_insert};
+pub use maintain::{DeltaClass, DeltaTriage};
 pub use query::{Algorithm, MaxRankConfig, MaxRankQuery};
 pub use result::{MaxRankResult, QueryStats, ResultRegion};
 pub use reverse_topk::{reverse_top_k, reverse_top_k_point, ReverseTopK};

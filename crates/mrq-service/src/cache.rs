@@ -54,6 +54,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
+    /// Entries purged because their dataset moved past their version (they
+    /// could never be hit again and were only occupying LRU capacity).
+    pub evictions_stale: u64,
     /// Current number of cached entries.
     pub len: usize,
     /// Maximum number of entries (0 = caching disabled).
@@ -180,6 +183,25 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         self.link_front(i);
     }
 
+    /// Removes every entry whose key matches `doomed`, returning how many
+    /// were dropped.  O(n) over the resident entries — callers run it once
+    /// per update batch, not per lookup.
+    fn remove_matching<F: Fn(&K) -> bool>(&mut self, doomed: F) -> u64 {
+        let victims: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|(k, _)| doomed(k))
+            .map(|(_, &i)| i)
+            .collect();
+        let removed = victims.len() as u64;
+        for i in victims {
+            self.unlink(i);
+            self.map.remove(&self.slots[i].key);
+            self.free.push(i);
+        }
+        removed
+    }
+
     /// Keys from most to least recently used (tests only).
     #[cfg(test)]
     fn keys_by_recency(&self) -> Vec<K> {
@@ -203,6 +225,7 @@ struct CacheInner {
     lru: Lru<CacheKey, Arc<MaxRankResult>>,
     hits: u64,
     misses: u64,
+    evictions_stale: u64,
 }
 
 impl std::fmt::Debug for CacheInner {
@@ -223,6 +246,7 @@ impl ResultCache {
                 lru: Lru::new(capacity),
                 hits: 0,
                 misses: 0,
+                evictions_stale: 0,
             }),
         }
     }
@@ -248,6 +272,19 @@ impl ResultCache {
         inner.lru.insert(key, value);
     }
 
+    /// Proactively drops every entry of `dataset` computed before
+    /// `current_version`.  Version-keyed lookups already make such entries
+    /// unservable — this merely stops them from occupying LRU capacity that
+    /// live entries could use.  Returns the number of entries purged.
+    pub fn purge_stale(&self, dataset: &str, current_version: u64) -> u64 {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let purged = inner
+            .lru
+            .remove_matching(|k| k.dataset == dataset && k.version < current_version);
+        inner.evictions_stale += purged;
+        purged
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("cache lock poisoned");
@@ -255,6 +292,7 @@ impl ResultCache {
             hits: inner.hits,
             misses: inner.misses,
             evictions: inner.lru.evictions,
+            evictions_stale: inner.evictions_stale,
             len: inner.lru.len(),
             capacity: inner.lru.capacity,
         }
@@ -362,6 +400,59 @@ mod tests {
         assert_eq!(s.evictions, 1);
         assert_eq!(s.len, 2);
         assert_eq!(s.capacity, 2);
+    }
+
+    #[test]
+    fn purge_stale_drops_only_older_versions_of_the_dataset() {
+        let cache = ResultCache::new(8);
+        cache.insert(key(0), dummy_result()); // demo v0
+        cache.insert(
+            CacheKey {
+                version: 2,
+                ..key(1)
+            },
+            dummy_result(),
+        ); // demo v2
+        cache.insert(
+            CacheKey {
+                dataset: "other".into(),
+                ..key(2)
+            },
+            dummy_result(),
+        ); // other v0
+        assert_eq!(cache.purge_stale("demo", 2), 1);
+        let s = cache.stats();
+        assert_eq!(s.evictions_stale, 1);
+        assert_eq!(s.evictions, 0, "stale purges are not capacity evictions");
+        assert_eq!(s.len, 2);
+        assert!(cache.get(&key(0)).is_none());
+        assert!(cache
+            .get(&CacheKey {
+                version: 2,
+                ..key(1)
+            })
+            .is_some());
+        assert!(cache
+            .get(&CacheKey {
+                dataset: "other".into(),
+                ..key(2)
+            })
+            .is_some());
+        // Purged slots are reusable: the cache keeps working at capacity.
+        for focal in 10..30 {
+            cache.insert(key(focal), dummy_result());
+        }
+        assert_eq!(cache.stats().len, 8);
+    }
+
+    #[test]
+    fn purge_stale_is_a_noop_without_matches() {
+        let cache = ResultCache::new(4);
+        cache.insert(key(0), dummy_result());
+        assert_eq!(cache.purge_stale("demo", 0), 0);
+        assert_eq!(cache.purge_stale("absent", 9), 0);
+        assert_eq!(cache.stats().evictions_stale, 0);
+        assert!(cache.get(&key(0)).is_some());
     }
 
     #[test]

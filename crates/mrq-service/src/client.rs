@@ -4,14 +4,16 @@
 use crate::cache::CacheStats;
 use crate::pool::PoolStats;
 use crate::protocol::json::Json;
-use crate::protocol::{read_frame, write_frame, Request};
+use crate::protocol::{write_frame, Request, MAX_FRAME_BYTES, MAX_HEADER_BYTES};
 use crate::querystats::DatasetQueryStats;
 use crate::registry::DurabilityStats;
+use crate::subscriptions::SubscriptionStats;
 use mrq_core::Algorithm;
 use mrq_data::RecordId;
-use std::io::BufReader;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -112,13 +114,70 @@ pub struct StatsReply {
     pub per_dataset: Vec<DatasetQueryStats>,
     /// Durability counters (all zero against a server without `--data-dir`).
     pub durability: DurabilityStats,
+    /// Standing-query counters (all zero against a server without the
+    /// subscription subsystem).
+    pub subscriptions: SubscriptionStats,
 }
+
+/// A decoded subscription result snapshot: the `subscribe` acknowledgement,
+/// and the body of every change `NOTIFY`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscriptionReply {
+    /// Server-assigned subscription id.
+    pub subscription: u64,
+    /// Dataset the subscription watches.
+    pub dataset: String,
+    /// Focal record id.
+    pub focal: RecordId,
+    /// Dataset version the carried result is exact for.
+    pub version: u64,
+    /// Best attainable rank at that version.
+    pub k_star: usize,
+    /// iMaxRank slack the subscription runs with.
+    pub tau: usize,
+    /// Concrete algorithm maintaining the subscription.
+    pub algorithm: String,
+    /// Number of result regions.
+    pub region_count: usize,
+    /// Per-region order (rank).
+    pub orders: Vec<usize>,
+    /// Per-region representative preference vector.
+    pub witnesses: Vec<Vec<f64>>,
+}
+
+/// One decoded server-push `NOTIFY` frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Notification {
+    /// The maintained result changed; the payload carries the new snapshot.
+    Changed(SubscriptionReply),
+    /// The server ended the subscription (e.g. its focal was deleted).
+    Cancelled {
+        /// Subscription id that ended.
+        subscription: u64,
+        /// Dataset it watched.
+        dataset: String,
+        /// Focal record id.
+        focal: RecordId,
+        /// Version at which it ended.
+        version: u64,
+        /// Server-side explanation.
+        reason: String,
+    },
+}
+
+/// Poll granularity of deadline-bounded reads ([`Client::wait_notify`]).
+const CLIENT_POLL: Duration = Duration::from_millis(100);
 
 /// A blocking protocol client over one TCP connection.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Partial frame-header bytes surviving a read timeout, so a deadline
+    /// expiring mid-prefix never corrupts the stream position.
+    header: Vec<u8>,
+    /// `NOTIFY` frames that arrived while waiting for a response, in order.
+    pending: VecDeque<Notification>,
 }
 
 impl Client {
@@ -130,24 +189,93 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            header: Vec::new(),
+            pending: VecDeque::new(),
         })
+    }
+
+    /// Reads one frame.  With a deadline, returns `Ok(None)` if no frame has
+    /// *started* arriving by then; a frame whose first byte arrived in time
+    /// is always read to completion (the server writes frames promptly and
+    /// atomically, so this never blocks long).
+    fn poll_frame(&mut self, deadline: Option<Instant>) -> Result<Option<String>, ClientError> {
+        while self.header.last() != Some(&b'\n') {
+            if self.header.len() >= MAX_HEADER_BYTES {
+                return Err(ClientError::Protocol("frame length prefix too long".into()));
+            }
+            let timeout = match deadline {
+                // Once the prefix started, finish the frame regardless.
+                _ if !self.header.is_empty() => None,
+                None => None,
+                Some(deadline) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Ok(None);
+                    }
+                    Some(remaining.min(CLIENT_POLL))
+                }
+            };
+            self.reader.get_ref().set_read_timeout(timeout)?;
+            let budget = (MAX_HEADER_BYTES - self.header.len()) as u64;
+            match (&mut self.reader)
+                .take(budget)
+                .read_until(b'\n', &mut self.header)
+            {
+                Ok(0) => return Err(ClientError::Protocol("server closed the connection".into())),
+                Ok(_) => {} // loop re-checks for the delimiter
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {} // loop re-checks the deadline
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.reader.get_ref().set_read_timeout(None)?;
+        let text = std::str::from_utf8(&self.header)
+            .map_err(|_| ClientError::Protocol("frame length prefix is not UTF-8".into()))?
+            .trim();
+        let len: usize = text
+            .parse()
+            .map_err(|_| ClientError::Protocol(format!("bad frame length prefix '{text}'")))?;
+        if len > MAX_FRAME_BYTES {
+            return Err(ClientError::Protocol(format!(
+                "frame of {len} bytes exceeds limit"
+            )));
+        }
+        self.header.clear();
+        let mut payload = vec![0u8; len];
+        self.reader.read_exact(&mut payload)?;
+        String::from_utf8(payload)
+            .map(Some)
+            .map_err(|_| ClientError::Protocol("frame payload is not UTF-8".into()))
     }
 
     fn roundtrip(&mut self, request: &Request) -> Result<Json, ClientError> {
         write_frame(&mut self.writer, &request.encode())?;
-        let payload = read_frame(&mut self.reader)?
-            .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
-        let value = crate::protocol::json::parse(&payload).map_err(ClientError::Protocol)?;
-        match value.get("ok").and_then(Json::as_bool) {
-            Some(true) => Ok(value),
-            Some(false) => Err(ClientError::Server(
-                value
-                    .get("error")
-                    .and_then(Json::as_str)
-                    .unwrap_or("unspecified error")
-                    .to_string(),
-            )),
-            None => Err(ClientError::Protocol("response lacks 'ok'".into())),
+        loop {
+            let payload = self
+                .poll_frame(None)?
+                .expect("a deadline-free poll always yields a frame");
+            let value = crate::protocol::json::parse(&payload).map_err(ClientError::Protocol)?;
+            // A NOTIFY may slip in ahead of the response; queue it for the
+            // next `wait_notify` and keep reading.
+            if value.get("notify").and_then(Json::as_bool) == Some(true) {
+                let notification = Self::parse_notification(&value)?;
+                self.pending.push_back(notification);
+                continue;
+            }
+            return match value.get("ok").and_then(Json::as_bool) {
+                Some(true) => Ok(value),
+                Some(false) => Err(ClientError::Server(
+                    value
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unspecified error")
+                        .to_string(),
+                )),
+                None => Err(ClientError::Protocol("response lacks 'ok'".into())),
+            };
         }
     }
 
@@ -180,32 +308,8 @@ impl Client {
                 .and_then(Json::as_usize)
                 .ok_or_else(|| ClientError::Protocol(format!("missing numeric '{key}'")))
         };
-        let orders = value
-            .get("orders")
-            .and_then(Json::as_array)
-            .ok_or_else(|| ClientError::Protocol("missing 'orders'".into()))?
-            .iter()
-            .map(|v| {
-                v.as_usize()
-                    .ok_or_else(|| ClientError::Protocol("non-integer order".into()))
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        let witnesses = value
-            .get("witnesses")
-            .and_then(Json::as_array)
-            .ok_or_else(|| ClientError::Protocol("missing 'witnesses'".into()))?
-            .iter()
-            .map(|w| {
-                w.as_array()
-                    .ok_or_else(|| ClientError::Protocol("non-array witness".into()))?
-                    .iter()
-                    .map(|x| {
-                        x.as_f64()
-                            .ok_or_else(|| ClientError::Protocol("non-numeric weight".into()))
-                    })
-                    .collect::<Result<Vec<f64>, _>>()
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        let orders = Self::parse_orders(&value)?;
+        let witnesses = Self::parse_witnesses(&value)?;
         Ok(QueryReply {
             k_star: field_usize("k_star")?,
             tau: field_usize("tau")?,
@@ -225,6 +329,145 @@ impl Client {
             orders,
             witnesses,
         })
+    }
+
+    fn parse_orders(value: &Json) -> Result<Vec<usize>, ClientError> {
+        value
+            .get("orders")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("missing 'orders'".into()))?
+            .iter()
+            .map(|v| {
+                v.as_usize()
+                    .ok_or_else(|| ClientError::Protocol("non-integer order".into()))
+            })
+            .collect()
+    }
+
+    fn parse_witnesses(value: &Json) -> Result<Vec<Vec<f64>>, ClientError> {
+        value
+            .get("witnesses")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("missing 'witnesses'".into()))?
+            .iter()
+            .map(|w| {
+                w.as_array()
+                    .ok_or_else(|| ClientError::Protocol("non-array witness".into()))?
+                    .iter()
+                    .map(|x| {
+                        x.as_f64()
+                            .ok_or_else(|| ClientError::Protocol("non-numeric weight".into()))
+                    })
+                    .collect::<Result<Vec<f64>, _>>()
+            })
+            .collect()
+    }
+
+    /// Decodes the shared subscription fields of a `subscribe` ack or a
+    /// change `NOTIFY`.
+    fn parse_subscription_reply(value: &Json) -> Result<SubscriptionReply, ClientError> {
+        let field_usize = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ClientError::Protocol(format!("missing numeric '{key}'")))
+        };
+        Ok(SubscriptionReply {
+            subscription: field_usize("subscription")? as u64,
+            dataset: value
+                .get("dataset")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ClientError::Protocol("missing 'dataset'".into()))?
+                .to_string(),
+            focal: field_usize("focal")? as RecordId,
+            version: field_usize("version")? as u64,
+            k_star: field_usize("k_star")?,
+            tau: field_usize("tau")?,
+            algorithm: value
+                .get("algorithm")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            region_count: field_usize("region_count")?,
+            orders: Self::parse_orders(value)?,
+            witnesses: Self::parse_witnesses(value)?,
+        })
+    }
+
+    fn parse_notification(value: &Json) -> Result<Notification, ClientError> {
+        if value.get("cancelled").and_then(Json::as_bool) == Some(true) {
+            let field_usize = |key: &str| {
+                value
+                    .get(key)
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| ClientError::Protocol(format!("missing numeric '{key}'")))
+            };
+            return Ok(Notification::Cancelled {
+                subscription: field_usize("subscription")? as u64,
+                dataset: value
+                    .get("dataset")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                focal: field_usize("focal")? as RecordId,
+                version: field_usize("version")? as u64,
+                reason: value
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified")
+                    .to_string(),
+            });
+        }
+        Self::parse_subscription_reply(value).map(Notification::Changed)
+    }
+
+    /// Registers a standing query.  The acknowledgement carries the initial
+    /// result; afterwards the server pushes a `NOTIFY` whenever an update
+    /// changes it — collect them with [`Client::wait_notify`].
+    pub fn subscribe(
+        &mut self,
+        dataset: &str,
+        focal: RecordId,
+        algorithm: Algorithm,
+        tau: usize,
+    ) -> Result<SubscriptionReply, ClientError> {
+        let request = Request::Subscribe {
+            dataset: dataset.to_string(),
+            focal,
+            algorithm,
+            tau,
+        };
+        let value = self.roundtrip(&request)?;
+        Self::parse_subscription_reply(&value)
+    }
+
+    /// Cancels a standing query by id.
+    pub fn unsubscribe(&mut self, subscription: u64) -> Result<(), ClientError> {
+        self.roundtrip(&Request::Unsubscribe { subscription })
+            .map(|_| ())
+    }
+
+    /// Waits for the next server-push notification.  Returns `Ok(None)` if
+    /// `timeout` elapses first; with `None`, blocks until one arrives (or
+    /// the connection drops).
+    pub fn wait_notify(
+        &mut self,
+        timeout: Option<Duration>,
+    ) -> Result<Option<Notification>, ClientError> {
+        if let Some(notification) = self.pending.pop_front() {
+            return Ok(Some(notification));
+        }
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let Some(payload) = self.poll_frame(deadline)? else {
+            return Ok(None);
+        };
+        let value = crate::protocol::json::parse(&payload).map_err(ClientError::Protocol)?;
+        if value.get("notify").and_then(Json::as_bool) == Some(true) {
+            return Self::parse_notification(&value).map(Some);
+        }
+        Err(ClientError::Protocol(
+            "unexpected non-notify frame outside an exchange".into(),
+        ))
     }
 
     /// Applies an update batch to a dataset: `inserts` rows (each matching
@@ -328,11 +571,33 @@ impl Client {
             })
             .transpose()?
             .unwrap_or_default();
+        // `subscriptions` arrived with the subscription subsystem; tolerate
+        // servers without it (same convention as `durability`).
+        let subscriptions = value
+            .get("subscriptions")
+            .map(|s| {
+                let field = |key: &str| num(s, key).map(|v| v as u64);
+                Ok::<_, ClientError>(SubscriptionStats {
+                    active: field("active")?,
+                    deltas_triaged: field("deltas_triaged")?,
+                    unaffected_skips: field("unaffected_skips")?,
+                    partial_repairs: field("partial_repairs")?,
+                    full_reevals: field("full_reevals")?,
+                })
+            })
+            .transpose()?
+            .unwrap_or_default();
         Ok(StatsReply {
             cache: CacheStats {
                 hits: num(&cache, "hits")? as u64,
                 misses: num(&cache, "misses")? as u64,
                 evictions: num(&cache, "evictions")? as u64,
+                // `evictions_stale` arrived with the subscription subsystem;
+                // tolerate servers without it.
+                evictions_stale: cache
+                    .get("evictions_stale")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0) as u64,
                 len: num(&cache, "len")? as usize,
                 capacity: num(&cache, "capacity")? as usize,
             },
@@ -353,6 +618,7 @@ impl Client {
                 .collect(),
             per_dataset,
             durability,
+            subscriptions,
         })
     }
 
@@ -513,6 +779,123 @@ mod tests {
             other => panic!("expected server error, got {other}"),
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn client_subscribe_notify_round_trip() {
+        let server = demo_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let ack = client.subscribe("demo", 5, Algorithm::Auto, 0).unwrap();
+        assert_eq!(ack.k_star, 3);
+        assert_eq!(ack.version, 0);
+        assert_eq!(ack.algorithm, "aa2d");
+        assert_eq!(ack.orders.len(), ack.region_count);
+
+        // An unaffected update produces no NOTIFY — the wait times out.
+        let mut updater = Client::connect(server.local_addr()).unwrap();
+        updater.update("demo", &[vec![0.05, 0.05]], &[]).unwrap();
+        assert_eq!(
+            client
+                .wait_notify(Some(Duration::from_millis(600)))
+                .unwrap(),
+            None
+        );
+        let stats = updater.stats().unwrap();
+        assert_eq!(stats.subscriptions.active, 1);
+        assert_eq!(stats.subscriptions.unaffected_skips, 1);
+        assert!(stats.cache.evictions_stale <= stats.cache.evictions + 1);
+
+        // A dominating insert must push a change with the new version.
+        updater.update("demo", &[vec![0.95, 0.95]], &[]).unwrap();
+        let notification = client
+            .wait_notify(Some(Duration::from_secs(5)))
+            .unwrap()
+            .expect("a change NOTIFY");
+        match notification {
+            Notification::Changed(reply) => {
+                assert_eq!(reply.subscription, ack.subscription);
+                assert_eq!(reply.version, 2);
+                assert_eq!(reply.k_star, 4);
+                assert_eq!(reply.orders.len(), reply.region_count);
+            }
+            other => panic!("expected change, got {other:?}"),
+        }
+
+        // Deleting the focal cancels the subscription.
+        updater.update("demo", &[], &[5]).unwrap();
+        let notification = client
+            .wait_notify(Some(Duration::from_secs(5)))
+            .unwrap()
+            .expect("a cancellation NOTIFY");
+        match notification {
+            Notification::Cancelled {
+                reason, version, ..
+            } => {
+                assert!(reason.contains("deleted"), "{reason}");
+                assert_eq!(version, 3);
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        assert_eq!(updater.stats().unwrap().subscriptions.active, 0);
+
+        // The connection still answers ordinary requests afterwards.
+        client.ping().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_unsubscribe_round_trip() {
+        let server = demo_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let ack = client.subscribe("demo", 5, Algorithm::Auto, 1).unwrap();
+        client.unsubscribe(ack.subscription).unwrap();
+        // A second unsubscribe of the same id is a server error.
+        let err = client.unsubscribe(ack.subscription).unwrap_err();
+        match err {
+            ClientError::Server(msg) => assert!(msg.contains("unknown subscription"), "{msg}"),
+            other => panic!("expected server error, got {other}"),
+        }
+        // No NOTIFY arrives for an affecting update once unsubscribed.
+        client.update("demo", &[vec![0.95, 0.95]], &[]).unwrap();
+        assert_eq!(
+            client
+                .wait_notify(Some(Duration::from_millis(600)))
+                .unwrap(),
+            None
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_parsing_tolerates_absent_subscription_fields() {
+        // A stats payload from a pre-subscription server: no `subscriptions`
+        // object, no `evictions_stale` counter.  `Client::stats` must parse
+        // it with the new fields defaulted to zero, not error.
+        let payload = "{\"ok\":true,\
+            \"cache\":{\"hits\":1,\"misses\":2,\"evictions\":0,\"len\":1,\"capacity\":8},\
+            \"pool\":{\"workers\":2,\"queue_capacity\":16,\"queue_depth\":0,\
+                      \"executed\":3,\"coalesced\":0,\"timed_out\":0},\
+            \"datasets\":[\"demo\"]}";
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let payload = payload.to_string();
+        let fake = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+            crate::protocol::read_frame(&mut reader).unwrap();
+            let mut writer = stream;
+            crate::protocol::write_frame(&mut writer, &payload).unwrap();
+        });
+        let mut client = Client::connect(addr).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.evictions_stale, 0);
+        assert_eq!(stats.subscriptions, SubscriptionStats::default());
+        assert_eq!(
+            stats.durability,
+            crate::registry::DurabilityStats::default()
+        );
+        fake.join().unwrap();
     }
 
     #[test]

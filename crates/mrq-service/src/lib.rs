@@ -23,6 +23,9 @@
 //!   tau)` with hit/miss/eviction counters (the `STATS` command); the
 //!   version component retires stale entries without a flush.
 //! * [`service`] — the in-process composition ([`MrqService`]).
+//! * [`subscriptions`] — standing queries: resident results registered via
+//!   `SUBSCRIBE`, maintained under updates by `mrq_core::maintain`'s delta
+//!   triage, with server-push `NOTIFY` frames on change.
 //! * [`protocol`] — length-prefixed JSON-ish frames ([`protocol::Request`]).
 //! * [`server`] / [`client`] — a std-only loopback TCP layer
 //!   (`std::net::TcpListener` + `std::thread`; the build environment has no
@@ -49,9 +52,13 @@ pub mod querystats;
 pub mod registry;
 pub mod server;
 pub mod service;
+pub mod subscriptions;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
-pub use client::{Client, ClientError, QueryOptions, QueryReply, StatsReply, UpdateReply};
+pub use client::{
+    Client, ClientError, Notification, QueryOptions, QueryReply, StatsReply, SubscriptionReply,
+    UpdateReply,
+};
 pub use error::ServiceError;
 pub use pool::{PoolConfig, PoolStats, WorkerPool};
 pub use querystats::{DatasetQueryStats, QueryStatsBook};
@@ -61,6 +68,9 @@ pub use registry::{
 };
 pub use server::Server;
 pub use service::{MrqService, QueryAnswer, QueryRequest, ServiceConfig, ServiceStats};
+pub use subscriptions::{
+    NotifyEvent, NotifyKind, NotifyMailbox, Subscription, SubscriptionBook, SubscriptionStats,
+};
 
 use mrq_data::Dataset;
 
@@ -83,6 +93,9 @@ const _: () = {
     assert_send_sync::<WorkerPool>();
     assert_send_sync::<MrqService>();
     assert_send_sync::<Server>();
+    assert_send_sync::<NotifyMailbox>();
+    assert_send_sync::<Subscription>();
+    assert_send_sync::<SubscriptionBook>();
 };
 
 #[cfg(test)]

@@ -20,6 +20,8 @@
 //! {"cmd":"query","dataset":"hotels","focal":17,"algorithm":"auto","tau":0,
 //!  "timeout_ms":5000,"no_cache":false,"max_regions":16,"threads":4}
 //! {"cmd":"update","dataset":"hotels","insert":[[0.4,0.7,0.2,0.9]],"delete":[17]}
+//! {"cmd":"subscribe","dataset":"hotels","focal":17,"algorithm":"auto","tau":0}
+//! {"cmd":"unsubscribe","subscription":3}
 //! {"cmd":"stats"}   {"cmd":"list"}   {"cmd":"ping"}   {"cmd":"shutdown"}
 //! ```
 //!
@@ -39,6 +41,15 @@
 //! `update` answers carry the new `version`, the live `records` count, the
 //! assigned `inserted` ids and the `deleted` count.
 //!
+//! # Server push
+//!
+//! A connection that subscribed may additionally receive `NOTIFY` frames —
+//! the only frames a server sends unprompted.  They use the same frame
+//! grammar but carry `"notify":true` instead of `"ok"`, which is how
+//! clients separate them from the reply to an in-flight request.  The
+//! server only emits them between request/response exchanges of the
+//! connection, never inside one.
+//!
 //! The complete wire-format specification — framing, every verb, every
 //! error, the `threads` clamp and the coalescing semantics — lives in
 //! `docs/PROTOCOL.md`.
@@ -46,8 +57,9 @@
 use crate::error::ServiceError;
 use crate::registry::UpdateOutcome;
 use crate::service::{QueryAnswer, ServiceStats};
+use crate::subscriptions::{NotifyEvent, NotifyKind, Subscription};
 use json::Json;
-use mrq_core::Algorithm;
+use mrq_core::{Algorithm, MaxRankResult};
 use mrq_data::{RecordId, Update};
 use std::io::{BufRead, Read, Write};
 
@@ -130,6 +142,25 @@ pub enum Request {
         /// Ids of live records to delete.
         deletes: Vec<RecordId>,
     },
+    /// Register a standing query: the server keeps the focal's result
+    /// resident, maintains it under updates and pushes `NOTIFY` frames on
+    /// change.
+    Subscribe {
+        /// Registered dataset name.
+        dataset: String,
+        /// Focal record id.
+        focal: RecordId,
+        /// Requested algorithm (used for the initial evaluation and every
+        /// re-enumeration).
+        algorithm: Algorithm,
+        /// iMaxRank slack.
+        tau: usize,
+    },
+    /// Cancel a standing query by its server-assigned id.
+    Unsubscribe {
+        /// Subscription id from the `subscribe` acknowledgement.
+        subscription: u64,
+    },
     /// Cache / pool / registry counters.
     Stats,
     /// Registered dataset names and shapes.
@@ -197,6 +228,22 @@ impl Request {
                     ));
                 }
                 "update"
+            }
+            Request::Subscribe {
+                dataset,
+                focal,
+                algorithm,
+                tau,
+            } => {
+                obj.push(("dataset".into(), Json::Str(dataset.clone())));
+                obj.push(("focal".into(), Json::Num(*focal as f64)));
+                obj.push(("algorithm".into(), Json::Str(algorithm.name().into())));
+                obj.push(("tau".into(), Json::Num(*tau as f64)));
+                "subscribe"
+            }
+            Request::Unsubscribe { subscription } => {
+                obj.push(("subscription".into(), Json::Num(*subscription as f64)));
+                "unsubscribe"
             }
             Request::Stats => "stats",
             Request::List => "list",
@@ -279,6 +326,47 @@ impl Request {
                     no_cache,
                     max_regions,
                     threads,
+                })
+            }
+            "subscribe" => {
+                let dataset = value
+                    .get("dataset")
+                    .and_then(Json::as_str)
+                    .ok_or("subscribe needs a string 'dataset'")?
+                    .to_string();
+                let focal = value
+                    .get("focal")
+                    .and_then(Json::as_usize)
+                    .ok_or("subscribe needs a non-negative integer 'focal'")?;
+                if focal > RecordId::MAX as usize {
+                    return Err(format!("focal {focal} exceeds the record id range"));
+                }
+                let algorithm = match value.get("algorithm") {
+                    None => Algorithm::Auto,
+                    Some(v) => {
+                        let name = v.as_str().ok_or("'algorithm' must be a string")?;
+                        Algorithm::from_name(name)
+                            .ok_or_else(|| format!("unknown algorithm '{name}'"))?
+                    }
+                };
+                let tau = match value.get("tau") {
+                    None => 0,
+                    Some(v) => v.as_usize().ok_or("'tau' must be a non-negative integer")?,
+                };
+                Ok(Request::Subscribe {
+                    dataset,
+                    focal: focal as RecordId,
+                    algorithm,
+                    tau,
+                })
+            }
+            "unsubscribe" => {
+                let subscription = value
+                    .get("subscription")
+                    .and_then(Json::as_usize)
+                    .ok_or("unsubscribe needs a non-negative integer 'subscription'")?;
+                Ok(Request::Unsubscribe {
+                    subscription: subscription as u64,
                 })
             }
             "update" => {
@@ -384,6 +472,82 @@ pub fn query_payload(answer: &QueryAnswer, max_regions: Option<usize>) -> String
     .to_string()
 }
 
+/// The result-describing fields shared by `subscribe` acknowledgements and
+/// `NOTIFY` frames: `k_star`, `tau`, `algorithm`, `region_count` and the
+/// per-region `orders` / `witnesses`.
+fn result_fields(result: &MaxRankResult, algorithm: Algorithm) -> Vec<(String, Json)> {
+    let mut orders = Vec::new();
+    let mut witnesses = Vec::new();
+    for region in &result.regions {
+        orders.push(Json::Num(region.order as f64));
+        witnesses.push(Json::Arr(
+            region
+                .representative_query()
+                .into_iter()
+                .map(Json::Num)
+                .collect(),
+        ));
+    }
+    vec![
+        ("k_star".into(), Json::Num(result.k_star as f64)),
+        ("tau".into(), Json::Num(result.tau as f64)),
+        ("algorithm".into(), Json::Str(algorithm.name().into())),
+        (
+            "region_count".into(),
+            Json::Num(result.region_count() as f64),
+        ),
+        ("orders".into(), Json::Arr(orders)),
+        ("witnesses".into(), Json::Arr(witnesses)),
+    ]
+}
+
+/// Renders a `subscribe` acknowledgement: the assigned subscription id plus
+/// the initial result at the registration version.
+pub fn subscribed_payload(sub: &Subscription) -> String {
+    let (result, version) = sub.snapshot();
+    let mut obj = vec![
+        ("ok".into(), Json::Bool(true)),
+        ("subscription".into(), Json::Num(sub.id() as f64)),
+        ("dataset".into(), Json::Str(sub.dataset().into())),
+        ("focal".into(), Json::Num(sub.focal() as f64)),
+        ("version".into(), Json::Num(version as f64)),
+    ];
+    obj.extend(result_fields(&result, sub.algorithm()));
+    Json::Obj(obj).to_string()
+}
+
+/// Renders an `unsubscribe` acknowledgement.
+pub fn unsubscribed_payload(subscription: u64) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("unsubscribed".into(), Json::Num(subscription as f64)),
+    ])
+    .to_string()
+}
+
+/// Renders one server-push `NOTIFY` frame.  These are *not* responses: the
+/// marker field `"notify"` (instead of `"ok"`) is how clients tell them
+/// apart from the reply to whatever request may be in flight.
+pub fn notify_payload(event: &NotifyEvent) -> String {
+    let mut obj = vec![
+        ("notify".into(), Json::Bool(true)),
+        ("subscription".into(), Json::Num(event.subscription as f64)),
+        ("dataset".into(), Json::Str(event.dataset.clone())),
+        ("focal".into(), Json::Num(event.focal as f64)),
+        ("version".into(), Json::Num(event.version as f64)),
+    ];
+    match &event.kind {
+        NotifyKind::Changed { result, algorithm } => {
+            obj.extend(result_fields(result, *algorithm));
+        }
+        NotifyKind::Cancelled { reason } => {
+            obj.push(("cancelled".into(), Json::Bool(true)));
+            obj.push(("reason".into(), Json::Str(reason.clone())));
+        }
+    }
+    Json::Obj(obj).to_string()
+}
+
 /// Renders an `update` acknowledgement from the applied outcome.
 pub fn update_payload(outcome: &UpdateOutcome) -> String {
     Json::Obj(vec![
@@ -421,6 +585,10 @@ pub fn stats_payload(stats: &ServiceStats) -> String {
         ("hits".into(), Json::Num(stats.cache.hits as f64)),
         ("misses".into(), Json::Num(stats.cache.misses as f64)),
         ("evictions".into(), Json::Num(stats.cache.evictions as f64)),
+        (
+            "evictions_stale".into(),
+            Json::Num(stats.cache.evictions_stale as f64),
+        ),
         ("len".into(), Json::Num(stats.cache.len as f64)),
         ("capacity".into(), Json::Num(stats.cache.capacity as f64)),
     ]);
@@ -485,6 +653,20 @@ pub fn stats_payload(stats: &ServiceStats) -> String {
         ),
         ("checkpoints".into(), Json::Num(d.checkpoints as f64)),
     ]);
+    let s = &stats.subscriptions;
+    let subscriptions = Json::Obj(vec![
+        ("active".into(), Json::Num(s.active as f64)),
+        ("deltas_triaged".into(), Json::Num(s.deltas_triaged as f64)),
+        (
+            "unaffected_skips".into(),
+            Json::Num(s.unaffected_skips as f64),
+        ),
+        (
+            "partial_repairs".into(),
+            Json::Num(s.partial_repairs as f64),
+        ),
+        ("full_reevals".into(), Json::Num(s.full_reevals as f64)),
+    ]);
     Json::Obj(vec![
         ("ok".into(), Json::Bool(true)),
         ("cache".into(), cache),
@@ -501,6 +683,7 @@ pub fn stats_payload(stats: &ServiceStats) -> String {
         ),
         ("query_stats".into(), query_stats),
         ("durability".into(), durability),
+        ("subscriptions".into(), subscriptions),
     ])
     .to_string()
 }
@@ -1046,6 +1229,19 @@ mod tests {
                 inserts: vec![vec![0.5, 0.5]],
                 deletes: Vec::new(),
             },
+            Request::Subscribe {
+                dataset: "hotels".into(),
+                focal: 17,
+                algorithm: Algorithm::BasicApproach,
+                tau: 1,
+            },
+            Request::Subscribe {
+                dataset: "d".into(),
+                focal: 0,
+                algorithm: Algorithm::Auto,
+                tau: 0,
+            },
+            Request::Unsubscribe { subscription: 3 },
             Request::Stats,
             Request::List,
             Request::Ping,
@@ -1054,6 +1250,84 @@ mod tests {
         for req in requests {
             assert_eq!(Request::parse(&req.encode()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn subscribe_parse_errors() {
+        assert!(Request::parse("{\"cmd\":\"subscribe\"}").is_err());
+        assert!(Request::parse("{\"cmd\":\"subscribe\",\"dataset\":\"d\"}").is_err());
+        assert!(Request::parse("{\"cmd\":\"subscribe\",\"dataset\":\"d\",\"focal\":-1}").is_err());
+        assert!(Request::parse(
+            "{\"cmd\":\"subscribe\",\"dataset\":\"d\",\"focal\":1,\"algorithm\":\"qp\"}"
+        )
+        .is_err());
+        assert!(
+            Request::parse("{\"cmd\":\"subscribe\",\"dataset\":\"d\",\"focal\":1,\"tau\":-2}")
+                .is_err()
+        );
+        assert!(Request::parse("{\"cmd\":\"unsubscribe\"}").is_err());
+        assert!(Request::parse("{\"cmd\":\"unsubscribe\",\"subscription\":1.5}").is_err());
+        assert!(Request::parse("{\"cmd\":\"unsubscribe\",\"subscription\":-1}").is_err());
+    }
+
+    #[test]
+    fn notify_payload_shapes() {
+        use crate::subscriptions::{NotifyEvent, NotifyKind};
+        use mrq_core::{MaxRankConfig, MaxRankQuery};
+        use mrq_data::Dataset;
+        use mrq_index::RStarTree;
+
+        let data = Dataset::from_rows(
+            2,
+            &[
+                vec![0.8, 0.9],
+                vec![0.2, 0.7],
+                vec![0.9, 0.4],
+                vec![0.7, 0.2],
+                vec![0.4, 0.3],
+                vec![0.5, 0.5],
+            ],
+        );
+        let tree = RStarTree::bulk_load(&data);
+        let result =
+            std::sync::Arc::new(MaxRankQuery::new(&data, &tree).evaluate(5, &MaxRankConfig::new()));
+        let changed = NotifyEvent {
+            subscription: 2,
+            dataset: "demo".into(),
+            focal: 5,
+            version: 4,
+            kind: NotifyKind::Changed {
+                result,
+                algorithm: Algorithm::AdvancedApproach2D,
+            },
+        };
+        let v = parse(&notify_payload(&changed)).unwrap();
+        assert_eq!(v.get("notify").unwrap().as_bool(), Some(true));
+        assert!(v.get("ok").is_none(), "a notify frame is not a response");
+        assert_eq!(v.get("subscription").unwrap().as_usize(), Some(2));
+        assert_eq!(v.get("version").unwrap().as_usize(), Some(4));
+        assert_eq!(v.get("k_star").unwrap().as_usize(), Some(3));
+        assert_eq!(v.get("orders").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("witnesses").unwrap().as_array().unwrap().len(), 2);
+
+        let cancelled = NotifyEvent {
+            subscription: 2,
+            dataset: "demo".into(),
+            focal: 5,
+            version: 5,
+            kind: NotifyKind::Cancelled {
+                reason: "focal 5 was deleted".into(),
+            },
+        };
+        let v = parse(&notify_payload(&cancelled)).unwrap();
+        assert_eq!(v.get("cancelled").unwrap().as_bool(), Some(true));
+        assert!(v
+            .get("reason")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("deleted"));
+        assert!(v.get("k_star").is_none());
     }
 
     #[test]

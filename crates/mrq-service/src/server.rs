@@ -11,10 +11,12 @@
 
 use crate::error::ServiceError;
 use crate::protocol::{
-    self, bye_payload, error_payload, list_payload, pong_payload, query_payload, stats_payload,
-    update_batch, update_payload, write_frame, Request,
+    self, bye_payload, error_payload, list_payload, notify_payload, pong_payload, query_payload,
+    stats_payload, subscribed_payload, unsubscribed_payload, update_batch, update_payload,
+    write_frame, Request,
 };
 use crate::service::{MrqService, QueryRequest};
+use crate::subscriptions::NotifyMailbox;
 use std::io::{BufRead, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -169,11 +171,35 @@ fn accept_loop(
     }
 }
 
-/// Reads frames off one connection until EOF, error or shutdown.
+/// Reads frames off one connection until EOF, error or shutdown, then
+/// unregisters whatever the connection subscribed to.
 fn serve_connection(
     stream: TcpStream,
     service: &Arc<MrqService>,
     signal: &ShutdownSignal,
+) -> std::io::Result<()> {
+    // The connection's NOTIFY side-channel: the update path pushes events
+    // here (from whatever thread applied the batch); only this connection
+    // thread ever writes the socket, so frames never interleave.
+    let mailbox = Arc::new(NotifyMailbox::new());
+    let result = serve_frames(stream, service, signal, &mailbox);
+    service.drop_subscriber(&mailbox);
+    result
+}
+
+/// Writes every queued NOTIFY event of `mailbox` as a server-push frame.
+fn drain_notifies(writer: &mut TcpStream, mailbox: &NotifyMailbox) -> std::io::Result<()> {
+    for event in mailbox.drain() {
+        write_frame(writer, &notify_payload(&event))?;
+    }
+    Ok(())
+}
+
+fn serve_frames(
+    stream: TcpStream,
+    service: &Arc<MrqService>,
+    signal: &ShutdownSignal,
+    mailbox: &Arc<NotifyMailbox>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(CONN_POLL))?;
     stream.set_nodelay(true)?;
@@ -182,7 +208,14 @@ fn serve_connection(
     let mut header = Vec::new();
     loop {
         header.clear();
-        let payload = match read_frame_polling(&mut reader, &mut header, signal)? {
+        // Push pending notifications whenever the connection is between
+        // exchanges: right after a response, and on every idle poll tick
+        // (≤ ~200 ms latency while blocked in read).
+        drain_notifies(&mut writer, mailbox)?;
+        let read = read_frame_polling(&mut reader, &mut header, signal, || {
+            drain_notifies(&mut writer, mailbox)
+        })?;
+        let payload = match read {
             FrameRead::Frame(payload) => payload,
             FrameRead::Eof | FrameRead::ShuttingDown => return Ok(()),
             FrameRead::Malformed(msg) => {
@@ -200,6 +233,33 @@ fn serve_connection(
                 write_frame(&mut writer, &error_payload(&err))?;
             }
             Ok(Request::Ping) => write_frame(&mut writer, &pong_payload())?,
+            Ok(Request::Subscribe {
+                dataset,
+                focal,
+                algorithm,
+                tau,
+            }) => {
+                // The initial evaluation runs right here on the connection
+                // thread (like updates: registration must be atomic with
+                // respect to the dataset's update stream, so it cannot go
+                // through the pool).
+                let payload =
+                    match service.subscribe(&dataset, focal, algorithm, tau, Arc::clone(mailbox)) {
+                        Ok(sub) => subscribed_payload(&sub),
+                        Err(err) => error_payload(&err),
+                    };
+                write_frame(&mut writer, &payload)?;
+            }
+            Ok(Request::Unsubscribe { subscription }) => {
+                let payload = if service.unsubscribe(subscription) {
+                    unsubscribed_payload(subscription)
+                } else {
+                    error_payload(&ServiceError::BadRequest(format!(
+                        "unknown subscription id {subscription}"
+                    )))
+                };
+                write_frame(&mut writer, &payload)?;
+            }
             Ok(Request::Stats) => {
                 write_frame(&mut writer, &stats_payload(&service.stats()))?;
             }
@@ -285,11 +345,16 @@ fn is_timeout(err: &std::io::Error) -> bool {
 
 /// Like [`protocol::read_frame`] but tolerant of read timeouts: partial data
 /// survives in `header` / the payload buffer across retries, and the
-/// shutdown flag is checked between them.
+/// shutdown flag is checked between them.  `on_idle` runs on poll ticks
+/// where no frame has started arriving yet — the hook the connection thread
+/// uses to flush queued `NOTIFY` frames between exchanges (never once a
+/// request frame is partially read, so pushes never land inside an
+/// exchange).
 fn read_frame_polling(
     reader: &mut BufReader<TcpStream>,
     header: &mut Vec<u8>,
     signal: &ShutdownSignal,
+    mut on_idle: impl FnMut() -> std::io::Result<()>,
 ) -> std::io::Result<FrameRead> {
     // Header: bytes up to '\n'.  `read_until` appends whatever arrived
     // before a timeout, so looping preserves partial prefixes.  The `take`
@@ -312,6 +377,9 @@ fn read_frame_polling(
             Err(e) if is_timeout(&e) => {
                 if signal.is_set() {
                     return Ok(FrameRead::ShuttingDown);
+                }
+                if header.is_empty() {
+                    on_idle()?;
                 }
             }
             Err(e) => return Err(e),

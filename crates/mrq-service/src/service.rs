@@ -6,8 +6,9 @@ use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::error::ServiceError;
 use crate::pool::{JobOutcome, PoolConfig, PoolStats, QueryJob, WorkerPool};
 use crate::querystats::{DatasetQueryStats, QueryStatsBook};
-use crate::registry::{DatasetRegistry, DurabilityStats, UpdateOutcome};
-use mrq_core::{Algorithm, MaxRankResult};
+use crate::registry::{DatasetEntry, DatasetRegistry, DurabilityStats, UpdateOutcome};
+use crate::subscriptions::{NotifyMailbox, Subscription, SubscriptionBook, SubscriptionStats};
+use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery, MaxRankResult};
 use mrq_data::{RecordId, Update};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -111,6 +112,9 @@ pub struct ServiceStats {
     /// Durability counters (recovery, WAL appends, checkpoints) — real file
     /// I/O, all zeros when no dataset is registered durably.
     pub durability: DurabilityStats,
+    /// Standing-query counters: active subscriptions and the delta-triage
+    /// outcome tallies.
+    pub subscriptions: SubscriptionStats,
 }
 
 /// A pending answer: the validated request was accepted by the queue.
@@ -157,6 +161,7 @@ pub struct MrqService {
     registry: Arc<DatasetRegistry>,
     cache: Arc<ResultCache>,
     query_stats: Arc<QueryStatsBook>,
+    subscriptions: Arc<SubscriptionBook>,
     pool: WorkerPool,
     config: ServiceConfig,
 }
@@ -179,6 +184,7 @@ impl MrqService {
             registry,
             cache,
             query_stats,
+            subscriptions: Arc::new(SubscriptionBook::new()),
             pool,
             config,
         }
@@ -205,42 +211,51 @@ impl MrqService {
         self.enqueue(request)?.wait()
     }
 
+    /// Snapshot + focal/algorithm validation shared by queries and
+    /// subscriptions.  Returns the pinned snapshot and the resolved
+    /// algorithm.
+    fn validated_snapshot(
+        &self,
+        dataset: &str,
+        focal: RecordId,
+        algorithm: Algorithm,
+    ) -> Result<(Arc<DatasetEntry>, Algorithm), ServiceError> {
+        // Snapshot: the caller keeps this entry for as long as it needs, so
+        // a concurrent update cannot move the data out from under it.
+        let entry = self
+            .registry
+            .get(dataset)
+            .ok_or_else(|| ServiceError::UnknownDataset(dataset.to_string()))?;
+        let dims = entry.data().dims();
+        if focal as usize >= entry.data().len() {
+            return Err(ServiceError::BadRequest(format!(
+                "focal {focal} out of range (dataset '{dataset}' has {} record ids)",
+                entry.data().len()
+            )));
+        }
+        if !entry.data().is_live(focal) {
+            return Err(ServiceError::BadRequest(format!(
+                "focal {focal} of dataset '{dataset}' was deleted (as of version {}); pick a live record",
+                entry.version()
+            )));
+        }
+        if algorithm.requires_2d() && dims != 2 {
+            return Err(ServiceError::BadRequest(format!(
+                "algorithm '{}' only supports 2-dimensional data (dataset '{dataset}' has {dims})",
+                algorithm.name(),
+            )));
+        }
+        let resolved = algorithm.resolve(dims);
+        Ok((entry, resolved))
+    }
+
     fn enqueue_inner(
         &self,
         request: &QueryRequest,
         block: bool,
     ) -> Result<PendingAnswer, ServiceError> {
-        // Snapshot: the job keeps this entry for its whole lifetime, so a
-        // concurrent update cannot move the data out from under it.
-        let entry = self
-            .registry
-            .get(&request.dataset)
-            .ok_or_else(|| ServiceError::UnknownDataset(request.dataset.clone()))?;
-        let dims = entry.data().dims();
-        if request.focal as usize >= entry.data().len() {
-            return Err(ServiceError::BadRequest(format!(
-                "focal {} out of range (dataset '{}' has {} record ids)",
-                request.focal,
-                request.dataset,
-                entry.data().len()
-            )));
-        }
-        if !entry.data().is_live(request.focal) {
-            return Err(ServiceError::BadRequest(format!(
-                "focal {} of dataset '{}' was deleted (as of version {}); pick a live record",
-                request.focal,
-                request.dataset,
-                entry.version()
-            )));
-        }
-        if request.algorithm.requires_2d() && dims != 2 {
-            return Err(ServiceError::BadRequest(format!(
-                "algorithm '{}' only supports 2-dimensional data (dataset '{}' has {dims})",
-                request.algorithm.name(),
-                request.dataset
-            )));
-        }
-        let algorithm = request.algorithm.resolve(dims);
+        let (entry, algorithm) =
+            self.validated_snapshot(&request.dataset, request.focal, request.algorithm)?;
         let deadline = request
             .timeout
             .or(self.config.default_deadline)
@@ -295,13 +310,79 @@ impl MrqService {
             .registry
             .handle(dataset)
             .ok_or_else(|| ServiceError::UnknownDataset(dataset.to_string()))?;
-        handle.apply(updates).map_err(|e| match e {
+        // Hold the dataset's subscription lock across apply + triage: a
+        // subscriber registering concurrently either sees the pre-batch
+        // snapshot (and is then triaged by this batch) or the post-batch one
+        // — never a result stamped with the wrong version.
+        let subs = self.subscriptions.dataset(dataset);
+        let mut subs = subs.lock().expect("subscription list poisoned");
+        let outcome = handle.apply(updates).map_err(|e| match e {
             // A storage failure is the server's problem, not the client's.
             mrq_data::UpdateError::Storage(msg) => {
                 ServiceError::Internal(format!("update not committed: {msg}"))
             }
             other => ServiceError::BadRequest(format!("update rejected: {other}")),
-        })
+        })?;
+        // Entries of superseded versions can never be hit again; return
+        // their LRU slots now instead of waiting for unreachability.
+        self.cache.purge_stale(dataset, outcome.version);
+        if !subs.is_empty() {
+            if let Some(entry) = self.registry.get(dataset) {
+                self.subscriptions
+                    .triage_batch(&mut subs, &entry, updates, outcome.version);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Registers a standing query: evaluates the focal's MaxRank result on
+    /// the current snapshot, keeps it resident and maintains it under every
+    /// subsequent update batch.  Change (and cancellation) events are pushed
+    /// to `mailbox`; the caller drains it (connection threads render the
+    /// events as `NOTIFY` frames).
+    ///
+    /// The initial evaluation runs on the calling thread under the dataset's
+    /// subscription lock — registration is atomic with respect to updates.
+    pub fn subscribe(
+        &self,
+        dataset: &str,
+        focal: RecordId,
+        algorithm: Algorithm,
+        tau: usize,
+        mailbox: Arc<NotifyMailbox>,
+    ) -> Result<Arc<Subscription>, ServiceError> {
+        let subs = self.subscriptions.dataset(dataset);
+        let mut subs = subs.lock().expect("subscription list poisoned");
+        let (entry, resolved) = self.validated_snapshot(dataset, focal, algorithm)?;
+        let config = MaxRankConfig {
+            tau,
+            algorithm: resolved,
+            ..MaxRankConfig::new()
+        };
+        let result =
+            Arc::new(MaxRankQuery::new(entry.data(), entry.tree()).evaluate(focal, &config));
+        let sub = self.subscriptions.create(
+            dataset,
+            focal,
+            resolved,
+            tau,
+            result,
+            entry.version(),
+            mailbox,
+        );
+        subs.push(Arc::clone(&sub));
+        Ok(sub)
+    }
+
+    /// Cancels a standing query by id.  Returns whether it existed.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        self.subscriptions.remove(id)
+    }
+
+    /// Drops every subscription registered through `mailbox` (its connection
+    /// is gone).  Returns how many were dropped.
+    pub fn drop_subscriber(&self, mailbox: &Arc<NotifyMailbox>) -> usize {
+        self.subscriptions.remove_mailbox(mailbox)
     }
 
     /// Combined cache / pool / registry counters plus per-dataset query
@@ -313,6 +394,7 @@ impl MrqService {
             datasets: self.registry.names(),
             per_dataset: self.query_stats.snapshot(),
             durability: self.registry.durability_stats(),
+            subscriptions: self.subscriptions.stats(),
         }
     }
 
@@ -588,6 +670,159 @@ mod tests {
         // Other focals still work, on the new snapshot.
         let ok = service.query(&QueryRequest::new("demo", 0)).unwrap();
         assert_eq!(ok.version, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn subscription_shift_skip_and_reeval() {
+        use crate::subscriptions::{NotifyKind, NotifyMailbox};
+
+        let service = demo_service(ServiceConfig::default());
+        let mailbox = Arc::new(NotifyMailbox::new());
+        let sub = service
+            .subscribe("demo", 5, Algorithm::Auto, 0, Arc::clone(&mailbox))
+            .unwrap();
+        let (initial, v0) = sub.snapshot();
+        assert_eq!(initial.k_star, 3);
+        assert_eq!(v0, 0);
+        assert_eq!(service.stats().subscriptions.active, 1);
+
+        // A dominated insert is certified unaffected: version stamp moves,
+        // no event, counter attests the skip.
+        service
+            .update("demo", &[Update::Insert(vec![0.05, 0.05])])
+            .unwrap();
+        assert!(mailbox.drain().is_empty());
+        let (kept, v1) = sub.snapshot();
+        assert!(Arc::ptr_eq(&kept, &initial), "result must be untouched");
+        assert_eq!(v1, 1);
+
+        // A dominating insert is a pure rank shift — and must equal a fresh
+        // evaluation.
+        service
+            .update("demo", &[Update::Insert(vec![0.95, 0.95])])
+            .unwrap();
+        let events = mailbox.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].version, 2);
+        match &events[0].kind {
+            NotifyKind::Changed { result, .. } => assert_eq!(result.k_star, 4),
+            other => panic!("expected change, got {other:?}"),
+        }
+        let fresh = service
+            .query(&QueryRequest {
+                no_cache: true,
+                ..QueryRequest::new("demo", 5)
+            })
+            .unwrap();
+        assert_eq!(fresh.result.k_star, 4);
+
+        // Deleting an incomparable record forces a re-evaluation; the
+        // maintained result again matches a fresh one.
+        service.update("demo", &[Update::Delete(2)]).unwrap();
+        let events = mailbox.drain();
+        assert_eq!(events.len(), 1);
+        let maintained = match &events[0].kind {
+            NotifyKind::Changed { result, .. } => Arc::clone(result),
+            other => panic!("expected change, got {other:?}"),
+        };
+        let fresh = service
+            .query(&QueryRequest {
+                no_cache: true,
+                ..QueryRequest::new("demo", 5)
+            })
+            .unwrap();
+        assert_eq!(maintained.k_star, fresh.result.k_star);
+        assert_eq!(maintained.region_count(), fresh.result.region_count());
+
+        let stats = service.stats().subscriptions;
+        assert_eq!(stats.deltas_triaged, 3);
+        assert_eq!(stats.unaffected_skips, 1);
+        assert_eq!(stats.partial_repairs, 1);
+        assert_eq!(stats.full_reevals, 1);
+
+        assert!(service.unsubscribe(sub.id()));
+        assert!(!service.unsubscribe(sub.id()));
+        assert_eq!(service.stats().subscriptions.active, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn deleting_the_focal_cancels_the_subscription() {
+        use crate::subscriptions::{NotifyKind, NotifyMailbox};
+
+        let service = demo_service(ServiceConfig::default());
+        let mailbox = Arc::new(NotifyMailbox::new());
+        service
+            .subscribe("demo", 5, Algorithm::Auto, 0, Arc::clone(&mailbox))
+            .unwrap();
+        service.update("demo", &[Update::Delete(5)]).unwrap();
+        let events = mailbox.drain();
+        assert_eq!(events.len(), 1);
+        match &events[0].kind {
+            NotifyKind::Cancelled { reason } => assert!(reason.contains("deleted"), "{reason}"),
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        assert_eq!(service.stats().subscriptions.active, 0);
+        // Further updates are quietly ignored.
+        service
+            .update("demo", &[Update::Insert(vec![0.95, 0.95])])
+            .unwrap();
+        assert!(mailbox.drain().is_empty());
+        service.shutdown();
+    }
+
+    #[test]
+    fn dropping_a_mailbox_unregisters_its_subscriptions() {
+        use crate::subscriptions::NotifyMailbox;
+
+        let service = demo_service(ServiceConfig::default());
+        let kept = Arc::new(NotifyMailbox::new());
+        let gone = Arc::new(NotifyMailbox::new());
+        service
+            .subscribe("demo", 5, Algorithm::Auto, 0, Arc::clone(&kept))
+            .unwrap();
+        service
+            .subscribe("demo", 4, Algorithm::Auto, 1, Arc::clone(&gone))
+            .unwrap();
+        service
+            .subscribe("demo", 3, Algorithm::Auto, 0, Arc::clone(&gone))
+            .unwrap();
+        assert_eq!(service.stats().subscriptions.active, 3);
+        assert_eq!(service.drop_subscriber(&gone), 2);
+        assert_eq!(service.stats().subscriptions.active, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn subscribe_validation_errors() {
+        use crate::subscriptions::NotifyMailbox;
+
+        let service = demo_service(ServiceConfig::default());
+        let mailbox = Arc::new(NotifyMailbox::new());
+        assert!(matches!(
+            service.subscribe("nope", 0, Algorithm::Auto, 0, Arc::clone(&mailbox)),
+            Err(ServiceError::UnknownDataset(_))
+        ));
+        assert!(matches!(
+            service.subscribe("demo", 99, Algorithm::Auto, 0, Arc::clone(&mailbox)),
+            Err(ServiceError::BadRequest(_))
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn update_purges_stale_cache_entries() {
+        let service = demo_service(ServiceConfig::default());
+        service.query(&QueryRequest::new("demo", 5)).unwrap();
+        service.query(&QueryRequest::new("demo", 4)).unwrap();
+        assert_eq!(service.stats().cache.len, 2);
+        service
+            .update("demo", &[Update::Insert(vec![0.6, 0.1])])
+            .unwrap();
+        let stats = service.stats().cache;
+        assert_eq!(stats.len, 0, "superseded entries must be purged eagerly");
+        assert_eq!(stats.evictions_stale, 2);
         service.shutdown();
     }
 

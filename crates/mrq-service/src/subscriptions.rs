@@ -1,0 +1,371 @@
+//! Standing MaxRank queries: the `SUBSCRIBE`/`NOTIFY` subsystem.
+//!
+//! A subscription pins one focal record's full [`MaxRankResult`] resident in
+//! the service.  Instead of recomputing on the next query after every
+//! `UPDATE` (the request/response model), the service *maintains* the
+//! resident result under update batches with the delta-triage pass of
+//! [`mrq_core::maintain`]: each delta record is classified by dominance
+//! tests and dot products against the retained region boxes into
+//! *unaffected* (keep the result, bump the version stamp), *rank-shift-only*
+//! (adjust `k*` and region orders arithmetically), or *re-enumerate* (re-run
+//! the evaluation).  Subscribers are told about changes through per-connection
+//! [`NotifyMailbox`]es that the server's connection threads drain into
+//! server-push `NOTIFY` frames.
+//!
+//! Concurrency model: all subscriptions of one dataset sit behind one mutex
+//! (see [`SubscriptionBook::dataset`]).  `MrqService::update` holds it from
+//! *before* the registry apply until triage is done, and
+//! `MrqService::subscribe` holds it across the initial evaluation and
+//! registration — so a resident result is always exact for the version it is
+//! stamped with, with no window where an update could slip between an
+//! evaluation and the bookkeeping.
+
+use mrq_core::maintain::{shift_result, triage_delete, triage_insert, DeltaTriage};
+use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery, MaxRankResult};
+use mrq_data::{RecordId, Update};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::registry::DatasetEntry;
+
+/// All subscriptions of one dataset, behind the lock that serializes
+/// updates, triage and new registrations for that dataset.
+pub type DatasetSubscriptions = Arc<Mutex<Vec<Arc<Subscription>>>>;
+
+/// Why a subscriber is being notified.
+#[derive(Debug, Clone)]
+pub enum NotifyKind {
+    /// The maintained result changed; the carried result is exact at the
+    /// event's version.
+    Changed {
+        /// The maintained result after the update batch.
+        result: Arc<MaxRankResult>,
+        /// The concrete algorithm maintaining the subscription.
+        algorithm: Algorithm,
+    },
+    /// The subscription ended on the server side (e.g. its focal record was
+    /// deleted); no further notifications will follow.
+    Cancelled {
+        /// Human-readable explanation, forwarded verbatim to the client.
+        reason: String,
+    },
+}
+
+/// One server-push notification, queued on the owning connection's mailbox
+/// until its connection thread writes it out as a `NOTIFY` frame.
+#[derive(Debug, Clone)]
+pub struct NotifyEvent {
+    /// Subscription id the event belongs to.
+    pub subscription: u64,
+    /// Dataset the subscription watches.
+    pub dataset: String,
+    /// Focal record id.
+    pub focal: RecordId,
+    /// Dataset version the event was produced at.
+    pub version: u64,
+    /// Change or cancellation.
+    pub kind: NotifyKind,
+}
+
+/// A per-connection queue of pending [`NotifyEvent`]s.  The update path
+/// pushes; the connection thread drains between frame polls and renders the
+/// events as `NOTIFY` frames.  Events for a connection that never drains
+/// again (it is closing) are dropped with the mailbox itself.
+#[derive(Debug, Default)]
+pub struct NotifyMailbox {
+    queue: Mutex<VecDeque<NotifyEvent>>,
+}
+
+impl NotifyMailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues one event.
+    pub fn push(&self, event: NotifyEvent) {
+        self.queue
+            .lock()
+            .expect("notify mailbox lock poisoned")
+            .push_back(event);
+    }
+
+    /// Takes every pending event, oldest first.
+    pub fn drain(&self) -> Vec<NotifyEvent> {
+        let mut queue = self.queue.lock().expect("notify mailbox lock poisoned");
+        queue.drain(..).collect()
+    }
+}
+
+/// Mutable part of a subscription: the resident result and the dataset
+/// version it is exact for.
+#[derive(Debug)]
+struct SubscriptionState {
+    result: Arc<MaxRankResult>,
+    version: u64,
+}
+
+/// One standing query: a focal record whose MaxRank result the service
+/// keeps resident and maintains under updates.
+#[derive(Debug)]
+pub struct Subscription {
+    id: u64,
+    dataset: String,
+    focal: RecordId,
+    /// Concrete (resolved) algorithm used for initial evaluation and every
+    /// re-enumeration.
+    algorithm: Algorithm,
+    tau: usize,
+    state: Mutex<SubscriptionState>,
+    mailbox: Arc<NotifyMailbox>,
+}
+
+impl Subscription {
+    /// Server-assigned subscription id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Dataset the subscription watches.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// Focal record id.
+    pub fn focal(&self) -> RecordId {
+        self.focal
+    }
+
+    /// Concrete algorithm maintaining the subscription.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// iMaxRank slack.
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// The resident result and the dataset version it is exact for.
+    pub fn snapshot(&self) -> (Arc<MaxRankResult>, u64) {
+        let state = self.state.lock().expect("subscription lock poisoned");
+        (Arc::clone(&state.result), state.version)
+    }
+}
+
+/// Counter snapshot reported by `STATS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubscriptionStats {
+    /// Currently registered subscriptions.
+    pub active: u64,
+    /// Delta records examined by the triage pass (one delta affecting two
+    /// subscriptions counts twice).
+    pub deltas_triaged: u64,
+    /// Deltas certified unaffected: the resident result was kept without
+    /// touching the index.
+    pub unaffected_skips: u64,
+    /// Deltas resolved by an arithmetic rank shift (no enumeration either).
+    pub partial_repairs: u64,
+    /// Full re-evaluations performed because a delta's half-space could
+    /// cross a resident region (or a delete could promote an outside cell).
+    pub full_reevals: u64,
+}
+
+/// Registry of all standing queries, grouped per dataset, plus the triage
+/// counters.
+#[derive(Debug, Default)]
+pub struct SubscriptionBook {
+    datasets: Mutex<HashMap<String, DatasetSubscriptions>>,
+    next_id: AtomicU64,
+    active: AtomicU64,
+    deltas_triaged: AtomicU64,
+    unaffected_skips: AtomicU64,
+    partial_repairs: AtomicU64,
+    full_reevals: AtomicU64,
+}
+
+impl SubscriptionBook {
+    /// Creates an empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The subscription list (and lock) of one dataset, created on demand.
+    pub fn dataset(&self, name: &str) -> DatasetSubscriptions {
+        let mut datasets = self.datasets.lock().expect("subscription book poisoned");
+        Arc::clone(datasets.entry(name.to_string()).or_default())
+    }
+
+    /// Creates a subscription holding `result` (exact at `version`).  The
+    /// caller must push it into the dataset's list while still holding the
+    /// lock it evaluated under.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        &self,
+        dataset: &str,
+        focal: RecordId,
+        algorithm: Algorithm,
+        tau: usize,
+        result: Arc<MaxRankResult>,
+        version: u64,
+        mailbox: Arc<NotifyMailbox>,
+    ) -> Arc<Subscription> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.active.fetch_add(1, Ordering::Relaxed);
+        Arc::new(Subscription {
+            id,
+            dataset: dataset.to_string(),
+            focal,
+            algorithm,
+            tau,
+            state: Mutex::new(SubscriptionState { result, version }),
+            mailbox,
+        })
+    }
+
+    /// Removes the subscription with `id`.  Returns whether it existed.
+    pub fn remove(&self, id: u64) -> bool {
+        let datasets = self.datasets.lock().expect("subscription book poisoned");
+        for subs in datasets.values() {
+            let mut subs = subs.lock().expect("subscription list poisoned");
+            if let Some(pos) = subs.iter().position(|s| s.id == id) {
+                subs.remove(pos);
+                self.active.fetch_sub(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes every subscription registered through `mailbox` (the owning
+    /// connection is going away).  Returns how many were dropped.
+    pub fn remove_mailbox(&self, mailbox: &Arc<NotifyMailbox>) -> usize {
+        let datasets = self.datasets.lock().expect("subscription book poisoned");
+        let mut dropped = 0usize;
+        for subs in datasets.values() {
+            let mut subs = subs.lock().expect("subscription list poisoned");
+            let before = subs.len();
+            subs.retain(|s| !Arc::ptr_eq(&s.mailbox, mailbox));
+            dropped += before - subs.len();
+        }
+        self.active.fetch_sub(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Maintains every subscription in `subs` across one applied update
+    /// batch.  `entry` is the post-apply snapshot and `version` its version.
+    /// The caller holds the dataset's subscription lock (the same one it
+    /// held across the registry apply).
+    ///
+    /// Per subscription: deltas are triaged in batch order against the
+    /// evolving resident result; the first delta that requires enumeration
+    /// subsumes the rest of the batch in a single re-evaluation.  Changed
+    /// results are pushed to the owning mailbox; an unaffected batch only
+    /// moves the version stamp and pushes nothing.  Subscriptions whose
+    /// focal record the batch deleted are cancelled (with a final
+    /// cancellation event) and removed.
+    pub fn triage_batch(
+        &self,
+        subs: &mut Vec<Arc<Subscription>>,
+        entry: &DatasetEntry,
+        updates: &[Update],
+        version: u64,
+    ) {
+        let mut cancelled = 0usize;
+        subs.retain(|sub| {
+            if !entry.data().is_live(sub.focal) {
+                sub.mailbox.push(NotifyEvent {
+                    subscription: sub.id,
+                    dataset: sub.dataset.clone(),
+                    focal: sub.focal,
+                    version,
+                    kind: NotifyKind::Cancelled {
+                        reason: format!("focal {} was deleted", sub.focal),
+                    },
+                });
+                cancelled += 1;
+                return false;
+            }
+            self.maintain_one(sub, entry, updates, version);
+            true
+        });
+        self.active.fetch_sub(cancelled as u64, Ordering::Relaxed);
+    }
+
+    fn maintain_one(
+        &self,
+        sub: &Arc<Subscription>,
+        entry: &DatasetEntry,
+        updates: &[Update],
+        version: u64,
+    ) {
+        let focal_row = entry.data().record(sub.focal);
+        let mut state = sub.state.lock().expect("subscription lock poisoned");
+        let mut result = Arc::clone(&state.result);
+        let mut changed = false;
+        let mut reenumerate = false;
+        for update in updates {
+            self.deltas_triaged.fetch_add(1, Ordering::Relaxed);
+            let verdict = match update {
+                Update::Insert(row) => triage_insert(&result, focal_row, row),
+                // Tombstoned slots keep their coordinates readable, so the
+                // post-apply snapshot still knows what was deleted.
+                Update::Delete(id) => triage_delete(&result, focal_row, entry.data().record(*id)),
+            };
+            match verdict {
+                DeltaTriage::Unaffected => {
+                    self.unaffected_skips.fetch_add(1, Ordering::Relaxed);
+                }
+                DeltaTriage::RankShift(shift) => {
+                    result = Arc::new(shift_result(&result, shift));
+                    changed = true;
+                    self.partial_repairs.fetch_add(1, Ordering::Relaxed);
+                }
+                DeltaTriage::ReEnumerate => {
+                    // One evaluation covers this delta and whatever follows
+                    // in the batch; stop classifying.
+                    self.full_reevals.fetch_add(1, Ordering::Relaxed);
+                    reenumerate = true;
+                    break;
+                }
+            }
+        }
+        if reenumerate {
+            let config = MaxRankConfig {
+                tau: sub.tau,
+                algorithm: sub.algorithm,
+                ..MaxRankConfig::new()
+            };
+            result = Arc::new(
+                MaxRankQuery::new(entry.data(), entry.tree()).evaluate(sub.focal, &config),
+            );
+            changed = true;
+        }
+        state.version = version;
+        if changed {
+            state.result = Arc::clone(&result);
+            sub.mailbox.push(NotifyEvent {
+                subscription: sub.id,
+                dataset: sub.dataset.clone(),
+                focal: sub.focal,
+                version,
+                kind: NotifyKind::Changed {
+                    result,
+                    algorithm: sub.algorithm,
+                },
+            });
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SubscriptionStats {
+        SubscriptionStats {
+            active: self.active.load(Ordering::Relaxed),
+            deltas_triaged: self.deltas_triaged.load(Ordering::Relaxed),
+            unaffected_skips: self.unaffected_skips.load(Ordering::Relaxed),
+            partial_repairs: self.partial_repairs.load(Ordering::Relaxed),
+            full_reevals: self.full_reevals.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -86,6 +86,26 @@ fn query_strategy() -> impl Strategy<Value = Request> {
         )
 }
 
+fn subscribe_strategy() -> impl Strategy<Value = Request> {
+    (
+        name_strategy(),
+        any::<u32>(),
+        0usize..ALGORITHMS.len(),
+        0usize..4,
+    )
+        .prop_map(|(dataset, focal, algo, tau)| Request::Subscribe {
+            dataset,
+            focal,
+            algorithm: ALGORITHMS[algo],
+            tau,
+        })
+}
+
+fn unsubscribe_strategy() -> impl Strategy<Value = Request> {
+    // Ids ride the JSON number lane (f64), which is exact up to 2^53.
+    (0u64..=(1u64 << 53)).prop_map(|subscription| Request::Unsubscribe { subscription })
+}
+
 fn update_strategy() -> impl Strategy<Value = Request> {
     (
         name_strategy(),
@@ -162,13 +182,20 @@ proptest! {
         prop_assert!(read_frame(&mut stream).unwrap().is_none(), "exactly one frame");
     }
 
-    /// All six verbs survive encode → parse unchanged — both directly and
+    /// All eight verbs survive encode → parse unchanged — both directly and
     /// through the frame layer.
     #[test]
-    fn every_verb_round_trips(query in query_strategy(), update in update_strategy()) {
+    fn every_verb_round_trips(
+        query in query_strategy(),
+        update in update_strategy(),
+        subscribe in subscribe_strategy(),
+        unsubscribe in unsubscribe_strategy(),
+    ) {
         for request in [
             query,
             update,
+            subscribe,
+            unsubscribe,
             Request::Stats,
             Request::List,
             Request::Ping,
@@ -195,10 +222,12 @@ proptest! {
     fn mutated_valid_payloads_never_panic(
         query in query_strategy(),
         update in update_strategy(),
+        subscribe in subscribe_strategy(),
+        unsubscribe in unsubscribe_strategy(),
         flips in prop::collection::vec((any::<usize>(), 0u8..=255u8), 1..8),
         cut in any::<usize>(),
     ) {
-        for request in [query, update] {
+        for request in [query, update, subscribe, unsubscribe] {
             let mut bytes = request.encode().into_bytes();
             for (pos, val) in &flips {
                 let i = pos % bytes.len();

@@ -1,0 +1,290 @@
+//! The differential harness for standing queries — the acceptance test of
+//! the subscription subsystem.
+//!
+//! A seeded interleaving of `SUBSCRIBE`, `UNSUBSCRIBE` and `UPDATE` batches
+//! runs against one `MrqService` while a *mirror* dataset replays the same
+//! updates outside the service.  After every applied batch the harness
+//! checks two things for every subscription:
+//!
+//! 1. **Every notification is exact.**  Each `Changed` event's carried
+//!    result must fingerprint-equal a fresh evaluation on a bulk-loaded
+//!    index over the mirror at the event's version, and its witnesses must
+//!    attain their region orders on that data.  `Cancelled` events must
+//!    coincide with the focal's deletion.
+//! 2. **Every silence is exact too.**  Unaffected and rank-shifted
+//!    subscriptions never re-enumerate — so the harness additionally
+//!    snapshots every *surviving* subscription and requires the resident
+//!    result to match a fresh rebuild at the new version.  A triage pass
+//!    that wrongly certified a crossing delta as unaffected would keep a
+//!    stale result resident and fail here even though no NOTIFY fired.
+//!
+//! A directed companion test pins the triage counters down: batches of
+//! dominated / dominating deltas must resolve entirely through
+//! `unaffected_skips` and `partial_repairs` (the resident `Arc` is
+//! physically untouched for skips), with `full_reevals` reserved for the
+//! one genuinely crossing delta.
+
+mod common;
+
+use common::{assert_witnesses_hold, fingerprint, fresh_eval, random_batch};
+use mrq_core::Algorithm;
+use mrq_data::{synthetic, Dataset, Distribution, Update};
+use mrq_service::{
+    DatasetRegistry, MrqService, NotifyKind, NotifyMailbox, ServiceConfig, Subscription,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Registers a subscription on a uniformly chosen live focal and checks the
+/// acknowledged resident result against a fresh rebuild.
+fn subscribe_random(
+    service: &MrqService,
+    mirror: &Dataset,
+    algorithms: &[Algorithm],
+    mailbox: &Arc<NotifyMailbox>,
+    rng: &mut StdRng,
+    live_subs: &mut HashMap<u64, Arc<Subscription>>,
+) {
+    let live: Vec<u32> = mirror.iter().map(|(id, _)| id).collect();
+    let focal = live[rng.gen_range(0..live.len())];
+    let algorithm = algorithms[rng.gen_range(0..algorithms.len())];
+    let tau = rng.gen_range(0..2usize);
+    let sub = service
+        .subscribe("dyn", focal, algorithm, tau, Arc::clone(mailbox))
+        .expect("subscribing to a live focal succeeds");
+    let (result, version) = sub.snapshot();
+    assert_eq!(version, mirror.version(), "ack must carry the live version");
+    let fresh = fresh_eval(mirror, focal, sub.algorithm(), tau);
+    assert_eq!(
+        fingerprint(&result),
+        fingerprint(&fresh),
+        "subscription ack diverged from a fresh rebuild (focal {focal}, {algorithm:?}, tau {tau})"
+    );
+    live_subs.insert(sub.id(), sub);
+}
+
+fn run_script(d: usize, dist: Distribution, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mirror = synthetic::generate(dist, 40, d, &mut rng);
+    let registry = Arc::new(DatasetRegistry::new());
+    registry.register_loaded("dyn", mirror.clone()).unwrap();
+    let service = MrqService::new(
+        Arc::clone(&registry),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let algorithms: &[Algorithm] = if d == 2 {
+        &[
+            Algorithm::Fca,
+            Algorithm::BasicApproach,
+            Algorithm::AdvancedApproach,
+            Algorithm::AdvancedApproach2D,
+        ]
+    } else {
+        &[Algorithm::BasicApproach, Algorithm::AdvancedApproach]
+    };
+    let mailbox = Arc::new(NotifyMailbox::new());
+    let mut live_subs: HashMap<u64, Arc<Subscription>> = HashMap::new();
+    for _ in 0..4 {
+        subscribe_random(
+            &service,
+            &mirror,
+            algorithms,
+            &mailbox,
+            &mut rng,
+            &mut live_subs,
+        );
+    }
+
+    for _ in 0..24 {
+        let roll: f64 = rng.gen();
+        if roll < 0.20 {
+            subscribe_random(
+                &service,
+                &mirror,
+                algorithms,
+                &mailbox,
+                &mut rng,
+                &mut live_subs,
+            );
+        } else if roll < 0.32 && !live_subs.is_empty() {
+            let ids: Vec<u64> = live_subs.keys().copied().collect();
+            let id = ids[rng.gen_range(0..ids.len())];
+            assert!(service.unsubscribe(id), "live ids must unsubscribe cleanly");
+            live_subs.remove(&id);
+        } else {
+            let batch = random_batch(&mirror, &mut rng);
+            service.update("dyn", &batch).unwrap();
+            for update in &batch {
+                mirror.apply(update).unwrap();
+            }
+            let version = mirror.version();
+
+            // 1. Every pushed event is exact at the version it carries.
+            for event in mailbox.drain() {
+                assert_eq!(event.version, version, "events are pushed in-batch");
+                match &event.kind {
+                    NotifyKind::Changed { result, .. } => {
+                        let sub = &live_subs[&event.subscription];
+                        let fresh = fresh_eval(&mirror, event.focal, sub.algorithm(), sub.tau());
+                        assert_eq!(
+                            fingerprint(result),
+                            fingerprint(&fresh),
+                            "NOTIFY'd result diverged from a fresh rebuild at version \
+                             {version} (focal {}, {:?}, tau {})",
+                            event.focal,
+                            sub.algorithm(),
+                            sub.tau()
+                        );
+                        assert_witnesses_hold(result, &mirror, event.focal);
+                    }
+                    NotifyKind::Cancelled { reason } => {
+                        assert!(reason.contains("deleted"), "unexpected reason: {reason}");
+                        assert!(
+                            !mirror.is_live(event.focal),
+                            "cancellation without a focal deletion"
+                        );
+                        live_subs
+                            .remove(&event.subscription)
+                            .expect("cancelled subscription was registered");
+                    }
+                }
+            }
+
+            // 2. Silence is exact too: even subscriptions that got *no*
+            // event must now be resident-correct at the new version.
+            for sub in live_subs.values() {
+                let (result, v) = sub.snapshot();
+                assert_eq!(
+                    v, version,
+                    "every survivor is stamped with the batch version"
+                );
+                let fresh = fresh_eval(&mirror, sub.focal(), sub.algorithm(), sub.tau());
+                assert_eq!(
+                    fingerprint(&result),
+                    fingerprint(&fresh),
+                    "maintained result diverged from a fresh rebuild at version \
+                     {version} (focal {}, {:?}, tau {})",
+                    sub.focal(),
+                    sub.algorithm(),
+                    sub.tau()
+                );
+                assert_witnesses_hold(&result, &mirror, sub.focal());
+            }
+        }
+    }
+
+    let stats = service.stats().subscriptions;
+    assert_eq!(stats.active as usize, live_subs.len());
+    assert_eq!(
+        stats.deltas_triaged,
+        stats.unaffected_skips + stats.partial_repairs + stats.full_reevals,
+        "every examined delta lands in exactly one triage bucket"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn maintained_results_match_rebuilds_2d() {
+    run_script(2, Distribution::Independent, 20150801);
+    run_script(2, Distribution::AntiCorrelated, 42);
+}
+
+#[test]
+fn maintained_results_match_rebuilds_3d() {
+    run_script(3, Distribution::Correlated, 7);
+    run_script(3, Distribution::Independent, 2015);
+}
+
+/// Directed counter attestation on the demo dataset: dominated inserts are
+/// certified unaffected without touching the resident `Arc`, dominating
+/// inserts are repaired arithmetically, and only the genuinely crossing
+/// delete re-enumerates — so the non-intersecting majority of deltas never
+/// re-runs cell enumeration.
+#[test]
+fn triage_counters_attest_skipped_enumeration() {
+    let rows: Vec<Vec<f64>> = vec![
+        vec![0.8, 0.9],
+        vec![0.2, 0.7],
+        vec![0.9, 0.4],
+        vec![0.7, 0.2],
+        vec![0.4, 0.3],
+        vec![0.5, 0.5],
+    ];
+    let mut mirror = Dataset::from_rows(2, &rows);
+    let registry = Arc::new(DatasetRegistry::new());
+    registry.register_loaded("dyn", mirror.clone()).unwrap();
+    let service = MrqService::new(Arc::clone(&registry), ServiceConfig::default());
+    let mailbox = Arc::new(NotifyMailbox::new());
+    let sub = service
+        .subscribe("dyn", 5, Algorithm::Auto, 0, Arc::clone(&mailbox))
+        .unwrap();
+    let (initial, _) = sub.snapshot();
+    assert_eq!(initial.k_star, 3);
+
+    // Batch A: three inserts dominated by the focal — certified unaffected;
+    // the resident result object itself must be untouched.
+    let dominated: Vec<Update> = vec![
+        Update::Insert(vec![0.05, 0.05]),
+        Update::Insert(vec![0.10, 0.02]),
+        Update::Insert(vec![0.02, 0.20]),
+    ];
+    service.update("dyn", &dominated).unwrap();
+    for update in &dominated {
+        mirror.apply(update).unwrap();
+    }
+    assert!(
+        mailbox.drain().is_empty(),
+        "unaffected deltas push no NOTIFY"
+    );
+    let (after_skip, v) = sub.snapshot();
+    assert_eq!(v, mirror.version());
+    assert!(
+        Arc::ptr_eq(&initial, &after_skip),
+        "a skipped batch must not rebuild the result"
+    );
+
+    // Batch B: two inserts dominating the focal — pure arithmetic repair,
+    // one Changed event for the whole batch.
+    let dominating: Vec<Update> = vec![
+        Update::Insert(vec![0.95, 0.95]),
+        Update::Insert(vec![0.90, 0.99]),
+    ];
+    service.update("dyn", &dominating).unwrap();
+    for update in &dominating {
+        mirror.apply(update).unwrap();
+    }
+    let events = mailbox.drain();
+    assert_eq!(events.len(), 1);
+    match &events[0].kind {
+        NotifyKind::Changed { result, .. } => assert_eq!(result.k_star, 5),
+        other => panic!("expected a change, got {other:?}"),
+    }
+
+    // Batch C: deleting an incomparable record can promote outside cells
+    // into the window — the one delta that must re-enumerate.
+    let crossing: Vec<Update> = vec![Update::Delete(2)];
+    service.update("dyn", &crossing).unwrap();
+    mirror.apply(&crossing[0]).unwrap();
+    let events = mailbox.drain();
+    assert_eq!(events.len(), 1);
+    let (final_result, final_version) = sub.snapshot();
+    assert_eq!(final_version, mirror.version());
+    let fresh = fresh_eval(&mirror, 5, sub.algorithm(), 0);
+    assert_eq!(fingerprint(&final_result), fingerprint(&fresh));
+    assert_witnesses_hold(&final_result, &mirror, 5);
+
+    let stats = service.stats().subscriptions;
+    assert_eq!(stats.deltas_triaged, 6);
+    assert_eq!(stats.unaffected_skips, 3);
+    assert_eq!(stats.partial_repairs, 2);
+    assert_eq!(stats.full_reevals, 1);
+    assert!(
+        stats.unaffected_skips + stats.partial_repairs > stats.full_reevals,
+        "non-intersecting deltas must dominate the triage outcome"
+    );
+    service.shutdown();
+}

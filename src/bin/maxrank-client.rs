@@ -4,6 +4,7 @@
 //! maxrank-client --port 7171 --dataset demo --focal 5
 //! maxrank-client --addr 127.0.0.1:7171 --dataset bench --focal 17 --tau 2 --algorithm aa
 //! maxrank-client --port 7171 --dataset bench update --insert 0.4,0.7,0.2 --delete 17
+//! maxrank-client --port 7171 --dataset demo subscribe --focal 5 --watch --count 1
 //! maxrank-client --port 7171 --stats
 //! maxrank-client --port 7171 --list
 //! maxrank-client --port 7171 --ping
@@ -14,8 +15,14 @@
 //! (repeatable) followed by every `--delete ID` (repeatable).  The server
 //! answers with the dataset's new version and the ids assigned to the
 //! inserted rows; see `docs/PROTOCOL.md` for the wire format.
+//!
+//! `subscribe` registers a standing query and prints the initial result.
+//! With `--watch` it then blocks printing server-push `NOTIFY` lines as the
+//! maintained result changes; `--count N` exits after N notifications and
+//! `--timeout-ms MS` bounds each wait (`no NOTIFY within MS ms` and a clean
+//! exit when nothing arrives — the negative-test hook).
 
-use maxrank::service::{Client, QueryOptions};
+use maxrank::service::{Client, Notification, QueryOptions};
 use mrq_core::Algorithm;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -33,6 +40,9 @@ struct Args {
     update: bool,
     inserts: Vec<Vec<f64>>,
     deletes: Vec<u32>,
+    subscribe: bool,
+    watch: bool,
+    count: Option<u64>,
     stats: bool,
     list: bool,
     ping: bool,
@@ -44,6 +54,8 @@ fn usage() -> String {
      (--dataset NAME --focal ID [--algorithm auto|fca|ba|aa|aa2d] [--tau T] \
      [--timeout-ms MS] [--no-cache] [--threads N] [--regions N] \
      | --dataset NAME update (--insert x,y,..)* (--delete ID)* \
+     | --dataset NAME subscribe --focal ID [--algorithm A] [--tau T] \
+     [--watch] [--count N] [--timeout-ms MS] \
      | --stats | --list | --ping | --shutdown)"
         .to_string()
 }
@@ -62,6 +74,9 @@ fn parse_args() -> Result<Args, String> {
         update: false,
         inserts: Vec::new(),
         deletes: Vec::new(),
+        subscribe: false,
+        watch: false,
+        count: None,
         stats: false,
         list: false,
         ping: false,
@@ -127,6 +142,16 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--regions: {e}"))?
             }
             "update" | "--update" => args.update = true,
+            "subscribe" | "--subscribe" => args.subscribe = true,
+            "--watch" => args.watch = true,
+            "--count" => {
+                args.count = Some(
+                    it.next()
+                        .ok_or("--count needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--count: {e}"))?,
+                )
+            }
             "--insert" => {
                 let raw = it.next().ok_or("--insert needs comma-separated values")?;
                 let row: Result<Vec<f64>, _> = raw.split(',').map(|c| c.trim().parse()).collect();
@@ -186,6 +211,18 @@ fn main() -> ExitCode {
                 "jobs            : {} executed, {} coalesced, {} timed out",
                 s.pool.executed, s.pool.coalesced, s.pool.timed_out
             );
+            // Absent on pre-subscription servers: the client defaults every
+            // counter to zero, so this line still prints.
+            let sub = &s.subscriptions;
+            println!(
+                "subscriptions   : {} active, {} deltas triaged \
+                 ({} unaffected_skips, {} partial_repairs, {} full_reevals)",
+                sub.active,
+                sub.deltas_triaged,
+                sub.unaffected_skips,
+                sub.partial_repairs,
+                sub.full_reevals
+            );
             if s.durability.durable_datasets > 0 {
                 let d = &s.durability;
                 println!(
@@ -243,6 +280,58 @@ fn main() -> ExitCode {
         client
             .shutdown_server()
             .map(|()| println!("server shut down"))
+    } else if args.subscribe {
+        let (Some(dataset), Some(focal)) = (&args.dataset, args.focal) else {
+            eprintln!("subscribe needs --dataset NAME --focal ID\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let wait = args.timeout_ms.map(Duration::from_millis);
+        client
+            .subscribe(dataset, focal, args.algorithm, args.tau)
+            .and_then(|ack| {
+                println!("subscription      : {}", ack.subscription);
+                println!("dataset           : {} (focal {})", ack.dataset, ack.focal);
+                println!("algorithm         : {}", ack.algorithm);
+                if ack.tau > 0 {
+                    println!("tau               : {}", ack.tau);
+                }
+                println!("dataset version   : {}", ack.version);
+                println!("k* (best rank)    : {}", ack.k_star);
+                println!("result regions    : {}", ack.region_count);
+                if !args.watch {
+                    return Ok(());
+                }
+                let mut remaining = args.count;
+                loop {
+                    match client.wait_notify(wait)? {
+                        None => {
+                            println!(
+                                "no NOTIFY within {} ms",
+                                wait.map(|t| t.as_millis()).unwrap_or_default()
+                            );
+                            return Ok(());
+                        }
+                        Some(Notification::Changed(reply)) => {
+                            println!(
+                                "NOTIFY change     : version {}, k* {}, {} regions",
+                                reply.version, reply.k_star, reply.region_count
+                            );
+                        }
+                        Some(Notification::Cancelled {
+                            version, reason, ..
+                        }) => {
+                            println!("NOTIFY cancelled  : version {version} ({reason})");
+                            return Ok(());
+                        }
+                    }
+                    if let Some(count) = &mut remaining {
+                        *count = count.saturating_sub(1);
+                        if *count == 0 {
+                            return Ok(());
+                        }
+                    }
+                }
+            })
     } else if args.update {
         let Some(dataset) = &args.dataset else {
             eprintln!("update needs --dataset NAME\n{}", usage());

@@ -21,8 +21,15 @@
 //! snapshot, discarding a torn tail left by a crash).  A clean shutdown
 //! checkpoints each dataset so the next start is a pure snapshot load.
 //!
-//! See `docs/ARCHITECTURE.md` ("The serving layer", "Persistence and
-//! recovery") for the protocol grammar and the threading model.
+//! Besides one-shot `QUERY` requests the server maintains **standing
+//! queries**: a client that sends `SUBSCRIBE` gets its focal's result kept
+//! resident and incrementally repaired across every `UPDATE` batch, with
+//! server-push `NOTIFY` frames whenever it changes (see `maxrank-client
+//! subscribe --watch`).
+//!
+//! See `docs/ARCHITECTURE.md` ("The serving layer", "Standing queries",
+//! "Persistence and recovery") for the protocol grammar and the threading
+//! model.
 
 use maxrank::service::{
     DatasetRegistry, DatasetSpec, DurabilityOptions, MrqService, Server, ServiceConfig,
