@@ -1,0 +1,228 @@
+//! `mrq-load` — open-loop workload driver with latency histograms.
+//!
+//! ```text
+//! # Drive an in-process service (no socket cost):
+//! mrq-load --dataset bench=ind:n=2000,d=3,seed=42 --rate 500 --ops 3000 \
+//!          --threads 4 --mix 85:10:5 --zipf 0.8 --seed 2015 --json out.json
+//!
+//! # Drive a running maxrank-serve over TCP:
+//! mrq-load --connect 127.0.0.1:7171 --target-dataset demo --rate 200 --ops 1000
+//! ```
+//!
+//! Operations are scheduled open-loop at `--rate` per second and latencies
+//! are measured from the *scheduled* start (queueing delay is charged to the
+//! server, not hidden by a slow client).  The mixed workload —
+//! query : update : subscribe in the `--mix` proportions, focals drawn
+//! Zipfian with skew `--zipf` — is derived deterministically from `--seed`.
+//! The run prints a summary table and optionally dumps the full report
+//! (`maxrank-load-v1` schema) as JSON with `--json PATH`.
+
+use mrq_bench::load::{run, LoadConfig, Target};
+use mrq_service::{Client, DatasetRegistry, DatasetSpec, MrqService, ServiceConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    datasets: Vec<(String, DatasetSpec)>,
+    connect: Option<String>,
+    target_dataset: Option<String>,
+    config: LoadConfig,
+    workers: Option<usize>,
+    json: Option<String>,
+}
+
+fn usage() -> String {
+    "usage: mrq-load (--dataset NAME=SPEC... | --connect HOST:PORT) \
+     [--target-dataset NAME] [--rate OPS_PER_S] [--ops N] [--threads N] \
+     [--mix Q:U:S] [--zipf THETA] [--seed N] [--workers N] [--json PATH]\n\
+     SPEC: demo | ind:n=1000,d=3,seed=42 | cor:... | anti:... | \
+     hotel:scale=0.01 | csv:path=FILE,dims=D\n\
+     --dataset builds an in-process service; --connect drives a running \
+     maxrank-serve instead.  --target-dataset picks which dataset to drive \
+     (default: the first --dataset name, or the server's first dataset).\n\
+     Defaults: --rate 500 --ops 1000 --threads 2 --mix 85:10:5 --zipf 0.8 \
+     --seed 2015"
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        datasets: Vec::new(),
+        connect: None,
+        target_dataset: None,
+        config: LoadConfig::default(),
+        workers: None,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dataset" => {
+                let raw = it.next().ok_or("--dataset needs NAME=SPEC")?;
+                let (name, spec) = raw
+                    .split_once('=')
+                    .ok_or_else(|| format!("--dataset '{raw}' is not NAME=SPEC"))?;
+                let spec =
+                    DatasetSpec::parse(spec).map_err(|e| format!("--dataset {name}: {e}"))?;
+                args.datasets.push((name.to_string(), spec));
+            }
+            "--connect" => args.connect = Some(it.next().ok_or("--connect needs HOST:PORT")?),
+            "--target-dataset" => {
+                args.target_dataset = Some(it.next().ok_or("--target-dataset needs a name")?)
+            }
+            "--rate" => {
+                args.config.rate = next_value(&mut it, "--rate")?;
+                if args.config.rate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err("--rate must be positive".into());
+                }
+            }
+            "--ops" => args.config.ops = next_value(&mut it, "--ops")?,
+            "--threads" => {
+                args.config.threads = next_value(&mut it, "--threads")?;
+                if args.config.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
+            "--mix" => {
+                let raw: String = it.next().ok_or("--mix needs Q:U:S")?;
+                let parts: Vec<&str> = raw.split(':').collect();
+                if parts.len() != 3 {
+                    return Err(format!("--mix '{raw}' is not Q:U:S"));
+                }
+                for (slot, part) in args.config.mix.iter_mut().zip(&parts) {
+                    *slot = part.parse().map_err(|e| format!("--mix '{raw}': {e}"))?;
+                }
+                if args.config.mix.iter().sum::<u32>() == 0 {
+                    return Err("--mix needs at least one positive weight".into());
+                }
+            }
+            "--zipf" => args.config.zipf_theta = next_value(&mut it, "--zipf")?,
+            "--seed" => args.config.seed = next_value(&mut it, "--seed")?,
+            "--workers" => {
+                let n: usize = next_value(&mut it, "--workers")?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                args.workers = Some(n);
+            }
+            "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    match (&args.connect, args.datasets.is_empty()) {
+        (None, true) => Err(format!(
+            "nothing to drive: pass --dataset NAME=SPEC or --connect HOST:PORT\n{}",
+            usage()
+        )),
+        (Some(_), false) => Err("--dataset and --connect are mutually exclusive".into()),
+        _ => Ok(args),
+    }
+}
+
+fn next_value<T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    it.next()
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Resolve the target and the dataset's (records, dims) for the driver.
+    let target = if let Some(addr) = &args.connect {
+        let mut probe = match Client::connect(addr.as_str()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("failed to connect {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let listed = match probe.list() {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("failed to list datasets on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let wanted = args.target_dataset.clone();
+        let Some((name, records, dims)) = listed
+            .iter()
+            .find(|(name, _, _)| wanted.as_deref().is_none_or(|w| w == name))
+            .cloned()
+        else {
+            eprintln!(
+                "dataset {:?} not served at {addr} (available: {:?})",
+                wanted,
+                listed.iter().map(|(n, _, _)| n).collect::<Vec<_>>()
+            );
+            return ExitCode::FAILURE;
+        };
+        args.config.dataset = name;
+        args.config.records = records;
+        args.config.dims = dims;
+        Target::Tcp(addr.clone())
+    } else {
+        let registry = Arc::new(DatasetRegistry::new());
+        let mut resolved = None;
+        for (name, spec) in &args.datasets {
+            let entry = match registry.register(name, spec) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("failed to load dataset '{name}': {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let is_target = args.target_dataset.as_deref().is_none_or(|w| w == name);
+            if resolved.is_none() && is_target {
+                resolved = Some((name.clone(), entry.data().len(), entry.data().dims()));
+            }
+        }
+        let Some((name, records, dims)) = resolved else {
+            eprintln!(
+                "--target-dataset {:?} is not among the --dataset names",
+                args.target_dataset
+            );
+            return ExitCode::FAILURE;
+        };
+        args.config.dataset = name;
+        args.config.records = records;
+        args.config.dims = dims;
+        let defaults = ServiceConfig::default();
+        let config = ServiceConfig {
+            workers: args.workers.unwrap_or(defaults.workers),
+            ..defaults
+        };
+        Target::InProcess(Arc::new(MrqService::new(registry, config)))
+    };
+
+    let report = match run(&target, &args.config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("workload failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.summary());
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("failed to write --json {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("report  : wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

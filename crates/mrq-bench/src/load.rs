@@ -1,0 +1,708 @@
+//! Open-loop workload driver for the serving layer.
+//!
+//! The driver models an *open* system: operation `i` is scheduled at
+//! `start + i / rate` regardless of whether earlier operations have
+//! finished, and each latency is measured **from the scheduled start**, not
+//! from when the thread got around to issuing it.  A server that falls
+//! behind therefore shows its queueing delay in the recorded latencies
+//! instead of silently slowing the workload down (the coordinated-omission
+//! trap of closed-loop drivers).
+//!
+//! The full schedule — operation kind (query / update / subscribe) and the
+//! Zipfian-selected focal record — is precomputed from a single seeded RNG,
+//! so a given `(seed, ops, mix, zipf)` tuple always issues the same logical
+//! workload no matter how many driver threads partition it (thread `t` takes
+//! operations `i ≡ t (mod threads)`).  Each thread records into a private
+//! [`LogHistogram`] shard; shards merge by count addition at the end.
+//!
+//! Update operations insert one random row and, once a thread's backlog of
+//! its own insertions exceeds a cap, delete the oldest of them in the same
+//! batch — the driver never deletes a record it did not insert, so Zipfian
+//! focal selection over the initial id range stays valid throughout the run.
+//!
+//! Two targets are supported: `Target::InProcess` drives an [`MrqService`]
+//! directly (no protocol or socket cost — measures the service stack), and
+//! `Target::Tcp` opens one [`Client`] connection per thread against a
+//! running `maxrank-serve` (measures the full deployment).  The `mrq-load`
+//! binary wraps both and dumps the report as `maxrank-load-v1` JSON.
+
+use crate::histogram::LogHistogram;
+use mrq_core::Algorithm;
+use mrq_data::{RecordId, Update};
+use mrq_service::{Client, MrqService, NotifyMailbox, QueryRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-thread cap on driver-inserted rows awaiting deletion.
+const UPDATE_BACKLOG_CAP: usize = 64;
+/// Per-thread cap on live standing queries.
+const SUBSCRIPTION_CAP: usize = 8;
+
+/// The three operation kinds a mixed workload is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// One-shot MaxRank query on a Zipfian-selected focal.
+    Query,
+    /// Insert one random row (plus, at the backlog cap, delete the oldest
+    /// driver-inserted row).
+    Update,
+    /// Register a standing query on a Zipfian-selected focal (at the cap,
+    /// the oldest subscription is cancelled first).
+    Subscribe,
+}
+
+impl OpKind {
+    const ALL: [OpKind; 3] = [OpKind::Query, OpKind::Update, OpKind::Subscribe];
+
+    /// Lowercase name used in reports and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Query => "query",
+            OpKind::Update => "update",
+            OpKind::Subscribe => "subscribe",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OpKind::Query => 0,
+            OpKind::Update => 1,
+            OpKind::Subscribe => 2,
+        }
+    }
+}
+
+/// What the driver runs against.
+pub enum Target {
+    /// Drive a service in this process (no socket / protocol overhead).
+    InProcess(Arc<MrqService>),
+    /// Connect each driver thread to `maxrank-serve` at this address.
+    Tcp(String),
+}
+
+/// Workload parameters.  `records` and `dims` describe the target dataset
+/// (the `mrq-load` binary resolves them automatically).
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Dataset to drive.
+    pub dataset: String,
+    /// Focal universe: ids `0..records` must be live for the whole run.
+    pub records: usize,
+    /// Row dimensionality for generated inserts.
+    pub dims: usize,
+    /// Target arrival rate, operations per second (open loop).
+    pub rate: f64,
+    /// Total operations to issue.
+    pub ops: u64,
+    /// Driver threads partitioning the schedule.
+    pub threads: usize,
+    /// Mix weights `query:update:subscribe` (any non-negative integers,
+    /// at least one positive).
+    pub mix: [u32; 3],
+    /// Zipf skew for focal selection: 0 = uniform, ~1 = heavily skewed.
+    pub zipf_theta: f64,
+    /// Seed for the (deterministic) schedule and row generator.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            dataset: "demo".to_string(),
+            records: 0,
+            dims: 0,
+            rate: 500.0,
+            ops: 1000,
+            threads: 2,
+            mix: [85, 10, 5],
+            zipf_theta: 0.8,
+            seed: 2015,
+        }
+    }
+}
+
+/// Latency and error totals for one operation kind.
+#[derive(Debug, Clone)]
+pub struct KindReport {
+    /// Which kind this summarizes.
+    pub kind: OpKind,
+    /// Operations issued.
+    pub count: u64,
+    /// Operations that returned an error (their latency is still recorded).
+    pub errors: u64,
+    /// Latencies in nanoseconds, measured from the scheduled start.
+    pub latency: LogHistogram,
+}
+
+/// The merged outcome of a run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The configuration that produced this report.
+    pub config: LoadConfig,
+    /// Wall-clock duration of the issuing phase, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Per-kind latency shards, in query / update / subscribe order.
+    pub kinds: Vec<KindReport>,
+    /// All kinds merged.
+    pub overall: LogHistogram,
+}
+
+impl LoadReport {
+    /// Achieved throughput in operations per second.
+    pub fn achieved_ops_per_s(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.overall.count() as f64 * 1e9 / self.elapsed_ns as f64
+        }
+    }
+
+    /// Total errors across every kind.
+    pub fn errors(&self) -> u64 {
+        self.kinds.iter().map(|k| k.errors).sum()
+    }
+
+    /// The report as `maxrank-load-v1` JSON.  Counters and nanosecond
+    /// quantiles are formatted as integers directly — no f64 round-trip.
+    pub fn to_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        fn hist_object(out: &mut String, count: u64, errors: u64, h: &LogHistogram) {
+            out.push_str(&format!(
+                "{{\"count\": {count}, \"errors\": {errors}, \"min_ns\": {}, \
+                 \"mean_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \
+                 \"p999_ns\": {}, \"max_ns\": {}}}",
+                h.min(),
+                h.mean().round() as u64,
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.quantile(0.999),
+                h.max(),
+            ));
+        }
+        let c = &self.config;
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"maxrank-load-v1\",\n");
+        out.push_str(&format!("  \"dataset\": \"{}\",\n", escape(&c.dataset)));
+        out.push_str(&format!("  \"records\": {},\n", c.records));
+        out.push_str(&format!("  \"dims\": {},\n", c.dims));
+        out.push_str(&format!("  \"rate_ops_per_s\": {},\n", c.rate));
+        out.push_str(&format!("  \"ops\": {},\n", c.ops));
+        out.push_str(&format!("  \"threads\": {},\n", c.threads));
+        out.push_str(&format!(
+            "  \"mix\": {{\"query\": {}, \"update\": {}, \"subscribe\": {}}},\n",
+            c.mix[0], c.mix[1], c.mix[2]
+        ));
+        out.push_str(&format!("  \"zipf_theta\": {},\n", c.zipf_theta));
+        out.push_str(&format!("  \"seed\": {},\n", c.seed));
+        out.push_str(&format!("  \"elapsed_ns\": {},\n", self.elapsed_ns));
+        out.push_str(&format!(
+            "  \"achieved_ops_per_s\": {:.3},\n",
+            self.achieved_ops_per_s()
+        ));
+        out.push_str("  \"overall\": ");
+        hist_object(&mut out, self.overall.count(), self.errors(), &self.overall);
+        for kind in &self.kinds {
+            out.push_str(&format!(",\n  \"{}\": ", kind.kind.name()));
+            hist_object(&mut out, kind.count, kind.errors, &kind.latency);
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Human-readable one-screen summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "workload: {} ops @ {} ops/s target on '{}' ({} threads, mix {}:{}:{}, \
+             zipf {}, seed {})\n",
+            self.config.ops,
+            self.config.rate,
+            self.config.dataset,
+            self.config.threads,
+            self.config.mix[0],
+            self.config.mix[1],
+            self.config.mix[2],
+            self.config.zipf_theta,
+            self.config.seed,
+        ));
+        out.push_str(&format!(
+            "achieved : {:.1} ops/s over {:.3}s, {} errors\n",
+            self.achieved_ops_per_s(),
+            self.elapsed_ns as f64 / 1e9,
+            self.errors(),
+        ));
+        let row = |label: &str, count: u64, h: &LogHistogram| {
+            format!(
+                "{label:<9}: {count:>7} ops  p50 {:>9}ns  p99 {:>9}ns  p999 {:>9}ns  max {:>9}ns\n",
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.quantile(0.999),
+                h.max(),
+            )
+        };
+        out.push_str(&row("overall", self.overall.count(), &self.overall));
+        for kind in &self.kinds {
+            if kind.count > 0 {
+                out.push_str(&row(kind.kind.name(), kind.count, &kind.latency));
+            }
+        }
+        out
+    }
+}
+
+/// Zipfian sampler over ranks `0..n` via the cumulative harmonic weights
+/// (`P(r) ∝ 1/(r+1)^θ`), sampled by binary search.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, theta: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(theta);
+            cumulative.push(total);
+        }
+        Self { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("empty zipf table");
+        let u = rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c <= u)
+    }
+}
+
+/// One scheduled operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Op {
+    kind: OpKind,
+    focal: RecordId,
+}
+
+/// Precomputes the full `(kind, focal)` schedule from one seeded RNG.
+fn build_schedule(config: &LoadConfig) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let zipf = Zipf::new(config.records, config.zipf_theta);
+    let total: u32 = config.mix.iter().sum();
+    (0..config.ops)
+        .map(|_| {
+            let mut draw = rng.gen_range(0..total);
+            let mut kind = OpKind::Query;
+            for (k, &weight) in OpKind::ALL.iter().zip(&config.mix) {
+                if draw < weight {
+                    kind = *k;
+                    break;
+                }
+                draw -= weight;
+            }
+            let focal = zipf.sample(&mut rng) as RecordId;
+            Op { kind, focal }
+        })
+        .collect()
+}
+
+/// One driver thread's connection to the target.
+enum Conn {
+    Local {
+        service: Arc<MrqService>,
+        mailbox: Arc<NotifyMailbox>,
+    },
+    Remote(Client),
+}
+
+impl Conn {
+    fn query(&mut self, dataset: &str, focal: RecordId) -> Result<(), String> {
+        match self {
+            Conn::Local { service, .. } => service
+                .query(&QueryRequest::new(dataset, focal))
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+            Conn::Remote(client) => client
+                .query(dataset, focal)
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+        }
+    }
+
+    fn update(
+        &mut self,
+        dataset: &str,
+        insert: Vec<f64>,
+        delete: Option<RecordId>,
+    ) -> Result<RecordId, String> {
+        match self {
+            Conn::Local { service, .. } => {
+                let mut batch = vec![Update::Insert(insert)];
+                if let Some(id) = delete {
+                    batch.push(Update::Delete(id));
+                }
+                service
+                    .update(dataset, &batch)
+                    .map_err(|e| e.to_string())
+                    .and_then(|outcome| {
+                        outcome
+                            .inserted
+                            .first()
+                            .copied()
+                            .ok_or_else(|| "update acknowledged without an inserted id".to_string())
+                    })
+            }
+            Conn::Remote(client) => {
+                let deletes: Vec<RecordId> = delete.into_iter().collect();
+                client
+                    .update(dataset, &[insert], &deletes)
+                    .map_err(|e| e.to_string())
+                    .and_then(|reply| {
+                        reply
+                            .inserted
+                            .first()
+                            .copied()
+                            .ok_or_else(|| "update acknowledged without an inserted id".to_string())
+                    })
+            }
+        }
+    }
+
+    fn subscribe(&mut self, dataset: &str, focal: RecordId) -> Result<u64, String> {
+        match self {
+            Conn::Local { service, mailbox } => service
+                .subscribe(dataset, focal, Algorithm::Auto, 0, Arc::clone(mailbox))
+                .map(|sub| sub.id())
+                .map_err(|e| e.to_string()),
+            Conn::Remote(client) => client
+                .subscribe(dataset, focal, Algorithm::Auto, 0)
+                .map(|reply| reply.subscription)
+                .map_err(|e| e.to_string()),
+        }
+    }
+
+    fn unsubscribe(&mut self, id: u64) -> Result<(), String> {
+        match self {
+            Conn::Local { service, .. } => {
+                service.unsubscribe(id);
+                Ok(())
+            }
+            Conn::Remote(client) => client.unsubscribe(id).map_err(|e| e.to_string()),
+        }
+    }
+
+    /// Discards pending NOTIFY pushes so the mailbox / socket buffer stays
+    /// bounded.  Runs outside the timed section.
+    fn drain_notifications(&mut self) {
+        match self {
+            Conn::Local { mailbox, .. } => {
+                mailbox.drain();
+            }
+            Conn::Remote(client) => {
+                while let Ok(Some(_)) = client.wait_notify(Some(Duration::from_millis(1))) {}
+            }
+        }
+    }
+}
+
+/// One thread's private measurement shard.
+struct Shard {
+    counts: [u64; 3],
+    errors: [u64; 3],
+    hists: [LogHistogram; 3],
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            counts: [0; 3],
+            errors: [0; 3],
+            hists: [
+                LogHistogram::new(),
+                LogHistogram::new(),
+                LogHistogram::new(),
+            ],
+        }
+    }
+}
+
+/// Runs the workload and returns the merged report.
+pub fn run(target: &Target, config: &LoadConfig) -> Result<LoadReport, String> {
+    if config.records == 0 {
+        return Err("load driver needs a non-empty dataset (records = 0)".into());
+    }
+    if config.dims == 0 {
+        return Err("load driver needs the dataset dimensionality (dims = 0)".into());
+    }
+    if config.rate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err("--rate must be positive".into());
+    }
+    if config.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    if config.mix.iter().sum::<u32>() == 0 {
+        return Err("--mix needs at least one positive weight".into());
+    }
+    let schedule = build_schedule(config);
+
+    let started = Instant::now();
+    // Give every thread a moment to spawn before op 0 is due, so startup
+    // jitter does not masquerade as server latency.
+    let epoch = started + Duration::from_millis(20);
+    let shards: Vec<Shard> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.threads);
+        for thread in 0..config.threads {
+            let schedule = &schedule;
+            handles.push(scope.spawn(move || -> Result<Shard, String> {
+                let mut conn = match target {
+                    Target::InProcess(service) => Conn::Local {
+                        service: Arc::clone(service),
+                        mailbox: Arc::new(NotifyMailbox::new()),
+                    },
+                    Target::Tcp(addr) => Conn::Remote(
+                        Client::connect(addr.as_str())
+                            .map_err(|e| format!("connect {addr}: {e}"))?,
+                    ),
+                };
+                let mut rng = StdRng::seed_from_u64(
+                    config
+                        .seed
+                        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(thread as u64 + 1)),
+                );
+                let mut shard = Shard::new();
+                let mut backlog: VecDeque<RecordId> = VecDeque::new();
+                let mut subscriptions: VecDeque<u64> = VecDeque::new();
+                let mut index = thread;
+                while index < schedule.len() {
+                    let op = schedule[index];
+                    let scheduled = epoch + Duration::from_secs_f64(index as f64 / config.rate);
+                    let now = Instant::now();
+                    if scheduled > now {
+                        std::thread::sleep(scheduled - now);
+                    }
+                    let result = match op.kind {
+                        OpKind::Query => conn.query(&config.dataset, op.focal),
+                        OpKind::Update => {
+                            let row: Vec<f64> =
+                                (0..config.dims).map(|_| rng.gen::<f64>()).collect();
+                            let delete = if backlog.len() >= UPDATE_BACKLOG_CAP {
+                                backlog.pop_front()
+                            } else {
+                                None
+                            };
+                            conn.update(&config.dataset, row, delete).map(|inserted| {
+                                backlog.push_back(inserted);
+                            })
+                        }
+                        OpKind::Subscribe => {
+                            let evict = if subscriptions.len() >= SUBSCRIPTION_CAP {
+                                subscriptions.pop_front()
+                            } else {
+                                None
+                            };
+                            evict
+                                .map_or(Ok(()), |id| conn.unsubscribe(id))
+                                .and_then(|()| conn.subscribe(&config.dataset, op.focal))
+                                .map(|id| subscriptions.push_back(id))
+                        }
+                    };
+                    let latency = Instant::now()
+                        .saturating_duration_since(scheduled)
+                        .as_nanos()
+                        .min(u128::from(u64::MAX)) as u64;
+                    let k = op.kind.index();
+                    shard.counts[k] += 1;
+                    shard.hists[k].record(latency.max(1));
+                    if result.is_err() {
+                        shard.errors[k] += 1;
+                    }
+                    if op.kind == OpKind::Update {
+                        conn.drain_notifications();
+                    }
+                    index += config.threads;
+                }
+                // Leave the dataset quiet: cancel this thread's standing
+                // queries (the backlog rows stay — deleting them here would
+                // skew the tail of the run with unmeasured work).
+                conn.drain_notifications();
+                for id in subscriptions {
+                    let _ = conn.unsubscribe(id);
+                }
+                Ok(shard)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load driver thread panicked"))
+            .collect::<Result<Vec<Shard>, String>>()
+    })?;
+    let elapsed_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+
+    let mut kinds: Vec<KindReport> = OpKind::ALL
+        .iter()
+        .map(|&kind| KindReport {
+            kind,
+            count: 0,
+            errors: 0,
+            latency: LogHistogram::new(),
+        })
+        .collect();
+    let mut overall = LogHistogram::new();
+    for shard in &shards {
+        for (k, kind) in kinds.iter_mut().enumerate() {
+            kind.count += shard.counts[k];
+            kind.errors += shard.errors[k];
+            kind.latency.merge(&shard.hists[k]);
+            overall.merge(&shard.hists[k]);
+        }
+    }
+    Ok(LoadReport {
+        config: config.clone(),
+        elapsed_ns,
+        kinds,
+        overall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrq_service::{DatasetRegistry, DatasetSpec, ServiceConfig};
+
+    fn demo_target() -> (Target, LoadConfig) {
+        let registry = Arc::new(DatasetRegistry::new());
+        let entry = registry.register("demo", &DatasetSpec::Demo).unwrap();
+        let config = LoadConfig {
+            dataset: "demo".to_string(),
+            records: entry.data().len(),
+            dims: entry.data().dims(),
+            rate: 4000.0,
+            ops: 80,
+            threads: 2,
+            mix: [80, 15, 5],
+            zipf_theta: 0.8,
+            seed: 7,
+        };
+        let service = Arc::new(MrqService::new(registry, ServiceConfig::default()));
+        (Target::InProcess(service), config)
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_respects_the_mix() {
+        let config = LoadConfig {
+            records: 100,
+            dims: 3,
+            ops: 2000,
+            mix: [90, 10, 0],
+            ..LoadConfig::default()
+        };
+        let a = build_schedule(&config);
+        let b = build_schedule(&config);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        assert_eq!(a.len(), 2000);
+        let queries = a.iter().filter(|op| op.kind == OpKind::Query).count();
+        let subs = a.iter().filter(|op| op.kind == OpKind::Subscribe).count();
+        assert_eq!(subs, 0, "zero-weight kinds never appear");
+        assert!(
+            (1600..=2000).contains(&queries),
+            "~90% queries expected, got {queries}"
+        );
+        assert!(a.iter().all(|op| (op.focal as usize) < 100));
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let zipf = Zipf::new(1000, 1.0);
+        let mut head = 0usize;
+        for _ in 0..4000 {
+            if zipf.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Under θ=1 the top 10 of 1000 ranks carry ~39% of the mass; under
+        // uniform they would carry 1%.
+        assert!(head > 800, "zipf head mass too small: {head}/4000");
+
+        let uniform = Zipf::new(1000, 0.0);
+        let mut head = 0usize;
+        for _ in 0..4000 {
+            if uniform.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        assert!(head < 200, "θ=0 should be uniform: {head}/4000");
+    }
+
+    #[test]
+    fn in_process_run_reports_every_op_with_nonzero_latency() {
+        let (target, config) = demo_target();
+        let report = run(&target, &config).unwrap();
+        assert_eq!(report.overall.count(), config.ops);
+        assert_eq!(
+            report.kinds.iter().map(|k| k.count).sum::<u64>(),
+            config.ops
+        );
+        assert_eq!(report.errors(), 0, "demo workload must be error-free");
+        assert!(report.overall.quantile(0.5) > 0, "p50 must be nonzero");
+        assert!(report.elapsed_ns > 0);
+        assert!(report.achieved_ops_per_s() > 0.0);
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let (target, config) = demo_target();
+        let report = run(&target, &config).unwrap();
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"maxrank-load-v1\""));
+        assert!(json.contains("\"dataset\": \"demo\""));
+        assert!(json.contains("\"overall\": {\"count\": 80,"));
+        for key in ["\"query\": {", "\"update\": {", "\"subscribe\": {"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Integer fields must not pick up a fractional part.
+        assert!(!json.contains("\"p50_ns\": 0,"), "p50 must be nonzero");
+        let depth = json.chars().fold(0i32, |d, c| match c {
+            '{' => d + 1,
+            '}' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0, "unbalanced braces");
+        let summary = report.summary();
+        assert!(summary.contains("overall"));
+        assert!(summary.contains("p999"));
+    }
+
+    #[test]
+    fn run_rejects_degenerate_configs() {
+        let (target, config) = demo_target();
+        for broken in [
+            LoadConfig {
+                records: 0,
+                ..config.clone()
+            },
+            LoadConfig {
+                dims: 0,
+                ..config.clone()
+            },
+            LoadConfig {
+                rate: 0.0,
+                ..config.clone()
+            },
+            LoadConfig {
+                threads: 0,
+                ..config.clone()
+            },
+            LoadConfig {
+                mix: [0, 0, 0],
+                ..config.clone()
+            },
+        ] {
+            assert!(run(&target, &broken).is_err());
+        }
+    }
+}

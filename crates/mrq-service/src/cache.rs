@@ -18,10 +18,16 @@
 //! The LRU itself is a classic intrusive doubly-linked list threaded through
 //! a slab, with a `HashMap` from key to slab slot: `get`, `insert` and
 //! eviction are all O(1).  No `unsafe`, no external crates.
+//!
+//! Stale purging is O(purged), not O(capacity): alongside the LRU the cache
+//! keeps a secondary index `dataset → version → {(focal, algorithm, tau)}`,
+//! so [`ResultCache::purge_stale`] splits off exactly the stale generations
+//! of one dataset instead of walking every resident entry under the mutex on
+//! each update batch.
 
 use mrq_core::{Algorithm, MaxRankResult};
 use mrq_data::RecordId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::Hash;
 use std::sync::{Arc, Mutex};
 
@@ -140,9 +146,11 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         Some(&self.slots[i].value)
     }
 
-    fn insert(&mut self, key: K, value: V) {
+    /// Inserts or refreshes `key`, returning the key evicted to make room
+    /// (if any) so callers maintaining secondary indexes stay consistent.
+    fn insert(&mut self, key: K, value: V) -> Option<K> {
         if self.capacity == 0 {
-            return;
+            return None;
         }
         if let Some(&i) = self.map.get(&key) {
             self.slots[i].value = value;
@@ -150,12 +158,13 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
                 self.unlink(i);
                 self.link_front(i);
             }
-            return;
+            return None;
         }
+        let mut evicted = None;
         if self.map.len() == self.capacity {
             let lru = self.tail;
             self.unlink(lru);
-            self.map.remove(&self.slots[lru].key);
+            evicted = self.map.remove_entry(&self.slots[lru].key).map(|(k, _)| k);
             self.free.push(lru);
             self.evictions += 1;
         }
@@ -181,25 +190,17 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         };
         self.map.insert(key, i);
         self.link_front(i);
+        evicted
     }
 
-    /// Removes every entry whose key matches `doomed`, returning how many
-    /// were dropped.  O(n) over the resident entries — callers run it once
-    /// per update batch, not per lookup.
-    fn remove_matching<F: Fn(&K) -> bool>(&mut self, doomed: F) -> u64 {
-        let victims: Vec<usize> = self
-            .map
-            .iter()
-            .filter(|(k, _)| doomed(k))
-            .map(|(_, &i)| i)
-            .collect();
-        let removed = victims.len() as u64;
-        for i in victims {
-            self.unlink(i);
-            self.map.remove(&self.slots[i].key);
-            self.free.push(i);
-        }
-        removed
+    /// Removes `key` if resident, in O(1).  Returns whether it was present.
+    fn remove(&mut self, key: &K) -> bool {
+        let Some(i) = self.map.remove(key) else {
+            return false;
+        };
+        self.unlink(i);
+        self.free.push(i);
+        true
     }
 
     /// Keys from most to least recently used (tests only).
@@ -221,8 +222,38 @@ pub struct ResultCache {
     inner: Mutex<CacheInner>,
 }
 
+/// Secondary index over the resident keys: `dataset → version → the rest of
+/// the key`.  The `BTreeMap` keeps versions ordered so a purge can split off
+/// exactly the generations below the current one.
+type StaleIndex = HashMap<String, BTreeMap<u64, HashSet<(RecordId, Algorithm, usize)>>>;
+
+fn index_add(index: &mut StaleIndex, key: &CacheKey) {
+    index
+        .entry(key.dataset.clone())
+        .or_default()
+        .entry(key.version)
+        .or_default()
+        .insert((key.focal, key.algorithm, key.tau));
+}
+
+fn index_remove(index: &mut StaleIndex, key: &CacheKey) {
+    let Some(versions) = index.get_mut(&key.dataset) else {
+        return;
+    };
+    if let Some(keys) = versions.get_mut(&key.version) {
+        keys.remove(&(key.focal, key.algorithm, key.tau));
+        if keys.is_empty() {
+            versions.remove(&key.version);
+        }
+    }
+    if versions.is_empty() {
+        index.remove(&key.dataset);
+    }
+}
+
 struct CacheInner {
     lru: Lru<CacheKey, Arc<MaxRankResult>>,
+    index: StaleIndex,
     hits: u64,
     misses: u64,
     evictions_stale: u64,
@@ -244,6 +275,7 @@ impl ResultCache {
         Self {
             inner: Mutex::new(CacheInner {
                 lru: Lru::new(capacity),
+                index: StaleIndex::new(),
                 hits: 0,
                 misses: 0,
                 evictions_stale: 0,
@@ -269,18 +301,53 @@ impl ResultCache {
     /// Stores an answer (no-op when the cache is disabled).
     pub fn insert(&self, key: CacheKey, value: Arc<MaxRankResult>) {
         let mut inner = self.inner.lock().expect("cache lock poisoned");
-        inner.lru.insert(key, value);
+        let inner = &mut *inner;
+        if inner.lru.capacity == 0 {
+            return;
+        }
+        if let Some(evicted) = inner.lru.insert(key.clone(), value) {
+            index_remove(&mut inner.index, &evicted);
+        }
+        index_add(&mut inner.index, &key);
     }
 
     /// Proactively drops every entry of `dataset` computed before
     /// `current_version`.  Version-keyed lookups already make such entries
     /// unservable — this merely stops them from occupying LRU capacity that
     /// live entries could use.  Returns the number of entries purged.
+    ///
+    /// Cost is proportional to the number of purged entries (plus one
+    /// dataset-index lookup), not to the cache capacity: the stale
+    /// generations are split off the per-dataset version map and only their
+    /// keys are unlinked from the LRU.
     pub fn purge_stale(&self, dataset: &str, current_version: u64) -> u64 {
         let mut inner = self.inner.lock().expect("cache lock poisoned");
-        let purged = inner
-            .lru
-            .remove_matching(|k| k.dataset == dataset && k.version < current_version);
+        let inner = &mut *inner;
+        let Some(versions) = inner.index.get_mut(dataset) else {
+            return 0;
+        };
+        // Everything at `current_version` and above stays; what remains in
+        // `stale` is exactly the set of entries to drop.
+        let live = versions.split_off(&current_version);
+        let stale = std::mem::replace(versions, live);
+        if versions.is_empty() {
+            inner.index.remove(dataset);
+        }
+        let mut purged = 0u64;
+        for (version, keys) in stale {
+            for (focal, algorithm, tau) in keys {
+                let key = CacheKey {
+                    dataset: dataset.to_string(),
+                    version,
+                    focal,
+                    algorithm,
+                    tau,
+                };
+                let removed = inner.lru.remove(&key);
+                debug_assert!(removed, "stale index out of sync with the LRU");
+                purged += u64::from(removed);
+            }
+        }
         inner.evictions_stale += purged;
         purged
     }
@@ -296,6 +363,44 @@ impl ResultCache {
             len: inner.lru.len(),
             capacity: inner.lru.capacity,
         }
+    }
+
+    /// Resident keys, most recently used first (tests only).
+    #[cfg(test)]
+    fn resident_keys(&self) -> Vec<CacheKey> {
+        self.inner
+            .lock()
+            .expect("cache lock poisoned")
+            .lru
+            .keys_by_recency()
+    }
+
+    /// Checks that the stale index describes exactly the resident keys
+    /// (tests only).
+    #[cfg(test)]
+    fn assert_index_consistent(&self) {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        let mut indexed = 0usize;
+        for (dataset, versions) in &inner.index {
+            for (version, keys) in versions {
+                assert!(!keys.is_empty(), "empty version set left in the index");
+                for &(focal, algorithm, tau) in keys {
+                    let key = CacheKey {
+                        dataset: dataset.clone(),
+                        version: *version,
+                        focal,
+                        algorithm,
+                        tau,
+                    };
+                    assert!(
+                        inner.lru.map.contains_key(&key),
+                        "indexed key {key:?} is not resident"
+                    );
+                    indexed += 1;
+                }
+            }
+        }
+        assert_eq!(indexed, inner.lru.len(), "index misses resident keys");
     }
 }
 
@@ -453,6 +558,73 @@ mod tests {
         assert_eq!(cache.purge_stale("absent", 9), 0);
         assert_eq!(cache.stats().evictions_stale, 0);
         assert!(cache.get(&key(0)).is_some());
+    }
+
+    /// The indexed purge must count exactly what the old O(capacity) filter
+    /// walk (`dataset == d && version < v` over every resident key) counted:
+    /// a deterministic mixed workload recomputes the naive answer before
+    /// each purge and checks both the return value and `evictions_stale`.
+    #[test]
+    fn purge_stale_counters_match_the_naive_full_walk() {
+        let cache = ResultCache::new(16);
+        let datasets = ["a", "b", "c"];
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut step = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut expected_stale = 0u64;
+        for round in 0u64..200 {
+            for _ in 0..5 {
+                let k = CacheKey {
+                    dataset: datasets[(step() % 3) as usize].into(),
+                    version: step() % 4 + round / 50,
+                    focal: (step() % 32) as RecordId,
+                    algorithm: Algorithm::AdvancedApproach2D,
+                    tau: (step() % 2) as usize,
+                };
+                cache.insert(k, dummy_result());
+            }
+            if step() % 3 == 0 {
+                let dataset = datasets[(step() % 3) as usize];
+                let current = step() % 5 + round / 50;
+                let naive = cache
+                    .resident_keys()
+                    .iter()
+                    .filter(|k| k.dataset == dataset && k.version < current)
+                    .count() as u64;
+                assert_eq!(cache.purge_stale(dataset, current), naive);
+                expected_stale += naive;
+                assert_eq!(cache.stats().evictions_stale, expected_stale);
+                cache.assert_index_consistent();
+            }
+        }
+        assert!(expected_stale > 0, "the workload never purged anything");
+        let s = cache.stats();
+        assert_eq!(s.len, cache.resident_keys().len());
+    }
+
+    /// Capacity evictions must drop their index entries too, so a later
+    /// purge neither double-counts them nor trips the consistency check.
+    #[test]
+    fn capacity_evicted_entries_do_not_count_as_stale() {
+        let cache = ResultCache::new(2);
+        cache.insert(key(0), dummy_result());
+        cache.insert(key(1), dummy_result());
+        cache.insert(key(2), dummy_result()); // evicts key(0)
+        cache.assert_index_consistent();
+        assert_eq!(cache.purge_stale("demo", 1), 2, "only the resident pair");
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.evictions_stale, 2);
+        assert_eq!(s.len, 0);
+        cache.assert_index_consistent();
+        // Re-inserting the same key after a purge works and re-indexes it.
+        cache.insert(key(0), dummy_result());
+        assert!(cache.get(&key(0)).is_some());
+        cache.assert_index_consistent();
     }
 
     #[test]

@@ -608,6 +608,12 @@ impl Client {
                 executed: num(&pool, "executed")? as u64,
                 coalesced: num(&pool, "coalesced")? as u64,
                 timed_out: num(&pool, "timed_out")? as u64,
+                // `deadline_rejected` arrived with the observability layer;
+                // tolerate servers without it.
+                deadline_rejected: pool
+                    .get("deadline_rejected")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0) as u64,
             },
             datasets: value
                 .get("datasets")
@@ -620,6 +626,17 @@ impl Client {
             durability,
             subscriptions,
         })
+    }
+
+    /// Fetches the Prometheus exposition text (the `metrics` verb).  The
+    /// text travels as a JSON string, so counter values stay integer-exact.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let value = self.roundtrip(&Request::Metrics)?;
+        value
+            .get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("missing 'metrics'".into()))
     }
 
     /// Lists registered datasets as `(name, live records, dims)`.

@@ -46,6 +46,7 @@
 pub mod cache;
 pub mod client;
 pub mod error;
+pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod querystats;
@@ -60,13 +61,14 @@ pub use client::{
     UpdateReply,
 };
 pub use error::ServiceError;
+pub use metrics::{render_metrics, MetricsServer};
 pub use pool::{PoolConfig, PoolStats, WorkerPool};
 pub use querystats::{DatasetQueryStats, QueryStatsBook};
 pub use registry::{
     DatasetEntry, DatasetHandle, DatasetRegistry, DatasetSpec, DurabilityOptions, DurabilityStats,
     UpdateOutcome,
 };
-pub use server::Server;
+pub use server::{Server, ServerConfig};
 pub use service::{MrqService, QueryAnswer, QueryRequest, ServiceConfig, ServiceStats};
 pub use subscriptions::{
     NotifyEvent, NotifyKind, NotifyMailbox, Subscription, SubscriptionBook, SubscriptionStats,
@@ -93,6 +95,7 @@ const _: () = {
     assert_send_sync::<WorkerPool>();
     assert_send_sync::<MrqService>();
     assert_send_sync::<Server>();
+    assert_send_sync::<MetricsServer>();
     assert_send_sync::<NotifyMailbox>();
     assert_send_sync::<Subscription>();
     assert_send_sync::<SubscriptionBook>();

@@ -1,0 +1,668 @@
+//! Prometheus-format observability: the text renderer behind the `metrics`
+//! protocol verb and the plain-HTTP scrape listener behind `--metrics-port`.
+//!
+//! The renderer emits the [text exposition format] by hand, like the rest of
+//! the std-only stack: one `# HELP` / `# TYPE` pair per family, then the
+//! samples.  Every counter the system keeps is exported — result-cache
+//! hits/misses/evictions, worker-pool throughput and rejections, per-dataset
+//! lifetime query totals, durability (WAL/checkpoint) counters, and
+//! subscription triage tallies.  Values are written through `u64`/`usize`
+//! `Display`, never through the JSON writer's `f64` path, so counters stay
+//! **integer-exact past 2^53** (the `STATS` JSON verb cannot promise that;
+//! this endpoint can and tests pin it).
+//!
+//! The listener speaks just enough HTTP/1.0 for `curl` and a Prometheus
+//! scraper: `GET /metrics` → `200` with `text/plain; version=0.0.4`,
+//! anything else → `404`.  Scrapes are served one at a time on the accept
+//! thread — a scrape is a read-only stats snapshot and a small write, and
+//! metrics ports are not exposed to untrusted peers.
+//!
+//! [text exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::service::{MrqService, ServiceStats};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The `Content-Type` of the exposition format.
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Incremental writer for one exposition document.
+struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    fn new() -> Self {
+        Self { out: String::new() }
+    }
+
+    /// Starts a metric family: `# HELP` + `# TYPE` lines.
+    fn family(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// One unlabelled sample.  `u64::Display` keeps the value integer-exact.
+    fn sample(&mut self, name: &str, value: u64) {
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// One sample labelled with the dataset name.
+    fn dataset_sample(&mut self, name: &str, dataset: &str, value: u64) {
+        let _ = write!(self.out, "{name}{{dataset=\"");
+        // Label-value escaping per the exposition format: backslash, quote
+        // and newline.
+        for c in dataset.chars() {
+            match c {
+                '\\' => self.out.push_str("\\\\"),
+                '"' => self.out.push_str("\\\""),
+                '\n' => self.out.push_str("\\n"),
+                c => self.out.push(c),
+            }
+        }
+        let _ = writeln!(self.out, "\"}} {value}");
+    }
+}
+
+/// Renders the full Prometheus exposition text for one stats snapshot.
+pub fn render_metrics(stats: &ServiceStats) -> String {
+    let mut e = Exposition::new();
+
+    // Result cache.
+    e.family(
+        "mrq_cache_hits_total",
+        "counter",
+        "Result-cache lookups answered from the cache.",
+    );
+    e.sample("mrq_cache_hits_total", stats.cache.hits);
+    e.family(
+        "mrq_cache_misses_total",
+        "counter",
+        "Result-cache lookups that missed.",
+    );
+    e.sample("mrq_cache_misses_total", stats.cache.misses);
+    e.family(
+        "mrq_cache_evictions_total",
+        "counter",
+        "Entries evicted from the result cache to make room.",
+    );
+    e.sample("mrq_cache_evictions_total", stats.cache.evictions);
+    e.family(
+        "mrq_cache_evictions_stale_total",
+        "counter",
+        "Entries purged because their dataset moved past their version.",
+    );
+    e.sample(
+        "mrq_cache_evictions_stale_total",
+        stats.cache.evictions_stale,
+    );
+    e.family(
+        "mrq_cache_entries",
+        "gauge",
+        "Entries currently resident in the result cache.",
+    );
+    e.sample("mrq_cache_entries", stats.cache.len as u64);
+    e.family(
+        "mrq_cache_capacity",
+        "gauge",
+        "Result-cache capacity (0 = caching disabled).",
+    );
+    e.sample("mrq_cache_capacity", stats.cache.capacity as u64);
+
+    // Worker pool.
+    e.family(
+        "mrq_pool_workers",
+        "gauge",
+        "Worker threads in the query pool.",
+    );
+    e.sample("mrq_pool_workers", stats.pool.workers as u64);
+    e.family(
+        "mrq_pool_queue_capacity",
+        "gauge",
+        "Bounded queue capacity of the query pool.",
+    );
+    e.sample("mrq_pool_queue_capacity", stats.pool.queue_capacity as u64);
+    e.family(
+        "mrq_pool_queue_depth",
+        "gauge",
+        "Jobs currently queued in the query pool.",
+    );
+    e.sample("mrq_pool_queue_depth", stats.pool.queue_depth as u64);
+    e.family(
+        "mrq_pool_jobs_executed_total",
+        "counter",
+        "Jobs evaluated by the pool (cache hits and rejections excluded).",
+    );
+    e.sample("mrq_pool_jobs_executed_total", stats.pool.executed);
+    e.family(
+        "mrq_pool_jobs_coalesced_total",
+        "counter",
+        "Jobs that rode along in a coalesced same-dataset batch.",
+    );
+    e.sample("mrq_pool_jobs_coalesced_total", stats.pool.coalesced);
+    e.family(
+        "mrq_pool_jobs_timed_out_total",
+        "counter",
+        "Jobs whose deadline had already passed at dequeue time.",
+    );
+    e.sample("mrq_pool_jobs_timed_out_total", stats.pool.timed_out);
+    e.family(
+        "mrq_pool_jobs_deadline_rejected_total",
+        "counter",
+        "Jobs rejected by the second deadline check, between cache lookup and evaluation.",
+    );
+    e.sample(
+        "mrq_pool_jobs_deadline_rejected_total",
+        stats.pool.deadline_rejected,
+    );
+
+    // Per-dataset lifetime query totals.
+    e.family(
+        "mrq_dataset_queries_total",
+        "counter",
+        "Queries evaluated per dataset (cache hits excluded).",
+    );
+    for d in &stats.per_dataset {
+        e.dataset_sample("mrq_dataset_queries_total", &d.dataset, d.queries);
+    }
+    e.family(
+        "mrq_dataset_cache_hits_total",
+        "counter",
+        "Queries answered from the result cache per dataset.",
+    );
+    for d in &stats.per_dataset {
+        e.dataset_sample("mrq_dataset_cache_hits_total", &d.dataset, d.cache_hits);
+    }
+    e.family(
+        "mrq_dataset_cpu_microseconds_total",
+        "counter",
+        "CPU time spent evaluating queries per dataset, in microseconds.",
+    );
+    for d in &stats.per_dataset {
+        e.dataset_sample("mrq_dataset_cpu_microseconds_total", &d.dataset, d.cpu_us);
+    }
+    e.family(
+        "mrq_dataset_io_reads_total",
+        "counter",
+        "Simulated page reads per dataset (the paper's I/O model).",
+    );
+    for d in &stats.per_dataset {
+        e.dataset_sample("mrq_dataset_io_reads_total", &d.dataset, d.io_reads);
+    }
+    e.family(
+        "mrq_dataset_cells_tested_total",
+        "counter",
+        "Candidate cells decided per dataset (witness cache or LP).",
+    );
+    for d in &stats.per_dataset {
+        e.dataset_sample("mrq_dataset_cells_tested_total", &d.dataset, d.cells_tested);
+    }
+    e.family(
+        "mrq_dataset_lp_calls_total",
+        "counter",
+        "Simplex LPs solved per dataset.",
+    );
+    for d in &stats.per_dataset {
+        e.dataset_sample("mrq_dataset_lp_calls_total", &d.dataset, d.lp_calls);
+    }
+    e.family(
+        "mrq_dataset_witness_hits_total",
+        "counter",
+        "Candidates proven non-empty by a cached witness per dataset.",
+    );
+    for d in &stats.per_dataset {
+        e.dataset_sample("mrq_dataset_witness_hits_total", &d.dataset, d.witness_hits);
+    }
+
+    // Durability.
+    e.family(
+        "mrq_durable_datasets",
+        "gauge",
+        "Datasets currently backed by an on-disk store.",
+    );
+    e.sample("mrq_durable_datasets", stats.durability.durable_datasets);
+    e.family(
+        "mrq_recovered_datasets_total",
+        "counter",
+        "Datasets recovered from an existing store at registration time.",
+    );
+    e.sample(
+        "mrq_recovered_datasets_total",
+        stats.durability.recovered_datasets,
+    );
+    e.family(
+        "mrq_wal_batches_replayed_total",
+        "counter",
+        "WAL batches replayed across all recoveries.",
+    );
+    e.sample(
+        "mrq_wal_batches_replayed_total",
+        stats.durability.wal_batches_replayed,
+    );
+    e.family(
+        "mrq_wal_torn_bytes_discarded_total",
+        "counter",
+        "Torn WAL tail bytes discarded across all recoveries.",
+    );
+    e.sample(
+        "mrq_wal_torn_bytes_discarded_total",
+        stats.durability.torn_bytes_discarded,
+    );
+    e.family(
+        "mrq_recovery_pages_read_total",
+        "counter",
+        "Real 4 KiB pages read from disk during recovery.",
+    );
+    e.sample(
+        "mrq_recovery_pages_read_total",
+        stats.durability.recovery_pages_read,
+    );
+    e.family(
+        "mrq_wal_appends_total",
+        "counter",
+        "Update batches appended (and fsynced) to write-ahead logs.",
+    );
+    e.sample("mrq_wal_appends_total", stats.durability.wal_appends);
+    e.family(
+        "mrq_wal_appended_bytes_total",
+        "counter",
+        "Bytes appended to write-ahead logs.",
+    );
+    e.sample(
+        "mrq_wal_appended_bytes_total",
+        stats.durability.wal_appended_bytes,
+    );
+    e.family(
+        "mrq_checkpoints_total",
+        "counter",
+        "Checkpoints taken (snapshot rewrite + WAL truncation).",
+    );
+    e.sample("mrq_checkpoints_total", stats.durability.checkpoints);
+
+    // Standing queries.
+    e.family(
+        "mrq_subscriptions_active",
+        "gauge",
+        "Currently registered subscriptions.",
+    );
+    e.sample("mrq_subscriptions_active", stats.subscriptions.active);
+    e.family(
+        "mrq_subscription_deltas_triaged_total",
+        "counter",
+        "Delta records examined by the subscription triage pass.",
+    );
+    e.sample(
+        "mrq_subscription_deltas_triaged_total",
+        stats.subscriptions.deltas_triaged,
+    );
+    e.family(
+        "mrq_subscription_unaffected_skips_total",
+        "counter",
+        "Deltas certified unaffected without touching the index.",
+    );
+    e.sample(
+        "mrq_subscription_unaffected_skips_total",
+        stats.subscriptions.unaffected_skips,
+    );
+    e.family(
+        "mrq_subscription_partial_repairs_total",
+        "counter",
+        "Deltas resolved by an arithmetic rank shift.",
+    );
+    e.sample(
+        "mrq_subscription_partial_repairs_total",
+        stats.subscriptions.partial_repairs,
+    );
+    e.family(
+        "mrq_subscription_full_reevals_total",
+        "counter",
+        "Full re-evaluations forced by a delta crossing a resident region.",
+    );
+    e.sample(
+        "mrq_subscription_full_reevals_total",
+        stats.subscriptions.full_reevals,
+    );
+
+    e.out
+}
+
+/// How often a blocked scrape read re-checks the shutdown flag, and the
+/// budget an individual scrape gets to deliver its request head.
+const SCRAPE_POLL: Duration = Duration::from_millis(200);
+const SCRAPE_READ_TICKS: u32 = 10;
+
+/// A minimal HTTP listener serving `GET /metrics` scrapes for one service.
+///
+/// Bind it to a loopback address next to the protocol port (what
+/// `maxrank-serve --metrics-port` does); stop it with
+/// [`MetricsServer::shutdown`].
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    flag: Arc<AtomicBool>,
+    accept: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts answering scrapes.
+    pub fn start(
+        service: Arc<MrqService>,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let flag = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let flag = Arc::clone(&flag);
+            std::thread::Builder::new()
+                .name("mrq-metrics".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if flag.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else {
+                            std::thread::sleep(Duration::from_millis(50));
+                            continue;
+                        };
+                        // One scrape at a time: render + write, then close.
+                        let _ = serve_scrape(stream, &service, &flag);
+                    }
+                })?
+        };
+        Ok(MetricsServer {
+            addr,
+            flag,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The bound address (bind port 0 for an ephemeral one).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins the accept thread.  Idempotent.
+    pub fn shutdown(&self) {
+        if !self.flag.swap(true, Ordering::SeqCst) {
+            // Poke the accept loop awake so it observes the flag.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        }
+        if let Some(handle) = self.accept.lock().expect("accept lock poisoned").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Answers one HTTP exchange: reads the request head, writes one response,
+/// closes.  Malformed or slow requests are dropped without an answer.
+fn serve_scrape(
+    stream: TcpStream,
+    service: &Arc<MrqService>,
+    flag: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(SCRAPE_POLL))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    let mut ticks = 0;
+    // The request line may trickle in; keep appending across timeouts with
+    // a bounded budget so a stuck peer cannot pin the accept thread.
+    while !request_line.ends_with('\n') {
+        match reader.read_line(&mut request_line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                ticks += 1;
+                if ticks >= SCRAPE_READ_TICKS || flag.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+        if request_line.len() > 8192 {
+            return Ok(());
+        }
+    }
+    // Drain the header block (best effort — `Connection: close` semantics).
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) if line.len() > 8192 => return Ok(()),
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/") {
+        ("200 OK", render_metrics(&service.stats()))
+    } else {
+        ("404 Not Found", "not found: scrape GET /metrics\n".into())
+    };
+    write!(
+        writer,
+        "HTTP/1.0 {status}\r\nContent-Type: {METRICS_CONTENT_TYPE}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheStats;
+    use crate::pool::PoolStats;
+    use crate::querystats::DatasetQueryStats;
+    use crate::registry::{DatasetRegistry, DatasetSpec, DurabilityStats};
+    use crate::service::{MrqService, ServiceConfig};
+    use crate::subscriptions::SubscriptionStats;
+    use std::io::Read;
+
+    fn synthetic_stats() -> ServiceStats {
+        ServiceStats {
+            cache: CacheStats {
+                hits: 3,
+                misses: 2,
+                evictions: 1,
+                evictions_stale: 4,
+                len: 5,
+                capacity: 128,
+            },
+            pool: PoolStats {
+                workers: 4,
+                queue_capacity: 256,
+                queue_depth: 1,
+                executed: 42,
+                coalesced: 7,
+                timed_out: 2,
+                deadline_rejected: 1,
+            },
+            datasets: vec!["demo".into()],
+            per_dataset: vec![DatasetQueryStats {
+                dataset: "demo".into(),
+                queries: 10,
+                cache_hits: 3,
+                cpu_us: 12345,
+                io_reads: 678,
+                cells_tested: 90,
+                lp_calls: 55,
+                witness_hits: 35,
+            }],
+            durability: DurabilityStats {
+                durable_datasets: 1,
+                recovered_datasets: 1,
+                wal_batches_replayed: 2,
+                torn_bytes_discarded: 17,
+                recovery_pages_read: 9,
+                wal_appends: 5,
+                wal_appended_bytes: 4096,
+                checkpoints: 1,
+            },
+            subscriptions: SubscriptionStats {
+                active: 2,
+                deltas_triaged: 8,
+                unaffected_skips: 5,
+                partial_repairs: 2,
+                full_reevals: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn renders_every_counter_family() {
+        let text = render_metrics(&synthetic_stats());
+        for family in [
+            "mrq_cache_hits_total 3",
+            "mrq_cache_misses_total 2",
+            "mrq_cache_evictions_total 1",
+            "mrq_cache_evictions_stale_total 4",
+            "mrq_cache_entries 5",
+            "mrq_cache_capacity 128",
+            "mrq_pool_workers 4",
+            "mrq_pool_queue_capacity 256",
+            "mrq_pool_queue_depth 1",
+            "mrq_pool_jobs_executed_total 42",
+            "mrq_pool_jobs_coalesced_total 7",
+            "mrq_pool_jobs_timed_out_total 2",
+            "mrq_pool_jobs_deadline_rejected_total 1",
+            "mrq_dataset_queries_total{dataset=\"demo\"} 10",
+            "mrq_dataset_cache_hits_total{dataset=\"demo\"} 3",
+            "mrq_dataset_cpu_microseconds_total{dataset=\"demo\"} 12345",
+            "mrq_dataset_io_reads_total{dataset=\"demo\"} 678",
+            "mrq_dataset_cells_tested_total{dataset=\"demo\"} 90",
+            "mrq_dataset_lp_calls_total{dataset=\"demo\"} 55",
+            "mrq_dataset_witness_hits_total{dataset=\"demo\"} 35",
+            "mrq_durable_datasets 1",
+            "mrq_recovered_datasets_total 1",
+            "mrq_wal_batches_replayed_total 2",
+            "mrq_wal_torn_bytes_discarded_total 17",
+            "mrq_recovery_pages_read_total 9",
+            "mrq_wal_appends_total 5",
+            "mrq_wal_appended_bytes_total 4096",
+            "mrq_checkpoints_total 1",
+            "mrq_subscriptions_active 2",
+            "mrq_subscription_deltas_triaged_total 8",
+            "mrq_subscription_unaffected_skips_total 5",
+            "mrq_subscription_partial_repairs_total 2",
+            "mrq_subscription_full_reevals_total 1",
+        ] {
+            assert!(text.contains(&format!("\n{family}\n")), "missing: {family}");
+        }
+        // Every sample line is preceded by HELP/TYPE metadata for its family.
+        for line in text.lines() {
+            if let Some(name) = line.strip_suffix(|c: char| c.is_ascii_digit()) {
+                let name = name.split(['{', ' ']).next().unwrap();
+                assert!(
+                    text.contains(&format!("# TYPE {name} ")),
+                    "no TYPE for {name}"
+                );
+            }
+        }
+    }
+
+    /// The bug this endpoint exists to avoid: u64 counters pushed through
+    /// the JSON f64 path lose exactness past 2^53.  The exposition text must
+    /// carry the exact integer.
+    #[test]
+    fn counters_past_2_pow_53_stay_integer_exact() {
+        let big = (1u64 << 53) + 1; // 9007199254740993; as f64 it rounds to ...992
+        let mut stats = synthetic_stats();
+        stats.pool.executed = big;
+        stats.durability.wal_appended_bytes = u64::MAX;
+        let text = render_metrics(&stats);
+        assert!(
+            text.contains("mrq_pool_jobs_executed_total 9007199254740993\n"),
+            "2^53+1 must not round: {text}"
+        );
+        assert!(text.contains(&format!("mrq_wal_appended_bytes_total {}\n", u64::MAX)));
+        // Demonstrate the f64 rounding the text path avoids.
+        assert_eq!((big as f64) as u64, big - 1);
+    }
+
+    #[test]
+    fn dataset_labels_are_escaped() {
+        let mut stats = synthetic_stats();
+        stats.per_dataset[0].dataset = "we\"ird\\name\n".into();
+        let text = render_metrics(&stats);
+        assert!(
+            text.contains("mrq_dataset_queries_total{dataset=\"we\\\"ird\\\\name\\n\"} 10"),
+            "{text}"
+        );
+    }
+
+    fn demo_service() -> Arc<MrqService> {
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.register("demo", &DatasetSpec::Demo).unwrap();
+        Arc::new(MrqService::new(
+            registry,
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        ))
+    }
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut reply = String::new();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.read_to_string(&mut reply).unwrap();
+        reply
+    }
+
+    #[test]
+    fn http_scrape_roundtrip_and_404() {
+        let service = demo_service();
+        let server = MetricsServer::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let reply = http_get(server.local_addr(), "/metrics");
+        assert!(reply.starts_with("HTTP/1.0 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("Content-Type: text/plain; version=0.0.4"));
+        assert!(reply.contains("mrq_pool_workers 2"));
+        let missing = http_get(server.local_addr(), "/nope");
+        assert!(
+            missing.starts_with("HTTP/1.0 404 Not Found\r\n"),
+            "{missing}"
+        );
+        server.shutdown();
+        // Idempotent.
+        server.shutdown();
+    }
+
+    #[test]
+    fn scrape_reflects_served_queries() {
+        let service = demo_service();
+        let server = MetricsServer::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let before = http_get(server.local_addr(), "/metrics");
+        assert!(before.contains("mrq_pool_jobs_executed_total 0"));
+        let request = crate::service::QueryRequest::new("demo", 5);
+        service.query(&request).unwrap();
+        let after = http_get(server.local_addr(), "/metrics");
+        assert!(after.contains("mrq_pool_jobs_executed_total 1"), "{after}");
+        assert!(after.contains("mrq_dataset_queries_total{dataset=\"demo\"} 1"));
+        server.shutdown();
+    }
+}

@@ -115,6 +115,10 @@ pub struct PoolStats {
     pub coalesced: u64,
     /// Jobs answered `DeadlineExceeded` at dequeue time.
     pub timed_out: u64,
+    /// Jobs answered `DeadlineExceeded` at the second check, between the
+    /// cache lookup and evaluation (their deadline expired while the batch
+    /// was being triaged, so they never paid for an eval).
+    pub deadline_rejected: u64,
 }
 
 struct Queue {
@@ -132,6 +136,7 @@ struct Shared {
     executed: AtomicU64,
     coalesced: AtomicU64,
     timed_out: AtomicU64,
+    deadline_rejected: AtomicU64,
 }
 
 /// The worker pool.  Dropping it shuts it down gracefully.
@@ -181,6 +186,7 @@ impl WorkerPool {
             executed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
+            deadline_rejected: AtomicU64::new(0),
         });
         let handles = (0..config.workers)
             .map(|i| {
@@ -248,6 +254,7 @@ impl WorkerPool {
             executed: self.shared.executed.load(Ordering::Relaxed),
             coalesced: self.shared.coalesced.load(Ordering::Relaxed),
             timed_out: self.shared.timed_out.load(Ordering::Relaxed),
+            deadline_rejected: self.shared.deadline_rejected.load(Ordering::Relaxed),
         }
     }
 
@@ -336,6 +343,34 @@ fn run_batch(shared: &Shared, batch: Vec<QueryJob>) {
         return;
     }
 
+    #[cfg(test)]
+    {
+        // Test hook: widen the window between triage and evaluation so the
+        // second deadline check below can be exercised deterministically.
+        let ms = PRE_EVAL_DELAY_MS.load(Ordering::Relaxed);
+        if ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+    }
+
+    // Deadlines are re-checked here because cache lookups (and, under
+    // contention, the wait for the cache mutex) happen after the dequeue
+    // check: a job that has died in between must not pay for an evaluation
+    // its waiter already abandoned.
+    let now = Instant::now();
+    pending.retain(|job| {
+        if job.deadline.is_some_and(|d| d <= now) {
+            shared.deadline_rejected.fetch_add(1, Ordering::Relaxed);
+            respond(job, Err(ServiceError::DeadlineExceeded), false);
+            false
+        } else {
+            true
+        }
+    });
+    if pending.is_empty() {
+        return;
+    }
+
     let entry = Arc::clone(&pending[0].entry);
     let config = MaxRankConfig {
         tau: pending[0].tau,
@@ -385,6 +420,11 @@ fn respond(job: &QueryJob, result: Result<Arc<MaxRankResult>, ServiceError>, cac
     // The waiter may have given up (deadline) — a closed channel is fine.
     let _ = job.responder.send(JobOutcome { result, cached });
 }
+
+/// Milliseconds each worker sleeps between batch triage and evaluation
+/// (tests only; see `deadline_expiring_after_triage_is_rejected_pre_eval`).
+#[cfg(test)]
+static PRE_EVAL_DELAY_MS: AtomicU64 = AtomicU64::new(0);
 
 #[cfg(test)]
 mod tests {
@@ -469,6 +509,29 @@ mod tests {
         assert_eq!(out.result.unwrap_err(), ServiceError::DeadlineExceeded);
         let stats = pool.stats();
         assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.executed, 0);
+        assert_eq!(stats.deadline_rejected, 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn deadline_expiring_after_triage_is_rejected_pre_eval() {
+        // The deadline is alive at dequeue time but dies inside the widened
+        // triage-to-eval window, so the *second* check must fire: the job is
+        // answered DeadlineExceeded, counted as deadline_rejected (not
+        // timed_out), and never evaluated.
+        let entry = demo_entry();
+        let pool = pool(1, 8, Arc::new(ResultCache::new(0)));
+        PRE_EVAL_DELAY_MS.store(600, Ordering::Relaxed);
+        let deadline = Instant::now() + Duration::from_millis(200);
+        let (j, rx) = job(&entry, 5, Some(deadline), None);
+        pool.submit(j).unwrap();
+        let out = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        PRE_EVAL_DELAY_MS.store(0, Ordering::Relaxed);
+        assert_eq!(out.result.unwrap_err(), ServiceError::DeadlineExceeded);
+        let stats = pool.stats();
+        assert_eq!(stats.deadline_rejected, 1);
+        assert_eq!(stats.timed_out, 0);
         assert_eq!(stats.executed, 0);
         pool.shutdown();
     }

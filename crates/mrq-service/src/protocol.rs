@@ -23,6 +23,7 @@
 //! {"cmd":"subscribe","dataset":"hotels","focal":17,"algorithm":"auto","tau":0}
 //! {"cmd":"unsubscribe","subscription":3}
 //! {"cmd":"stats"}   {"cmd":"list"}   {"cmd":"ping"}   {"cmd":"shutdown"}
+//! {"cmd":"metrics"}
 //! ```
 //!
 //! Only `dataset` and `focal` are required for `query`; `max_regions` caps
@@ -169,6 +170,9 @@ pub enum Request {
     Ping,
     /// Ask the server to shut down gracefully.
     Shutdown,
+    /// Fetch the Prometheus-format metrics text (the protocol-level twin of
+    /// the `--metrics-port` HTTP endpoint).
+    Metrics,
 }
 
 impl Request {
@@ -249,6 +253,7 @@ impl Request {
             Request::List => "list",
             Request::Ping => "ping",
             Request::Shutdown => "shutdown",
+            Request::Metrics => "metrics",
         };
         obj.insert(0, ("cmd".into(), Json::Str(cmd.into())));
         Json::Obj(obj).to_string()
@@ -266,6 +271,7 @@ impl Request {
             "list" => Ok(Request::List),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
+            "metrics" => Ok(Request::Metrics),
             "query" => {
                 let dataset = value
                     .get("dataset")
@@ -605,6 +611,10 @@ pub fn stats_payload(stats: &ServiceStats) -> String {
         ("executed".into(), Json::Num(stats.pool.executed as f64)),
         ("coalesced".into(), Json::Num(stats.pool.coalesced as f64)),
         ("timed_out".into(), Json::Num(stats.pool.timed_out as f64)),
+        (
+            "deadline_rejected".into(),
+            Json::Num(stats.pool.deadline_rejected as f64),
+        ),
     ]);
     let query_stats = Json::Arr(
         stats
@@ -707,6 +717,17 @@ pub fn list_payload(datasets: &[(String, usize, usize)]) -> String {
                     .collect(),
             ),
         ),
+    ])
+    .to_string()
+}
+
+/// Renders the `metrics` reply: the Prometheus exposition text embedded as
+/// a JSON *string*, so the integer-exact rendering survives the wire (JSON
+/// numbers go through f64 and lose exactness past 2^53; strings do not).
+pub fn metrics_payload(text: &str) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("metrics".into(), Json::Str(text.to_string())),
     ])
     .to_string()
 }
@@ -1246,6 +1267,7 @@ mod tests {
             Request::List,
             Request::Ping,
             Request::Shutdown,
+            Request::Metrics,
         ];
         for req in requests {
             assert_eq!(Request::parse(&req.encode()).unwrap(), req);

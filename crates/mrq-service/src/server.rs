@@ -4,16 +4,19 @@
 //! Connection threads never evaluate queries themselves — they parse frames,
 //! enqueue jobs on the bounded pool ([`MrqService::try_enqueue`], so a full
 //! queue surfaces as a `queue full` error frame instead of unbounded
-//! buffering) and write the answer back.  Sockets use a short read timeout so
-//! every connection thread notices the shutdown flag within ~200 ms even
-//! while idle, which is what makes [`Server::shutdown`] able to *join* every
-//! thread instead of abandoning them.
+//! buffering) and write the answer back.  Sockets use a short read timeout
+//! ([`ServerConfig::poll_interval`], 200 ms by default) so every connection
+//! thread notices the shutdown flag within one tick even while idle, which
+//! is what makes [`Server::shutdown`] able to *join* every thread instead of
+//! abandoning them.  The same tick flushes queued `NOTIFY` frames to idle
+//! connections; a connection that just completed an exchange gets its
+//! notifications pushed immediately after the reply instead.
 
 use crate::error::ServiceError;
 use crate::protocol::{
-    self, bye_payload, error_payload, list_payload, notify_payload, pong_payload, query_payload,
-    stats_payload, subscribed_payload, unsubscribed_payload, update_batch, update_payload,
-    write_frame, Request,
+    self, bye_payload, error_payload, list_payload, metrics_payload, notify_payload, pong_payload,
+    query_payload, stats_payload, subscribed_payload, unsubscribed_payload, update_batch,
+    update_payload, write_frame, Request,
 };
 use crate::service::{MrqService, QueryRequest};
 use crate::subscriptions::NotifyMailbox;
@@ -23,8 +26,24 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// How often blocked connection reads re-check the shutdown flag.
-const CONN_POLL: Duration = Duration::from_millis(200);
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// How often blocked connection reads wake up to re-check the shutdown
+    /// flag and flush queued `NOTIFY` frames on otherwise idle connections.
+    /// This bounds *idle-connection* push latency; notifications produced
+    /// during an exchange on the same connection are pushed immediately
+    /// after the reply, independent of this interval.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            poll_interval: Duration::from_millis(200),
+        }
+    }
+}
 
 #[derive(Debug, Clone)]
 struct ShutdownSignal {
@@ -57,8 +76,18 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting.
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting with the
+    /// default [`ServerConfig`].
     pub fn start(service: Arc<MrqService>, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        Self::start_with(service, addr, ServerConfig::default())
+    }
+
+    /// Binds `addr` and starts accepting with explicit tuning knobs.
+    pub fn start_with(
+        service: Arc<MrqService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let signal = ShutdownSignal {
             flag: Arc::new(AtomicBool::new(false)),
@@ -71,7 +100,7 @@ impl Server {
             let conns = Arc::clone(&conns);
             std::thread::Builder::new()
                 .name("mrq-accept".into())
-                .spawn(move || accept_loop(&listener, &service, &signal, &conns))?
+                .spawn(move || accept_loop(&listener, &service, &signal, &conns, config))?
         };
         Ok(Server {
             service,
@@ -135,6 +164,7 @@ fn accept_loop(
     service: &Arc<MrqService>,
     signal: &ShutdownSignal,
     conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    config: ServerConfig,
 ) {
     for stream in listener.incoming() {
         if signal.is_set() {
@@ -151,7 +181,7 @@ fn accept_loop(
         let handle = std::thread::Builder::new()
             .name("mrq-conn".into())
             .spawn(move || {
-                let _ = serve_connection(stream, &service, &signal);
+                let _ = serve_connection(stream, &service, &signal, config);
             });
         if let Ok(handle) = handle {
             let mut conns = conns.lock().expect("conn lock poisoned");
@@ -177,12 +207,13 @@ fn serve_connection(
     stream: TcpStream,
     service: &Arc<MrqService>,
     signal: &ShutdownSignal,
+    config: ServerConfig,
 ) -> std::io::Result<()> {
     // The connection's NOTIFY side-channel: the update path pushes events
     // here (from whatever thread applied the batch); only this connection
     // thread ever writes the socket, so frames never interleave.
     let mailbox = Arc::new(NotifyMailbox::new());
-    let result = serve_frames(stream, service, signal, &mailbox);
+    let result = serve_frames(stream, service, signal, &mailbox, config);
     service.drop_subscriber(&mailbox);
     result
 }
@@ -200,17 +231,18 @@ fn serve_frames(
     service: &Arc<MrqService>,
     signal: &ShutdownSignal,
     mailbox: &Arc<NotifyMailbox>,
+    config: ServerConfig,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(CONN_POLL))?;
+    stream.set_read_timeout(Some(config.poll_interval))?;
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut header = Vec::new();
     loop {
         header.clear();
-        // Push pending notifications whenever the connection is between
-        // exchanges: right after a response, and on every idle poll tick
-        // (≤ ~200 ms latency while blocked in read).
+        // Safety net for events that arrived between the post-reply drain
+        // below and re-entering the read (idle connections are covered by
+        // the `on_idle` hook, ≤ one poll interval of latency).
         drain_notifies(&mut writer, mailbox)?;
         let read = read_frame_polling(&mut reader, &mut header, signal, || {
             drain_notifies(&mut writer, mailbox)
@@ -262,6 +294,10 @@ fn serve_frames(
             }
             Ok(Request::Stats) => {
                 write_frame(&mut writer, &stats_payload(&service.stats()))?;
+            }
+            Ok(Request::Metrics) => {
+                let text = crate::metrics::render_metrics(&service.stats());
+                write_frame(&mut writer, &metrics_payload(&text))?;
             }
             Ok(Request::List) => {
                 let registry = service.registry();
@@ -326,6 +362,10 @@ fn serve_frames(
                 write_frame(&mut writer, &payload)?;
             }
         }
+        // Drain the mailbox immediately after the reply: an UPDATE on this
+        // very connection that affects its own subscriptions must see its
+        // NOTIFY pushed now, not one poll tick later.
+        drain_notifies(&mut writer, mailbox)?;
     }
 }
 
@@ -522,6 +562,56 @@ mod tests {
             let mut reader = BufReader::new(late);
             assert!(matches!(read_frame(&mut reader), Ok(None) | Err(_)));
         }
+    }
+
+    #[test]
+    fn notify_from_own_update_is_pushed_without_waiting_a_poll_tick() {
+        // A deliberately huge poll interval: if NOTIFY delivery were pinned
+        // to the idle tick, this test would need ~10 s.  The connection
+        // subscribes, then applies an update that affects its own
+        // subscription — the NOTIFY must arrive right after the update
+        // reply, via the post-reply drain.
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.register("demo", &DatasetSpec::Demo).unwrap();
+        let service = Arc::new(MrqService::new(
+            registry,
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        ));
+        let server = Server::start_with(
+            service,
+            "127.0.0.1:0",
+            ServerConfig {
+                poll_interval: Duration::from_secs(10),
+            },
+        )
+        .unwrap();
+        let mut client = crate::client::Client::connect(server.local_addr()).unwrap();
+        client
+            .subscribe("demo", 5, mrq_core::Algorithm::Auto, 0)
+            .unwrap();
+        let start = std::time::Instant::now();
+        // A dominating insert: affects every subscription on the dataset.
+        client.update("demo", &[vec![0.97, 0.96]], &[]).unwrap();
+        let notification = client
+            .wait_notify(Some(Duration::from_secs(2)))
+            .unwrap()
+            .expect("the affecting update must push a NOTIFY");
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "NOTIFY was pinned to the poll tick ({:?})",
+            start.elapsed()
+        );
+        assert!(matches!(
+            notification,
+            crate::client::Notification::Changed(_)
+        ));
+        // Shut down via the protocol: `server.shutdown()` would block for up
+        // to one (10 s) poll tick per idle connection thread.
+        client.shutdown_server().unwrap();
+        server.wait();
     }
 
     #[test]

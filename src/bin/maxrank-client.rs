@@ -6,6 +6,7 @@
 //! maxrank-client --port 7171 --dataset bench update --insert 0.4,0.7,0.2 --delete 17
 //! maxrank-client --port 7171 --dataset demo subscribe --focal 5 --watch --count 1
 //! maxrank-client --port 7171 --stats
+//! maxrank-client --port 7171 --metrics
 //! maxrank-client --port 7171 --list
 //! maxrank-client --port 7171 --ping
 //! maxrank-client --port 7171 --shutdown
@@ -44,6 +45,7 @@ struct Args {
     watch: bool,
     count: Option<u64>,
     stats: bool,
+    metrics: bool,
     list: bool,
     ping: bool,
     shutdown: bool,
@@ -56,7 +58,7 @@ fn usage() -> String {
      | --dataset NAME update (--insert x,y,..)* (--delete ID)* \
      | --dataset NAME subscribe --focal ID [--algorithm A] [--tau T] \
      [--watch] [--count N] [--timeout-ms MS] \
-     | --stats | --list | --ping | --shutdown)"
+     | --stats | --metrics | --list | --ping | --shutdown)"
         .to_string()
 }
 
@@ -78,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         watch: false,
         count: None,
         stats: false,
+        metrics: false,
         list: false,
         ping: false,
         shutdown: false,
@@ -167,6 +170,7 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--stats" => args.stats = true,
+            "--metrics" => args.metrics = true,
             "--list" => args.list = true,
             "--ping" => args.ping = true,
             "--shutdown" => args.shutdown = true,
@@ -208,8 +212,9 @@ fn main() -> ExitCode {
                 s.pool.workers, s.pool.queue_depth, s.pool.queue_capacity
             );
             println!(
-                "jobs            : {} executed, {} coalesced, {} timed out",
-                s.pool.executed, s.pool.coalesced, s.pool.timed_out
+                "jobs            : {} executed, {} coalesced, {} timed out, \
+                 {} deadline-rejected",
+                s.pool.executed, s.pool.coalesced, s.pool.timed_out, s.pool.deadline_rejected
             );
             // Absent on pre-subscription servers: the client defaults every
             // counter to zero, so this line still prints.
@@ -270,6 +275,9 @@ fn main() -> ExitCode {
                 }
             }
         })
+    } else if args.metrics {
+        // Raw Prometheus exposition text, exactly what a scrape would get.
+        client.metrics().map(|text| print!("{text}"))
     } else if args.list {
         client.list().map(|datasets| {
             for (name, records, dims) in datasets {
@@ -360,7 +368,7 @@ fn main() -> ExitCode {
     } else {
         let (Some(dataset), Some(focal)) = (&args.dataset, args.focal) else {
             eprintln!(
-                "nothing to do: pass --dataset/--focal, --stats, --list, --ping or --shutdown\n{}",
+                "nothing to do: pass --dataset/--focal, --stats, --metrics, --list, --ping or --shutdown\n{}",
                 usage()
             );
             return ExitCode::FAILURE;

@@ -32,7 +32,8 @@
 //! model.
 
 use maxrank::service::{
-    DatasetRegistry, DatasetSpec, DurabilityOptions, MrqService, Server, ServiceConfig,
+    DatasetRegistry, DatasetSpec, DurabilityOptions, MetricsServer, MrqService, Server,
+    ServiceConfig,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -49,17 +50,22 @@ struct Args {
     deadline_ms: Option<u64>,
     data_dir: Option<PathBuf>,
     checkpoint_wal_bytes: Option<u64>,
+    metrics_port: Option<u16>,
+    metrics_port_file: Option<String>,
 }
 
 fn usage() -> String {
     "usage: maxrank-serve (--demo | --dataset NAME=SPEC)... [--listen HOST:PORT] \
      [--port-file PATH] [--workers N] [--queue N] [--cache N] [--deadline-ms MS] \
-     [--data-dir DIR] [--checkpoint-wal-bytes N]\n\
+     [--data-dir DIR] [--checkpoint-wal-bytes N] [--metrics-port PORT] \
+     [--metrics-port-file PATH]\n\
      SPEC: demo | ind:n=1000,d=3,seed=42 | cor:... | anti:... | \
      hotel:scale=0.01,seed=1 | house:... | nba:... | pitch:... | bat:... | \
      csv:path=FILE,dims=D\n\
      --data-dir makes every dataset durable (snapshot + WAL under DIR/NAME/, \
-     recovered on restart)"
+     recovered on restart)\n\
+     --metrics-port serves Prometheus text on http://127.0.0.1:PORT/metrics \
+     (0 = ephemeral; --metrics-port-file writes the bound port)"
         .to_string()
 }
 
@@ -74,6 +80,8 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms: None,
         data_dir: None,
         checkpoint_wal_bytes: None,
+        metrics_port: None,
+        metrics_port_file: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -119,6 +127,14 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--checkpoint-wal-bytes must be at least 1".into());
                 }
                 args.checkpoint_wal_bytes = Some(n);
+            }
+            "--metrics-port" => {
+                let n = parse_num(&mut it, "--metrics-port")?;
+                let port = u16::try_from(n).map_err(|_| "--metrics-port: not a port number")?;
+                args.metrics_port = Some(port);
+            }
+            "--metrics-port-file" => {
+                args.metrics_port_file = Some(it.next().ok_or("--metrics-port-file needs a path")?);
             }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
@@ -204,7 +220,7 @@ fn main() -> ExitCode {
         ..defaults
     };
     let service = Arc::new(MrqService::new(Arc::clone(&registry), config));
-    let server = match Server::start(service, args.listen.as_str()) {
+    let server = match Server::start(Arc::clone(&service), args.listen.as_str()) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("failed to bind {}: {e}", args.listen);
@@ -222,9 +238,35 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let metrics = match args.metrics_port {
+        None => None,
+        Some(port) => {
+            // Loopback only: the scrape endpoint has no auth and no TLS.
+            match MetricsServer::start(Arc::clone(&service), ("127.0.0.1", port)) {
+                Ok(m) => {
+                    println!("metrics on http://{}/metrics", m.local_addr());
+                    if let Some(path) = &args.metrics_port_file {
+                        if let Err(e) = std::fs::write(path, format!("{}\n", m.local_addr().port()))
+                        {
+                            eprintln!("failed to write --metrics-port-file {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    Some(m)
+                }
+                Err(e) => {
+                    eprintln!("failed to bind metrics port {port}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
 
     // Runs until a client sends SHUTDOWN; then drain and exit cleanly.
     server.wait();
+    if let Some(metrics) = metrics {
+        metrics.shutdown();
+    }
     if args.data_dir.is_some() {
         // A final checkpoint makes the next start a pure snapshot load.
         match registry.checkpoint_all() {
