@@ -34,12 +34,17 @@ struct Args {
 fn usage() -> String {
     "usage: mrq-load (--dataset NAME=SPEC... | --connect HOST:PORT) \
      [--target-dataset NAME] [--rate OPS_PER_S] [--ops N] [--threads N] \
-     [--mix Q:U:S] [--zipf THETA] [--seed N] [--workers N] [--json PATH]\n\
+     [--mix Q:U:S] [--zipf THETA] [--seed N] [--workers N] [--retry] \
+     [--json PATH]\n\
      SPEC: demo | ind:n=1000,d=3,seed=42 | cor:... | anti:... | \
      hotel:scale=0.01 | csv:path=FILE,dims=D\n\
      --dataset builds an in-process service; --connect drives a running \
      maxrank-serve instead.  --target-dataset picks which dataset to drive \
      (default: the first --dataset name, or the server's first dataset).\n\
+     --retry installs a client retry policy (capped exponential backoff) and \
+     tags updates with request_ids, so transient server-busy sheds and \
+     broken connections are ridden out exactly-once instead of counted as \
+     errors (TCP targets only).\n\
      Defaults: --rate 500 --ops 1000 --threads 2 --mix 85:10:5 --zipf 0.8 \
      --seed 2015"
         .to_string()
@@ -105,6 +110,7 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.workers = Some(n);
             }
+            "--retry" => args.config.retry = true,
             "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),

@@ -29,7 +29,7 @@
 use crate::histogram::LogHistogram;
 use mrq_core::Algorithm;
 use mrq_data::{RecordId, Update};
-use mrq_service::{Client, MrqService, NotifyMailbox, QueryRequest};
+use mrq_service::{Client, MrqService, NotifyMailbox, QueryRequest, RetryPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -106,6 +106,10 @@ pub struct LoadConfig {
     pub zipf_theta: f64,
     /// Seed for the (deterministic) schedule and row generator.
     pub seed: u64,
+    /// Install a [`RetryPolicy`] on every TCP connection and tag updates
+    /// with `request_id`s, so transient faults (sheds, resets) are ridden
+    /// out with exactly-once semantics instead of counted as errors.
+    pub retry: bool,
 }
 
 impl Default for LoadConfig {
@@ -120,6 +124,7 @@ impl Default for LoadConfig {
             mix: [85, 10, 5],
             zipf_theta: 0.8,
             seed: 2015,
+            retry: false,
         }
     }
 }
@@ -148,6 +153,9 @@ pub struct LoadReport {
     pub kinds: Vec<KindReport>,
     /// All kinds merged.
     pub overall: LogHistogram,
+    /// Client-side retries performed across all TCP connections (always 0
+    /// without [`LoadConfig::retry`] or for in-process runs).
+    pub retries: u64,
 }
 
 impl LoadReport {
@@ -201,6 +209,8 @@ impl LoadReport {
         ));
         out.push_str(&format!("  \"zipf_theta\": {},\n", c.zipf_theta));
         out.push_str(&format!("  \"seed\": {},\n", c.seed));
+        out.push_str(&format!("  \"retry\": {},\n", c.retry));
+        out.push_str(&format!("  \"retries\": {},\n", self.retries));
         out.push_str(&format!("  \"elapsed_ns\": {},\n", self.elapsed_ns));
         out.push_str(&format!(
             "  \"achieved_ops_per_s\": {:.3},\n",
@@ -233,10 +243,15 @@ impl LoadReport {
             self.config.seed,
         ));
         out.push_str(&format!(
-            "achieved : {:.1} ops/s over {:.3}s, {} errors\n",
+            "achieved : {:.1} ops/s over {:.3}s, {} errors{}\n",
             self.achieved_ops_per_s(),
             self.elapsed_ns as f64 / 1e9,
             self.errors(),
+            if self.config.retry {
+                format!(", {} retries", self.retries)
+            } else {
+                String::new()
+            },
         ));
         let row = |label: &str, count: u64, h: &LogHistogram| {
             format!(
@@ -338,6 +353,7 @@ impl Conn {
         dataset: &str,
         insert: Vec<f64>,
         delete: Option<RecordId>,
+        request_id: Option<&str>,
     ) -> Result<RecordId, String> {
         match self {
             Conn::Local { service, .. } => {
@@ -346,7 +362,7 @@ impl Conn {
                     batch.push(Update::Delete(id));
                 }
                 service
-                    .update(dataset, &batch)
+                    .update_with_id(dataset, &batch, request_id)
                     .map_err(|e| e.to_string())
                     .and_then(|outcome| {
                         outcome
@@ -359,7 +375,7 @@ impl Conn {
             Conn::Remote(client) => {
                 let deletes: Vec<RecordId> = delete.into_iter().collect();
                 client
-                    .update(dataset, &[insert], &deletes)
+                    .update_with_id(dataset, &[insert], &deletes, request_id)
                     .map_err(|e| e.to_string())
                     .and_then(|reply| {
                         reply
@@ -395,6 +411,14 @@ impl Conn {
         }
     }
 
+    /// Client-side retries performed so far (TCP connections only).
+    fn retries(&self) -> u64 {
+        match self {
+            Conn::Local { .. } => 0,
+            Conn::Remote(client) => client.retries_performed(),
+        }
+    }
+
     /// Discards pending NOTIFY pushes so the mailbox / socket buffer stays
     /// bounded.  Runs outside the timed section.
     fn drain_notifications(&mut self) {
@@ -414,6 +438,7 @@ struct Shard {
     counts: [u64; 3],
     errors: [u64; 3],
     hists: [LogHistogram; 3],
+    retries: u64,
 }
 
 impl Shard {
@@ -426,6 +451,7 @@ impl Shard {
                 LogHistogram::new(),
                 LogHistogram::new(),
             ],
+            retries: 0,
         }
     }
 }
@@ -463,6 +489,16 @@ pub fn run(target: &Target, config: &LoadConfig) -> Result<LoadReport, String> {
                         service: Arc::clone(service),
                         mailbox: Arc::new(NotifyMailbox::new()),
                     },
+                    Target::Tcp(addr) if config.retry => Conn::Remote(
+                        Client::connect_with_retry(
+                            addr.as_str(),
+                            RetryPolicy {
+                                seed: config.seed ^ (thread as u64 + 1),
+                                ..RetryPolicy::default()
+                            },
+                        )
+                        .map_err(|e| format!("connect {addr}: {e}"))?,
+                    ),
                     Target::Tcp(addr) => Conn::Remote(
                         Client::connect(addr.as_str())
                             .map_err(|e| format!("connect {addr}: {e}"))?,
@@ -494,9 +530,13 @@ pub fn run(target: &Target, config: &LoadConfig) -> Result<LoadReport, String> {
                             } else {
                                 None
                             };
-                            conn.update(&config.dataset, row, delete).map(|inserted| {
-                                backlog.push_back(inserted);
-                            })
+                            let request_id = config
+                                .retry
+                                .then(|| format!("load-{}-{thread}-{index}", config.seed));
+                            conn.update(&config.dataset, row, delete, request_id.as_deref())
+                                .map(|inserted| {
+                                    backlog.push_back(inserted);
+                                })
                         }
                         OpKind::Subscribe => {
                             let evict = if subscriptions.len() >= SUBSCRIPTION_CAP {
@@ -532,6 +572,7 @@ pub fn run(target: &Target, config: &LoadConfig) -> Result<LoadReport, String> {
                 for id in subscriptions {
                     let _ = conn.unsubscribe(id);
                 }
+                shard.retries = conn.retries();
                 Ok(shard)
             }));
         }
@@ -552,6 +593,7 @@ pub fn run(target: &Target, config: &LoadConfig) -> Result<LoadReport, String> {
         })
         .collect();
     let mut overall = LogHistogram::new();
+    let mut retries = 0;
     for shard in &shards {
         for (k, kind) in kinds.iter_mut().enumerate() {
             kind.count += shard.counts[k];
@@ -559,12 +601,14 @@ pub fn run(target: &Target, config: &LoadConfig) -> Result<LoadReport, String> {
             kind.latency.merge(&shard.hists[k]);
             overall.merge(&shard.hists[k]);
         }
+        retries += shard.retries;
     }
     Ok(LoadReport {
         config: config.clone(),
         elapsed_ns,
         kinds,
         overall,
+        retries,
     })
 }
 
@@ -586,6 +630,7 @@ mod tests {
             mix: [80, 15, 5],
             zipf_theta: 0.8,
             seed: 7,
+            ..LoadConfig::default()
         };
         let service = Arc::new(MrqService::new(registry, ServiceConfig::default()));
         (Target::InProcess(service), config)

@@ -65,6 +65,10 @@ pub enum UpdateError {
     /// dataset is left untouched: an update that is not durable is not
     /// committed.
     Storage(String),
+    /// The dataset is in degraded read-only mode after an earlier storage
+    /// failure: it keeps serving the last durable version but refuses
+    /// further updates until restarted against a healthy disk.
+    Degraded(String),
 }
 
 impl std::fmt::Display for UpdateError {
@@ -77,6 +81,9 @@ impl std::fmt::Display for UpdateError {
             UpdateError::NoSuchRecord(id) => write!(f, "no record with id {id}"),
             UpdateError::AlreadyDeleted(id) => write!(f, "record {id} is already deleted"),
             UpdateError::Storage(msg) => write!(f, "durable log write failed: {msg}"),
+            UpdateError::Degraded(reason) => {
+                write!(f, "dataset is degraded (read-only): {reason}")
+            }
         }
     }
 }

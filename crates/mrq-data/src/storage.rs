@@ -63,11 +63,20 @@
 //! record and calls [`std::process::abort`].  This produces a *genuinely*
 //! torn append — the exact failure recovery must survive — and is used by
 //! the crash-injection harness.  The variable is read once per process.
+//!
+//! A second hook, **`MRQ_STORAGE_FAIL_WAL_IO`**, makes [`DatasetStore::append`]
+//! *report* an I/O error instead of dying, so the serving layer's graceful
+//! degradation can be exercised: `append` fails before any byte is written,
+//! `sync` writes a torn record then reports an fsync failure, `full` writes a
+//! torn record then reports a disk-full error.  Unlike the crash hook it is
+//! also settable at runtime through [`set_wal_fail_mode`] (tests toggle it
+//! per-case within one process).
 
 use crate::dataset::{Dataset, RecordId, Update};
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 /// File name of the snapshot inside a dataset's storage directory.
@@ -792,6 +801,33 @@ impl DatasetStore {
                 std::process::abort();
             }
         }
+        match wal_fail_mode() {
+            WalFailMode::Off => {}
+            WalFailMode::Append => {
+                // Fails before touching the file: the log is byte-for-byte
+                // what it was, the batch was simply never written.
+                return Err(StorageError::Io(std::io::Error::other(
+                    "injected WAL append failure (MRQ_STORAGE_FAIL_WAL_IO=append)",
+                )));
+            }
+            WalFailMode::Sync => {
+                // A write that "succeeded" but whose fsync failed: the tail
+                // may be torn on disk, and recovery must discard it.
+                let _ = self.wal.write_all(&rec[..rec.len() / 2]);
+                return Err(StorageError::Io(std::io::Error::other(
+                    "injected WAL fsync failure (MRQ_STORAGE_FAIL_WAL_IO=sync)",
+                )));
+            }
+            WalFailMode::Full => {
+                // Disk filled mid-record: a short write followed by ENOSPC.
+                let keep = rec.len().min(8);
+                let _ = self.wal.write_all(&rec[..keep]);
+                let _ = self.wal.sync_data();
+                return Err(StorageError::Io(std::io::Error::other(
+                    "no space left on device (injected, MRQ_STORAGE_FAIL_WAL_IO=full)",
+                )));
+            }
+        }
         self.wal.write_all(&rec)?;
         self.wal.sync_data()?;
         self.wal_bytes += rec.len() as u64;
@@ -848,6 +884,58 @@ fn crash_budget() -> Option<u64> {
             .ok()
             .and_then(|v| v.parse().ok())
     })
+}
+
+/// Injectable WAL append failure, for exercising graceful storage
+/// degradation (see module docs).  Unlike the crash hook this one *returns*
+/// an error instead of aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WalFailMode {
+    /// No fault injected (the default).
+    Off = 0,
+    /// `append` fails before writing any byte.
+    Append = 1,
+    /// `append` leaves a torn record, then reports an fsync failure.
+    Sync = 2,
+    /// `append` leaves a short torn record, then reports disk-full.
+    Full = 3,
+}
+
+/// `u8::MAX` marks "not yet initialised from the environment".
+static WAL_FAIL: AtomicU8 = AtomicU8::new(u8::MAX);
+
+/// Current injected WAL failure mode; first call reads
+/// `MRQ_STORAGE_FAIL_WAL_IO` (`append` / `sync` / `full`).
+fn wal_fail_mode() -> WalFailMode {
+    let v = WAL_FAIL.load(Ordering::Relaxed);
+    if v != u8::MAX {
+        return decode_fail_mode(v);
+    }
+    let mode = match std::env::var("MRQ_STORAGE_FAIL_WAL_IO").ok().as_deref() {
+        Some("append") => WalFailMode::Append,
+        Some("sync") => WalFailMode::Sync,
+        Some("full") => WalFailMode::Full,
+        _ => WalFailMode::Off,
+    };
+    WAL_FAIL.store(mode as u8, Ordering::Relaxed);
+    mode
+}
+
+fn decode_fail_mode(v: u8) -> WalFailMode {
+    match v {
+        1 => WalFailMode::Append,
+        2 => WalFailMode::Sync,
+        3 => WalFailMode::Full,
+        _ => WalFailMode::Off,
+    }
+}
+
+/// Sets (or clears, with [`WalFailMode::Off`]) the injected WAL failure mode
+/// at runtime, overriding the environment variable.  A documented test hook:
+/// degraded-mode tests toggle faults per-case inside one process.
+pub fn set_wal_fail_mode(mode: WalFailMode) {
+    WAL_FAIL.store(mode as u8, Ordering::Relaxed);
 }
 
 #[cfg(test)]

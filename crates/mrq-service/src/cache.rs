@@ -25,6 +25,7 @@
 //! of one dataset instead of walking every resident entry under the mutex on
 //! each update batch.
 
+use crate::sync::lock_or_recover;
 use mrq_core::{Algorithm, MaxRankResult};
 use mrq_data::RecordId;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -285,7 +286,7 @@ impl ResultCache {
 
     /// Looks up a key, counting a hit or a miss.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<MaxRankResult>> {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         match inner.lru.get(key).cloned() {
             Some(v) => {
                 inner.hits += 1;
@@ -300,7 +301,7 @@ impl ResultCache {
 
     /// Stores an answer (no-op when the cache is disabled).
     pub fn insert(&self, key: CacheKey, value: Arc<MaxRankResult>) {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         let inner = &mut *inner;
         if inner.lru.capacity == 0 {
             return;
@@ -321,7 +322,7 @@ impl ResultCache {
     /// generations are split off the per-dataset version map and only their
     /// keys are unlinked from the LRU.
     pub fn purge_stale(&self, dataset: &str, current_version: u64) -> u64 {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         let inner = &mut *inner;
         let Some(versions) = inner.index.get_mut(dataset) else {
             return 0;
@@ -354,7 +355,7 @@ impl ResultCache {
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cache lock poisoned");
+        let inner = lock_or_recover(&self.inner);
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -368,18 +369,14 @@ impl ResultCache {
     /// Resident keys, most recently used first (tests only).
     #[cfg(test)]
     fn resident_keys(&self) -> Vec<CacheKey> {
-        self.inner
-            .lock()
-            .expect("cache lock poisoned")
-            .lru
-            .keys_by_recency()
+        lock_or_recover(&self.inner).lru.keys_by_recency()
     }
 
     /// Checks that the stale index describes exactly the resident keys
     /// (tests only).
     #[cfg(test)]
     fn assert_index_consistent(&self) {
-        let inner = self.inner.lock().expect("cache lock poisoned");
+        let inner = lock_or_recover(&self.inner);
         let mut indexed = 0usize;
         for (dataset, versions) in &inner.index {
             for (version, keys) in versions {

@@ -7,12 +7,13 @@ use crate::protocol::json::Json;
 use crate::protocol::{write_frame, Request, MAX_FRAME_BYTES, MAX_HEADER_BYTES};
 use crate::querystats::DatasetQueryStats;
 use crate::registry::DurabilityStats;
+use crate::service::ReliabilityStats;
 use crate::subscriptions::SubscriptionStats;
 use mrq_core::Algorithm;
 use mrq_data::RecordId;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// Client-side failure.
@@ -23,7 +24,14 @@ pub enum ClientError {
     /// The server sent something the client cannot make sense of.
     Protocol(String),
     /// The server answered with an error frame.
-    Server(String),
+    Server {
+        /// The server's error text.
+        message: String,
+        /// Whether the server flagged the error as safe to retry.
+        retryable: bool,
+        /// Server-suggested minimum backoff before retrying, if any.
+        retry_after_ms: Option<u64>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -31,7 +39,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
-            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Server { message, .. } => write!(f, "server error: {message}"),
         }
     }
 }
@@ -117,6 +125,48 @@ pub struct StatsReply {
     /// Standing-query counters (all zero against a server without the
     /// subscription subsystem).
     pub subscriptions: SubscriptionStats,
+    /// Overload/retry counters (all zero against a pre-robustness server).
+    pub reliability: ReliabilityStats,
+    /// Names of datasets currently in degraded (read-only) mode.
+    pub degraded: Vec<String>,
+}
+
+/// Retry behaviour of a [`Client`]: capped exponential backoff with
+/// deterministic jitter, reconnecting on broken connections.
+///
+/// A retry fires only when the failure is *known safe* to repeat:
+///
+/// * server errors the server itself flagged `retryable` (`queue full`,
+///   `overloaded`, `server busy`, `idle timeout`, deadline);
+/// * transport failures (connection refused/reset/closed) — for reads
+///   always, for `UPDATE` only when the call carries a `request_id`, so the
+///   server's dedup window turns the resend into an exactly-once replay.
+///
+/// Non-retryable server errors (bad request, unknown dataset, degraded
+/// dataset) and `UNSUBSCRIBE`/`SHUTDOWN` are never retried.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (so `max_retries: 3` means at most
+    /// four attempts in total).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Upper bound on the backoff, after which it stops growing.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic jitter stream (vary per client so a herd
+    /// of retrying clients does not thunder in lockstep).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
 }
 
 /// A decoded subscription result snapshot: the `subscribe` acknowledgement,
@@ -173,11 +223,20 @@ const CLIENT_POLL: Duration = Duration::from_millis(100);
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// The peer address, kept for reconnects under a [`RetryPolicy`].
+    addr: SocketAddr,
     /// Partial frame-header bytes surviving a read timeout, so a deadline
     /// expiring mid-prefix never corrupts the stream position.
     header: Vec<u8>,
     /// `NOTIFY` frames that arrived while waiting for a response, in order.
     pending: VecDeque<Notification>,
+    /// Retry behaviour; `None` (the default) fails fast on every error.
+    retry: Option<RetryPolicy>,
+    /// Jitter PRNG state (xorshift64), seeded from the policy.
+    jitter: u64,
+    /// How many retries this client has performed (for tests and load
+    /// tooling; the initial attempt of each call does not count).
+    retries: u64,
 }
 
 impl Client {
@@ -185,13 +244,124 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let addr = stream.peer_addr()?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            addr,
             header: Vec::new(),
             pending: VecDeque::new(),
+            retry: None,
+            jitter: 0,
+            retries: 0,
         })
+    }
+
+    /// Connects with a [`RetryPolicy`] installed from the start.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> std::io::Result<Client> {
+        let mut client = Self::connect(addr)?;
+        client.set_retry_policy(Some(policy));
+        Ok(client)
+    }
+
+    /// Installs (or removes, with `None`) the retry policy.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.jitter = policy.map(|p| p.seed | 1).unwrap_or(0);
+        self.retry = policy;
+    }
+
+    /// How many retries this client has performed so far.
+    pub fn retries_performed(&self) -> u64 {
+        self.retries
+    }
+
+    /// Tears the connection down and dials the same address again.  Pending
+    /// notifications are dropped: subscriptions are connection-bound, so
+    /// whatever was queued belongs to a subscription that no longer exists.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        self.writer = stream.try_clone()?;
+        self.reader = BufReader::new(stream);
+        self.header.clear();
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Next value of the deterministic jitter stream.
+    fn next_jitter(&mut self) -> u64 {
+        let mut x = self.jitter.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter = x;
+        x
+    }
+
+    /// Backoff before retry number `attempt` (0-based): capped exponential
+    /// with half-range jitter, floored at the server's `retry_after_ms`
+    /// hint when one was given.
+    fn backoff(&mut self, policy: &RetryPolicy, attempt: u32, hint: Option<u64>) -> Duration {
+        let exp = policy
+            .base_backoff
+            .saturating_mul(2u32.saturating_pow(attempt))
+            .min(policy.max_backoff);
+        let half = (exp.as_millis() as u64 / 2).max(1);
+        let jittered = Duration::from_millis(half + self.next_jitter() % half);
+        match hint {
+            Some(ms) => jittered.max(Duration::from_millis(ms)),
+            None => jittered,
+        }
+    }
+
+    /// Runs `roundtrip` under the retry policy.  `idempotent` marks calls
+    /// that are safe to repeat (reads, and updates carrying a `request_id`);
+    /// everything else fails fast exactly as without a policy.
+    fn exchange(&mut self, request: &Request, idempotent: bool) -> Result<Json, ClientError> {
+        let Some(policy) = self.retry else {
+            return self.roundtrip(request);
+        };
+        if !idempotent {
+            return self.roundtrip(request);
+        }
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.roundtrip(request) {
+                Ok(value) => return Ok(value),
+                Err(err) => err,
+            };
+            // Transport failures leave the stream in an unknown state; the
+            // server also closes the connection after a `server busy` shed,
+            // so both paths need a fresh dial before the next attempt.
+            let (retryable, transport, hint) = match &err {
+                ClientError::Io(_) => (true, true, None),
+                ClientError::Protocol(msg) => (msg == "server closed the connection", true, None),
+                ClientError::Server {
+                    retryable,
+                    message,
+                    retry_after_ms,
+                } => (
+                    *retryable,
+                    message.starts_with("server busy"),
+                    *retry_after_ms,
+                ),
+            };
+            if !retryable || attempt >= policy.max_retries {
+                return Err(err);
+            }
+            std::thread::sleep(self.backoff(&policy, attempt, hint));
+            if transport {
+                // A failed reconnect consumes the attempt; the next loop
+                // iteration's roundtrip will surface the dead stream again.
+                let _ = self.reconnect();
+            }
+            attempt += 1;
+            self.retries += 1;
+        }
     }
 
     /// Reads one frame.  With a deadline, returns `Ok(None)` if no frame has
@@ -267,13 +437,21 @@ impl Client {
             }
             return match value.get("ok").and_then(Json::as_bool) {
                 Some(true) => Ok(value),
-                Some(false) => Err(ClientError::Server(
-                    value
+                Some(false) => Err(ClientError::Server {
+                    message: value
                         .get("error")
                         .and_then(Json::as_str)
                         .unwrap_or("unspecified error")
                         .to_string(),
-                )),
+                    retryable: value
+                        .get("retryable")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
+                    retry_after_ms: value
+                        .get("retry_after_ms")
+                        .and_then(Json::as_usize)
+                        .map(|ms| ms as u64),
+                }),
                 None => Err(ClientError::Protocol("response lacks 'ok'".into())),
             };
         }
@@ -301,7 +479,7 @@ impl Client {
             max_regions: options.max_regions,
             threads: options.threads.max(1),
         };
-        let value = self.roundtrip(&request)?;
+        let value = self.exchange(&request, true)?;
         let field_usize = |key: &str| {
             value
                 .get(key)
@@ -437,7 +615,9 @@ impl Client {
             algorithm,
             tau,
         };
-        let value = self.roundtrip(&request)?;
+        // Safe to retry: if the connection died, whatever subscription the
+        // lost attempt registered died with it.
+        let value = self.exchange(&request, true)?;
         Self::parse_subscription_reply(&value)
     }
 
@@ -480,12 +660,29 @@ impl Client {
         inserts: &[Vec<f64>],
         deletes: &[RecordId],
     ) -> Result<UpdateReply, ClientError> {
+        self.update_with_id(dataset, inserts, deletes, None)
+    }
+
+    /// Like [`Client::update`], with a client-generated `request_id`.  The
+    /// server keeps a per-dataset dedup window of recent ids, so resending
+    /// the same id (e.g. after a broken connection mid-acknowledgement)
+    /// replays the original receipt instead of applying the batch twice —
+    /// which is also what makes an id-carrying update safe to retry under a
+    /// [`RetryPolicy`].
+    pub fn update_with_id(
+        &mut self,
+        dataset: &str,
+        inserts: &[Vec<f64>],
+        deletes: &[RecordId],
+        request_id: Option<&str>,
+    ) -> Result<UpdateReply, ClientError> {
         let request = Request::Update {
             dataset: dataset.to_string(),
+            request_id: request_id.map(str::to_string),
             inserts: inserts.to_vec(),
             deletes: deletes.to_vec(),
         };
-        let value = self.roundtrip(&request)?;
+        let value = self.exchange(&request, request_id.is_some())?;
         let field_usize = |key: &str| {
             value
                 .get(key)
@@ -514,7 +711,7 @@ impl Client {
 
     /// Fetches the server's counters.
     pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
-        let value = self.roundtrip(&Request::Stats)?;
+        let value = self.exchange(&Request::Stats, true)?;
         let section = |name: &str| {
             value
                 .get(name)
@@ -587,6 +784,27 @@ impl Client {
             })
             .transpose()?
             .unwrap_or_default();
+        // `reliability` and `degraded` arrived with the robustness layer;
+        // tolerate servers without them.
+        let reliability = value
+            .get("reliability")
+            .map(|r| {
+                let field = |key: &str| num(r, key).map(|v| v as u64);
+                Ok::<_, ClientError>(ReliabilityStats {
+                    connections_shed: field("connections_shed")?,
+                    idle_disconnects: field("idle_disconnects")?,
+                    update_dedup_hits: field("update_dedup_hits")?,
+                })
+            })
+            .transpose()?
+            .unwrap_or_default();
+        let degraded = value
+            .get("degraded")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect();
         Ok(StatsReply {
             cache: CacheStats {
                 hits: num(&cache, "hits")? as u64,
@@ -625,13 +843,15 @@ impl Client {
             per_dataset,
             durability,
             subscriptions,
+            reliability,
+            degraded,
         })
     }
 
     /// Fetches the Prometheus exposition text (the `metrics` verb).  The
     /// text travels as a JSON string, so counter values stay integer-exact.
     pub fn metrics(&mut self) -> Result<String, ClientError> {
-        let value = self.roundtrip(&Request::Metrics)?;
+        let value = self.exchange(&Request::Metrics, true)?;
         value
             .get("metrics")
             .and_then(Json::as_str)
@@ -641,7 +861,7 @@ impl Client {
 
     /// Lists registered datasets as `(name, live records, dims)`.
     pub fn list(&mut self) -> Result<Vec<(String, usize, usize)>, ClientError> {
-        let value = self.roundtrip(&Request::List)?;
+        let value = self.exchange(&Request::List, true)?;
         value
             .get("datasets")
             .and_then(Json::as_array)
@@ -661,10 +881,11 @@ impl Client {
 
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        self.roundtrip(&Request::Ping).map(|_| ())
+        self.exchange(&Request::Ping, true).map(|_| ())
     }
 
-    /// Asks the server to shut down gracefully.
+    /// Asks the server to shut down gracefully.  Never retried: a broken
+    /// connection here most likely means the shutdown landed.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         self.roundtrip(&Request::Shutdown).map(|_| ())
     }
@@ -729,7 +950,7 @@ mod tests {
 
         // Errors surface as ClientError::Server.
         let err = client.query("demo", 99).unwrap_err();
-        assert!(matches!(err, ClientError::Server(_)), "{err}");
+        assert!(matches!(err, ClientError::Server { .. }), "{err}");
         server.shutdown();
     }
 
@@ -784,15 +1005,17 @@ mod tests {
 
         // Errors surface as server errors, and the dataset is untouched.
         let err = client.update("demo", &[], &[0]).unwrap_err();
-        assert!(matches!(err, ClientError::Server(_)), "{err}");
+        assert!(matches!(err, ClientError::Server { .. }), "{err}");
         let err = client.update("demo", &[vec![0.1]], &[]).unwrap_err();
-        assert!(matches!(err, ClientError::Server(_)), "{err}");
+        assert!(matches!(err, ClientError::Server { .. }), "{err}");
         assert_eq!(client.query("demo", 5).unwrap().version, 2);
 
         // Querying the deleted focal yields a friendly server error.
         let err = client.query("demo", 0).unwrap_err();
         match err {
-            ClientError::Server(msg) => assert!(msg.contains("deleted"), "{msg}"),
+            ClientError::Server { message, .. } => {
+                assert!(message.contains("deleted"), "{message}")
+            }
             other => panic!("expected server error, got {other}"),
         }
         server.shutdown();
@@ -869,7 +1092,9 @@ mod tests {
         // A second unsubscribe of the same id is a server error.
         let err = client.unsubscribe(ack.subscription).unwrap_err();
         match err {
-            ClientError::Server(msg) => assert!(msg.contains("unknown subscription"), "{msg}"),
+            ClientError::Server { message, .. } => {
+                assert!(message.contains("unknown subscription"), "{message}")
+            }
             other => panic!("expected server error, got {other}"),
         }
         // No NOTIFY arrives for an affecting update once unsubscribed.
@@ -913,6 +1138,101 @@ mod tests {
             crate::registry::DurabilityStats::default()
         );
         fake.join().unwrap();
+    }
+
+    #[test]
+    fn update_with_request_id_is_exactly_once() {
+        let server = demo_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let first = client
+            .update_with_id("demo", &[vec![0.9, 0.9]], &[], Some("op-1"))
+            .unwrap();
+        // The "retry": same id, same connection — the server must replay the
+        // receipt, not apply the batch again.
+        let second = client
+            .update_with_id("demo", &[vec![0.9, 0.9]], &[], Some("op-1"))
+            .unwrap();
+        assert_eq!(first, second);
+        assert_eq!(client.query("demo", 5).unwrap().version, first.version);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.reliability.update_dedup_hits, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn retrying_client_rides_out_server_busy_sheds() {
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.register("demo", &DatasetSpec::Demo).unwrap();
+        let service = Arc::new(MrqService::new(
+            registry,
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        ));
+        let server = Server::start_with(
+            service,
+            "127.0.0.1:0",
+            crate::server::ServerConfig {
+                max_connections: 1,
+                ..crate::server::ServerConfig::default()
+            },
+        )
+        .unwrap();
+        // One connection hogs the single slot…
+        let mut holder = Client::connect(server.local_addr()).unwrap();
+        holder.ping().unwrap();
+        // …and releases it shortly, while the retrying client backs off.
+        let release = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            drop(holder);
+        });
+        let mut client = Client::connect_with_retry(
+            server.local_addr(),
+            RetryPolicy {
+                max_retries: 20,
+                base_backoff: Duration::from_millis(25),
+                max_backoff: Duration::from_millis(200),
+                seed: 7,
+            },
+        )
+        .unwrap();
+        client.ping().expect("retries must outlast the busy spell");
+        assert!(client.retries_performed() >= 1);
+        assert!(
+            server.service().stats().reliability.connections_shed >= 1,
+            "the busy spell must have shed at least one attempt"
+        );
+        release.join().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_fast_even_with_policy() {
+        let server = demo_server();
+        let mut client = Client::connect_with_retry(
+            server.local_addr(),
+            RetryPolicy {
+                max_retries: 5,
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(10),
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let err = client.query("demo", 99).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ClientError::Server {
+                    retryable: false,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert_eq!(client.retries_performed(), 0);
+        server.shutdown();
     }
 
     #[test]

@@ -1,5 +1,14 @@
 //! Service error type shared by the pool, the in-process service, the TCP
 //! server and the client.
+//!
+//! Every variant carries a *retryability* classification
+//! ([`ServiceError::retryable`]): transient conditions (a full queue, a shed
+//! connection) are safe to retry after backing off, while semantic failures
+//! (bad request, unknown dataset, degraded storage) are not — retrying them
+//! would only repeat the same answer.  The wire protocol surfaces the
+//! classification as a `retryable` flag plus an optional `retry_after_ms`
+//! backoff hint (see `protocol::error_payload`), which `client::RetryPolicy`
+//! obeys.
 
 /// Everything that can go wrong with a service request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,8 +24,60 @@ pub enum ServiceError {
     DeadlineExceeded,
     /// The service is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The service is saturated (worker pool queue full) — retry after the
+    /// hinted backoff.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The server refused the connection at accept time (connection limit
+    /// reached) — retry after the hinted backoff.
+    ServerBusy {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The connection sat idle holding a partial frame past the server's
+    /// idle timeout and was disconnected (slow-loris protection).
+    IdleTimeout,
+    /// The dataset is in degraded read-only mode after a storage failure:
+    /// queries keep serving the last durable version, updates are refused.
+    DatasetDegraded {
+        /// The degraded dataset.
+        dataset: String,
+        /// What failed (WAL append/fsync error text).
+        reason: String,
+    },
     /// An unexpected internal failure (worker panic, lost channel, I/O).
     Internal(String),
+}
+
+impl ServiceError {
+    /// Whether retrying the same request (after backoff, possibly on a new
+    /// connection) can succeed.  Semantic failures are permanent; capacity
+    /// and timing failures are transient.
+    pub fn retryable(&self) -> bool {
+        match self {
+            ServiceError::QueueFull
+            | ServiceError::DeadlineExceeded
+            | ServiceError::Overloaded { .. }
+            | ServiceError::ServerBusy { .. }
+            | ServiceError::IdleTimeout => true,
+            ServiceError::UnknownDataset(_)
+            | ServiceError::BadRequest(_)
+            | ServiceError::ShuttingDown
+            | ServiceError::DatasetDegraded { .. }
+            | ServiceError::Internal(_) => false,
+        }
+    }
+
+    /// The backoff hint carried by capacity errors, if any.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ServiceError::Overloaded { retry_after_ms }
+            | ServiceError::ServerBusy { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ServiceError {
@@ -27,6 +88,18 @@ impl std::fmt::Display for ServiceError {
             ServiceError::QueueFull => write!(f, "request queue is full"),
             ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded: retry after {retry_after_ms} ms")
+            }
+            ServiceError::ServerBusy { retry_after_ms } => {
+                write!(f, "server busy: retry after {retry_after_ms} ms")
+            }
+            ServiceError::IdleTimeout => {
+                write!(f, "idle timeout: connection held a partial frame too long")
+            }
+            ServiceError::DatasetDegraded { dataset, reason } => {
+                write!(f, "dataset '{dataset}' degraded (read-only): {reason}")
+            }
             ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -48,5 +121,40 @@ mod tests {
         assert!(ServiceError::DeadlineExceeded
             .to_string()
             .contains("deadline"));
+        assert!(ServiceError::Overloaded { retry_after_ms: 25 }
+            .to_string()
+            .contains("25 ms"));
+        assert!(ServiceError::ServerBusy { retry_after_ms: 50 }
+            .to_string()
+            .contains("busy"));
+        let degraded = ServiceError::DatasetDegraded {
+            dataset: "d".into(),
+            reason: "disk full".into(),
+        };
+        assert!(degraded.to_string().contains("degraded"));
+        assert!(degraded.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(ServiceError::QueueFull.retryable());
+        assert!(ServiceError::DeadlineExceeded.retryable());
+        assert!(ServiceError::Overloaded { retry_after_ms: 1 }.retryable());
+        assert!(ServiceError::ServerBusy { retry_after_ms: 1 }.retryable());
+        assert!(ServiceError::IdleTimeout.retryable());
+        assert!(!ServiceError::BadRequest("x".into()).retryable());
+        assert!(!ServiceError::UnknownDataset("x".into()).retryable());
+        assert!(!ServiceError::ShuttingDown.retryable());
+        assert!(!ServiceError::Internal("x".into()).retryable());
+        assert!(!ServiceError::DatasetDegraded {
+            dataset: "d".into(),
+            reason: "r".into()
+        }
+        .retryable());
+        assert_eq!(
+            ServiceError::Overloaded { retry_after_ms: 40 }.retry_after_ms(),
+            Some(40)
+        );
+        assert_eq!(ServiceError::QueueFull.retry_after_ms(), None);
     }
 }

@@ -54,11 +54,12 @@ pub mod registry;
 pub mod server;
 pub mod service;
 pub mod subscriptions;
+pub(crate) mod sync;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use client::{
-    Client, ClientError, Notification, QueryOptions, QueryReply, StatsReply, SubscriptionReply,
-    UpdateReply,
+    Client, ClientError, Notification, QueryOptions, QueryReply, RetryPolicy, StatsReply,
+    SubscriptionReply, UpdateReply,
 };
 pub use error::ServiceError;
 pub use metrics::{render_metrics, MetricsServer};
@@ -66,10 +67,13 @@ pub use pool::{PoolConfig, PoolStats, WorkerPool};
 pub use querystats::{DatasetQueryStats, QueryStatsBook};
 pub use registry::{
     DatasetEntry, DatasetHandle, DatasetRegistry, DatasetSpec, DurabilityOptions, DurabilityStats,
-    UpdateOutcome,
+    UpdateOutcome, DEDUP_WINDOW,
 };
 pub use server::{Server, ServerConfig};
-pub use service::{MrqService, QueryAnswer, QueryRequest, ServiceConfig, ServiceStats};
+pub use service::{
+    MrqService, QueryAnswer, QueryRequest, ReliabilityBook, ReliabilityStats, ServiceConfig,
+    ServiceStats,
+};
 pub use subscriptions::{
     NotifyEvent, NotifyKind, NotifyMailbox, Subscription, SubscriptionBook, SubscriptionStats,
 };
@@ -99,6 +103,7 @@ const _: () = {
     assert_send_sync::<NotifyMailbox>();
     assert_send_sync::<Subscription>();
     assert_send_sync::<SubscriptionBook>();
+    assert_send_sync::<ReliabilityBook>();
 };
 
 #[cfg(test)]

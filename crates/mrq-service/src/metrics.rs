@@ -20,6 +20,7 @@
 //! [text exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
 
 use crate::service::{MrqService, ServiceStats};
+use crate::sync::lock_or_recover;
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -327,6 +328,44 @@ pub fn render_metrics(stats: &ServiceStats) -> String {
         stats.subscriptions.full_reevals,
     );
 
+    // Overload control and exactly-once retries.
+    e.family(
+        "mrq_connections_shed_total",
+        "counter",
+        "Connections rejected at accept time with a retryable busy frame.",
+    );
+    e.sample(
+        "mrq_connections_shed_total",
+        stats.reliability.connections_shed,
+    );
+    e.family(
+        "mrq_idle_disconnects_total",
+        "counter",
+        "Connections cut for holding a partial frame past the idle timeout.",
+    );
+    e.sample(
+        "mrq_idle_disconnects_total",
+        stats.reliability.idle_disconnects,
+    );
+    e.family(
+        "mrq_update_dedup_hits_total",
+        "counter",
+        "Retried updates answered from the request-id dedup window.",
+    );
+    e.sample(
+        "mrq_update_dedup_hits_total",
+        stats.reliability.update_dedup_hits,
+    );
+    e.family(
+        "mrq_dataset_degraded",
+        "gauge",
+        "1 when the dataset is in degraded (read-only) mode after a storage failure.",
+    );
+    for name in &stats.datasets {
+        let degraded = stats.degraded.iter().any(|d| d == name);
+        e.dataset_sample("mrq_dataset_degraded", name, u64::from(degraded));
+    }
+
     e.out
 }
 
@@ -392,7 +431,7 @@ impl MetricsServer {
             // Poke the accept loop awake so it observes the flag.
             let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         }
-        if let Some(handle) = self.accept.lock().expect("accept lock poisoned").take() {
+        if let Some(handle) = lock_or_recover(&self.accept).take() {
             let _ = handle.join();
         }
     }
@@ -526,6 +565,12 @@ mod tests {
                 partial_repairs: 2,
                 full_reevals: 1,
             },
+            reliability: crate::service::ReliabilityStats {
+                connections_shed: 6,
+                idle_disconnects: 2,
+                update_dedup_hits: 3,
+            },
+            degraded: vec!["demo".into()],
         }
     }
 
@@ -566,6 +611,10 @@ mod tests {
             "mrq_subscription_unaffected_skips_total 5",
             "mrq_subscription_partial_repairs_total 2",
             "mrq_subscription_full_reevals_total 1",
+            "mrq_connections_shed_total 6",
+            "mrq_idle_disconnects_total 2",
+            "mrq_update_dedup_hits_total 3",
+            "mrq_dataset_degraded{dataset=\"demo\"} 1",
         ] {
             assert!(text.contains(&format!("\n{family}\n")), "missing: {family}");
         }

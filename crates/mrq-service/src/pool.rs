@@ -27,11 +27,12 @@ use crate::cache::{CacheKey, ResultCache};
 use crate::error::ServiceError;
 use crate::querystats::QueryStatsBook;
 use crate::registry::DatasetEntry;
+use crate::sync::lock_or_recover;
 use mrq_core::{evaluate_batch, Algorithm, MaxRankConfig, MaxRankResult};
 use mrq_data::RecordId;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 /// One unit of work: evaluate MaxRank for `focal` on `entry`.
@@ -205,7 +206,7 @@ impl WorkerPool {
 
     /// Enqueues a job, blocking while the queue is at capacity.
     pub fn submit(&self, job: QueryJob) -> Result<(), ServiceError> {
-        let mut q = self.shared.queue.lock().expect("pool queue lock poisoned");
+        let mut q = lock_or_recover(&self.shared.queue);
         loop {
             if q.closed {
                 return Err(ServiceError::ShuttingDown);
@@ -219,14 +220,14 @@ impl WorkerPool {
                 .shared
                 .not_full
                 .wait(q)
-                .expect("pool queue lock poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Enqueues a job, failing fast with [`ServiceError::QueueFull`] when the
     /// queue is at capacity (the server's backpressure path).
     pub fn try_submit(&self, job: QueryJob) -> Result<(), ServiceError> {
-        let mut q = self.shared.queue.lock().expect("pool queue lock poisoned");
+        let mut q = lock_or_recover(&self.shared.queue);
         if q.closed {
             return Err(ServiceError::ShuttingDown);
         }
@@ -240,13 +241,7 @@ impl WorkerPool {
 
     /// Counter snapshot.
     pub fn stats(&self) -> PoolStats {
-        let depth = self
-            .shared
-            .queue
-            .lock()
-            .expect("pool queue lock poisoned")
-            .jobs
-            .len();
+        let depth = lock_or_recover(&self.shared.queue).jobs.len();
         PoolStats {
             workers: self.shared.config.workers,
             queue_capacity: self.shared.config.queue_capacity,
@@ -262,17 +257,12 @@ impl WorkerPool {
     /// workers.  Idempotent.
     pub fn shutdown(&self) {
         {
-            let mut q = self.shared.queue.lock().expect("pool queue lock poisoned");
+            let mut q = lock_or_recover(&self.shared.queue);
             q.closed = true;
         }
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
-        let handles: Vec<_> = self
-            .handles
-            .lock()
-            .expect("pool handle lock poisoned")
-            .drain(..)
-            .collect();
+        let handles: Vec<_> = lock_or_recover(&self.handles).drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
@@ -288,9 +278,12 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &Shared) {
     loop {
         let batch = {
-            let mut q = shared.queue.lock().expect("pool queue lock poisoned");
+            let mut q = lock_or_recover(&shared.queue);
             while q.jobs.is_empty() && !q.closed {
-                q = shared.not_empty.wait(q).expect("pool queue lock poisoned");
+                q = shared
+                    .not_empty
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             let Some(first) = q.jobs.pop_front() else {
                 debug_assert!(q.closed);
@@ -382,6 +375,10 @@ fn run_batch(shared: &Shared, batch: Vec<QueryJob>) {
     // `threads = 1`: the pool's workers *are* the parallelism; the batch path
     // is used for its single engine setup, not for nested fan-out.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        #[cfg(test)]
+        if PANIC_NEXT_EVAL.swap(false, Ordering::Relaxed) {
+            panic!("injected evaluation panic");
+        }
         evaluate_batch(entry.data(), entry.tree(), &focals, &config, 1)
     }));
     match outcome {
@@ -425,6 +422,11 @@ fn respond(job: &QueryJob, result: Result<Arc<MaxRankResult>, ServiceError>, cac
 /// (tests only; see `deadline_expiring_after_triage_is_rejected_pre_eval`).
 #[cfg(test)]
 static PRE_EVAL_DELAY_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Makes the next evaluation on any worker panic (tests only; see
+/// `panicking_job_does_not_wedge_subsequent_submissions`).
+#[cfg(test)]
+static PANIC_NEXT_EVAL: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 #[cfg(test)]
 mod tests {
@@ -533,6 +535,28 @@ mod tests {
         assert_eq!(stats.deadline_rejected, 1);
         assert_eq!(stats.timed_out, 0);
         assert_eq!(stats.executed, 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_does_not_wedge_subsequent_submissions() {
+        // One worker, so the panicking job and the follow-up run on the very
+        // same thread: the panic must be contained by `catch_unwind`, the
+        // waiter must get a typed error, and the worker must keep serving.
+        let entry = demo_entry();
+        let pool = pool(1, 8, Arc::new(ResultCache::new(0)));
+        PANIC_NEXT_EVAL.store(true, Ordering::Relaxed);
+        let (j, rx) = job(&entry, 5, None, None);
+        pool.submit(j).unwrap();
+        let out = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        match out.result.unwrap_err() {
+            ServiceError::Internal(msg) => assert!(msg.contains("panicked"), "{msg}"),
+            other => panic!("expected internal error, got {other:?}"),
+        }
+        let (j2, rx2) = job(&entry, 5, None, None);
+        pool.submit(j2).unwrap();
+        let out2 = rx2.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(out2.result.unwrap().k_star, 3);
         pool.shutdown();
     }
 

@@ -142,6 +142,10 @@ pub enum Request {
         inserts: Vec<Vec<f64>>,
         /// Ids of live records to delete.
         deletes: Vec<RecordId>,
+        /// Optional client-generated idempotency key: a retry carrying the
+        /// same id replays the original receipt instead of re-applying (see
+        /// `registry::DEDUP_WINDOW`).
+        request_id: Option<String>,
     },
     /// Register a standing query: the server keeps the focal's result
     /// resident, maintains it under updates and pushes `NOTIFY` frames on
@@ -212,8 +216,12 @@ impl Request {
                 dataset,
                 inserts,
                 deletes,
+                request_id,
             } => {
                 obj.push(("dataset".into(), Json::Str(dataset.clone())));
+                if let Some(id) = request_id {
+                    obj.push(("request_id".into(), Json::Str(id.clone())));
+                }
                 if !inserts.is_empty() {
                     obj.push((
                         "insert".into(),
@@ -417,10 +425,24 @@ impl Request {
                 if inserts.is_empty() && deletes.is_empty() {
                     return Err("update needs at least one insert or delete".into());
                 }
+                let request_id = match value.get("request_id") {
+                    None => None,
+                    Some(v) => {
+                        let id = v.as_str().ok_or("'request_id' must be a string")?;
+                        if id.is_empty() {
+                            return Err("'request_id' must not be empty".into());
+                        }
+                        if id.len() > 128 {
+                            return Err("'request_id' must be at most 128 bytes".into());
+                        }
+                        Some(id.to_string())
+                    }
+                };
                 Ok(Request::Update {
                     dataset,
                     inserts,
                     deletes,
+                    request_id,
                 })
             }
             other => Err(format!("unknown command '{other}'")),
@@ -428,13 +450,19 @@ impl Request {
     }
 }
 
-/// Renders an error response payload.
+/// Renders an error response payload.  Every error carries its
+/// `retryable` classification (see [`ServiceError::retryable`]); capacity
+/// errors additionally carry a `retry_after_ms` backoff hint.
 pub fn error_payload(err: &ServiceError) -> String {
-    Json::Obj(vec![
+    let mut obj = vec![
         ("ok".into(), Json::Bool(false)),
         ("error".into(), Json::Str(err.to_string())),
-    ])
-    .to_string()
+        ("retryable".into(), Json::Bool(err.retryable())),
+    ];
+    if let Some(ms) = err.retry_after_ms() {
+        obj.push(("retry_after_ms".into(), Json::Num(ms as f64)));
+    }
+    Json::Obj(obj).to_string()
 }
 
 /// Renders a `query` answer payload.
@@ -677,6 +705,21 @@ pub fn stats_payload(stats: &ServiceStats) -> String {
         ),
         ("full_reevals".into(), Json::Num(s.full_reevals as f64)),
     ]);
+    let r = &stats.reliability;
+    let reliability = Json::Obj(vec![
+        (
+            "connections_shed".into(),
+            Json::Num(r.connections_shed as f64),
+        ),
+        (
+            "idle_disconnects".into(),
+            Json::Num(r.idle_disconnects as f64),
+        ),
+        (
+            "update_dedup_hits".into(),
+            Json::Num(r.update_dedup_hits as f64),
+        ),
+    ]);
     Json::Obj(vec![
         ("ok".into(), Json::Bool(true)),
         ("cache".into(), cache),
@@ -694,6 +737,17 @@ pub fn stats_payload(stats: &ServiceStats) -> String {
         ("query_stats".into(), query_stats),
         ("durability".into(), durability),
         ("subscriptions".into(), subscriptions),
+        ("reliability".into(), reliability),
+        (
+            "degraded".into(),
+            Json::Arr(
+                stats
+                    .degraded
+                    .iter()
+                    .map(|n| Json::Str(n.clone()))
+                    .collect(),
+            ),
+        ),
     ])
     .to_string()
 }
@@ -1239,16 +1293,19 @@ mod tests {
                 dataset: "hotels".into(),
                 inserts: vec![vec![0.25, 0.5], vec![1.0, 0.0]],
                 deletes: vec![3, 17],
+                request_id: None,
             },
             Request::Update {
                 dataset: "d".into(),
                 inserts: Vec::new(),
                 deletes: vec![0],
+                request_id: Some("client-7-42".into()),
             },
             Request::Update {
                 dataset: "d".into(),
                 inserts: vec![vec![0.5, 0.5]],
                 deletes: Vec::new(),
+                request_id: None,
             },
             Request::Subscribe {
                 dataset: "hotels".into(),
@@ -1368,6 +1425,20 @@ mod tests {
         );
         assert!(Request::parse("{\"cmd\":\"update\",\"dataset\":\"d\",\"delete\":[-1]}").is_err());
         assert!(Request::parse("{\"cmd\":\"update\",\"dataset\":\"d\",\"delete\":[1.5]}").is_err());
+        // request_id must be a non-empty, bounded string.
+        assert!(Request::parse(
+            "{\"cmd\":\"update\",\"dataset\":\"d\",\"delete\":[1],\"request_id\":7}"
+        )
+        .is_err());
+        assert!(Request::parse(
+            "{\"cmd\":\"update\",\"dataset\":\"d\",\"delete\":[1],\"request_id\":\"\"}"
+        )
+        .is_err());
+        let long = "x".repeat(129);
+        assert!(Request::parse(&format!(
+            "{{\"cmd\":\"update\",\"dataset\":\"d\",\"delete\":[1],\"request_id\":\"{long}\"}}"
+        ))
+        .is_err());
     }
 
     #[test]
@@ -1419,5 +1490,25 @@ mod tests {
         let v = parse(&text).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
         assert!(v.get("error").unwrap().as_str().unwrap().contains("queue"));
+        assert_eq!(v.get("retryable").unwrap().as_bool(), Some(true));
+        assert!(v.get("retry_after_ms").is_none());
+    }
+
+    #[test]
+    fn error_payload_carries_retry_metadata() {
+        let v = parse(&error_payload(&ServiceError::Overloaded {
+            retry_after_ms: 40,
+        }))
+        .unwrap();
+        assert_eq!(v.get("retryable").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("retry_after_ms").unwrap().as_usize(), Some(40));
+
+        let v = parse(&error_payload(&ServiceError::DatasetDegraded {
+            dataset: "d".into(),
+            reason: "disk full".into(),
+        }))
+        .unwrap();
+        assert_eq!(v.get("retryable").unwrap().as_bool(), Some(false));
+        assert!(v.get("retry_after_ms").is_none());
     }
 }

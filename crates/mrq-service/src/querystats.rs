@@ -8,6 +8,7 @@
 //! (which datasets are hot, how much LP work the witness cache absorbs)
 //! without any per-request logging.
 
+use crate::sync::lock_or_recover;
 use mrq_core::QueryStats;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -59,7 +60,7 @@ impl QueryStatsBook {
 
     /// Folds one executed evaluation into the dataset's totals.
     pub fn record_executed(&self, dataset: &str, stats: &QueryStats) {
-        let mut book = self.inner.lock().expect("stats book lock poisoned");
+        let mut book = lock_or_recover(&self.inner);
         book.entry(dataset.to_string())
             .or_insert_with(|| DatasetQueryStats {
                 dataset: dataset.to_string(),
@@ -70,7 +71,7 @@ impl QueryStatsBook {
 
     /// Counts a cache-served answer for the dataset.
     pub fn record_cache_hit(&self, dataset: &str) {
-        let mut book = self.inner.lock().expect("stats book lock poisoned");
+        let mut book = lock_or_recover(&self.inner);
         book.entry(dataset.to_string())
             .or_insert_with(|| DatasetQueryStats {
                 dataset: dataset.to_string(),
@@ -81,12 +82,7 @@ impl QueryStatsBook {
 
     /// A snapshot of every dataset's totals, ordered by name.
     pub fn snapshot(&self) -> Vec<DatasetQueryStats> {
-        self.inner
-            .lock()
-            .expect("stats book lock poisoned")
-            .values()
-            .cloned()
-            .collect()
+        lock_or_recover(&self.inner).values().cloned().collect()
     }
 }
 

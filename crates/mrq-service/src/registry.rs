@@ -33,16 +33,23 @@
 //! and reports what it did through [`RecoveryReport`] and the cumulative
 //! [`DurabilityStats`].
 
+use crate::sync::{lock_or_recover, read_or_recover, write_or_recover};
 use mrq_core::MaxRankQuery;
 use mrq_data::io::read_csv;
 use mrq_data::storage::{DatasetStore, RecoveryReport, WalBatch, WalOp};
 use mrq_data::{synthetic, Dataset, Distribution, RealDataset, RecordId, Update, UpdateError};
 use mrq_index::RStarTree;
 use rand::{rngs::StdRng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+
+/// How many `(request_id → receipt)` pairs each dataset remembers for
+/// exactly-once UPDATE retries (see [`DatasetHandle::apply_with_id`]).  Old
+/// entries fall out FIFO; a retry arriving after its receipt was evicted is
+/// re-applied, so clients should keep retry horizons well under the window.
+pub const DEDUP_WINDOW: usize = 128;
 
 /// One immutable snapshot of a dataset: records, index, version.
 #[derive(Debug)]
@@ -194,6 +201,36 @@ struct DurableState {
     book: Arc<DurabilityBook>,
 }
 
+/// A bounded FIFO window of applied-update receipts keyed by client
+/// `request_id`, giving UPDATE retries exactly-once semantics (the retry
+/// replays the receipt instead of re-applying the batch).
+#[derive(Debug, Default)]
+struct DedupWindow {
+    receipts: HashMap<String, UpdateOutcome>,
+    order: VecDeque<String>,
+}
+
+impl DedupWindow {
+    fn get(&self, id: &str) -> Option<&UpdateOutcome> {
+        self.receipts.get(id)
+    }
+
+    fn record(&mut self, id: &str, outcome: &UpdateOutcome) {
+        if self
+            .receipts
+            .insert(id.to_string(), outcome.clone())
+            .is_none()
+        {
+            self.order.push_back(id.to_string());
+            while self.order.len() > DEDUP_WINDOW {
+                if let Some(old) = self.order.pop_front() {
+                    self.receipts.remove(&old);
+                }
+            }
+        }
+    }
+}
+
 /// The mutable cell behind a registered name: the current snapshot plus the
 /// per-dataset update serialization lock (and, for durable datasets, the
 /// on-disk store).
@@ -204,6 +241,12 @@ pub struct DatasetHandle {
     update_lock: Mutex<()>,
     /// Present when the dataset is backed by a snapshot + WAL on disk.
     durable: Option<DurableState>,
+    /// `Some(reason)` once a storage failure put the dataset into degraded
+    /// read-only mode.  Never cleared in-process: a restart against a
+    /// healthy disk recovers from the last durable state instead.
+    degraded: Mutex<Option<String>>,
+    /// Receipts for exactly-once UPDATE retries.
+    dedup: Mutex<DedupWindow>,
 }
 
 impl DatasetHandle {
@@ -212,6 +255,8 @@ impl DatasetHandle {
             current: RwLock::new(entry),
             update_lock: Mutex::new(()),
             durable: None,
+            degraded: Mutex::new(None),
+            dedup: Mutex::new(DedupWindow::default()),
         }
     }
 
@@ -220,6 +265,21 @@ impl DatasetHandle {
             current: RwLock::new(entry),
             update_lock: Mutex::new(()),
             durable: Some(state),
+            degraded: Mutex::new(None),
+            dedup: Mutex::new(DedupWindow::default()),
+        }
+    }
+
+    /// The degradation reason, if a storage failure put this dataset into
+    /// read-only mode.
+    pub fn degraded(&self) -> Option<String> {
+        lock_or_recover(&self.degraded).clone()
+    }
+
+    fn mark_degraded(&self, reason: &str) {
+        let mut slot = lock_or_recover(&self.degraded);
+        if slot.is_none() {
+            *slot = Some(reason.to_string());
         }
     }
 
@@ -235,8 +295,13 @@ impl DatasetHandle {
         let Some(dur) = &self.durable else {
             return Ok(false);
         };
-        let _serial = self.update_lock.lock().expect("update lock poisoned");
+        let _serial = lock_or_recover(&self.update_lock);
+        if let Some(reason) = self.degraded() {
+            return Err(UpdateError::Degraded(reason));
+        }
         let snap = self.snapshot();
+        // Fail-stop on poison (see `crate::sync`): a panic mid-append leaves
+        // the store's in-memory offset disagreeing with the file.
         let mut store = dur.store.lock().expect("store lock poisoned");
         store
             .checkpoint(&snap.data)
@@ -247,7 +312,7 @@ impl DatasetHandle {
 
     /// The current snapshot (a cheap `Arc` clone).
     pub fn snapshot(&self) -> Arc<DatasetEntry> {
-        Arc::clone(&self.current.read().expect("handle lock poisoned"))
+        Arc::clone(&read_or_recover(&self.current))
     }
 
     /// Applies an update batch copy-on-write and swaps in the new snapshot.
@@ -262,9 +327,35 @@ impl DatasetHandle {
     /// (and fsynced) **before** the snapshot swap — durability before
     /// visibility, so a crash can lose at most updates that were never
     /// acknowledged.  A failed append ([`UpdateError::Storage`]) discards
-    /// the batch entirely.
+    /// the batch entirely **and** transitions the dataset into degraded
+    /// read-only mode: queries keep serving the last durable snapshot,
+    /// further updates are refused with [`UpdateError::Degraded`] until the
+    /// process restarts against a healthy disk.
     pub fn apply(&self, updates: &[Update]) -> Result<UpdateOutcome, UpdateError> {
-        let _serial = self.update_lock.lock().expect("update lock poisoned");
+        self.apply_with_id(updates, None)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`DatasetHandle::apply`], with an optional client-generated
+    /// `request_id` for exactly-once retries.  When the id matches a receipt
+    /// in the bounded dedup window (see [`DEDUP_WINDOW`]) the batch is *not*
+    /// re-applied; the original receipt is returned with the replay flag
+    /// set.  The window is consulted and recorded under the per-dataset
+    /// update lock, so a retry racing its original observes the receipt.
+    pub fn apply_with_id(
+        &self,
+        updates: &[Update],
+        request_id: Option<&str>,
+    ) -> Result<(UpdateOutcome, bool), UpdateError> {
+        let _serial = lock_or_recover(&self.update_lock);
+        if let Some(id) = request_id {
+            if let Some(receipt) = lock_or_recover(&self.dedup).get(id) {
+                return Ok((receipt.clone(), true));
+            }
+        }
+        if let Some(reason) = self.degraded() {
+            return Err(UpdateError::Degraded(reason));
+        }
         let base = self.snapshot();
         let mut data = base.data.clone();
         let mut tree = base.tree.clone();
@@ -293,24 +384,42 @@ impl DatasetHandle {
                 }
             }
         }
+        let mut checkpoint_failure = None;
         if let Some(dur) = &self.durable {
+            // Fail-stop on poison (see `crate::sync`): a panic mid-append
+            // leaves the store's in-memory offset disagreeing with the file.
             let mut store = dur.store.lock().expect("store lock poisoned");
             let batch = WalBatch {
                 lsn: data.version(),
                 ops,
             };
-            let bytes = store
-                .append(&batch)
-                .map_err(|e| UpdateError::Storage(e.to_string()))?;
+            let bytes = match store.append(&batch) {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    // Not durable ⇒ not committed: reject the batch before
+                    // the swap and go read-only.
+                    let reason = e.to_string();
+                    self.mark_degraded(&reason);
+                    return Err(UpdateError::Storage(reason));
+                }
+            };
             dur.book.wal_appends.fetch_add(1, Ordering::Relaxed);
             dur.book
                 .wal_appended_bytes
                 .fetch_add(bytes, Ordering::Relaxed);
             if store.wal_bytes() > dur.options.checkpoint_wal_bytes {
-                store
-                    .checkpoint(&data)
-                    .map_err(|e| UpdateError::Storage(e.to_string()))?;
-                dur.book.checkpoints.fetch_add(1, Ordering::Relaxed);
+                match store.checkpoint(&data) {
+                    Ok(_) => {
+                        dur.book.checkpoints.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        // The batch *is* durable (its append fsynced), so it
+                        // commits; only the snapshot rewrite failed.  Recovery
+                        // replays the longer WAL, and the dataset degrades so
+                        // the unbounded log cannot keep growing.
+                        checkpoint_failure = Some(e.to_string());
+                    }
+                }
             }
         }
         let entry = Arc::new(DatasetEntry {
@@ -324,8 +433,14 @@ impl DatasetHandle {
             deleted,
             records: entry.data.live_len(),
         };
-        *self.current.write().expect("handle lock poisoned") = entry;
-        Ok(outcome)
+        *write_or_recover(&self.current) = entry;
+        if let Some(id) = request_id {
+            lock_or_recover(&self.dedup).record(id, &outcome);
+        }
+        if let Some(reason) = checkpoint_failure {
+            self.mark_degraded(&format!("checkpoint failed: {reason}"));
+        }
+        Ok((outcome, false))
     }
 }
 
@@ -644,7 +759,7 @@ impl DatasetRegistry {
             map.contains_key(name)
                 .then(|| format!("dataset '{name}' is already registered"))
         };
-        if let Some(err) = taken(&self.entries.read().expect("registry lock poisoned")) {
+        if let Some(err) = taken(&read_or_recover(&self.entries)) {
             return Err(err);
         }
         let entry = Arc::new(DatasetEntry::build(name, data));
@@ -652,7 +767,7 @@ impl DatasetRegistry {
             None => DatasetHandle::new(Arc::clone(&entry)),
             Some(state) => DatasetHandle::new_durable(Arc::clone(&entry), state),
         };
-        let mut map = self.entries.write().expect("registry lock poisoned");
+        let mut map = write_or_recover(&self.entries);
         if let Some(err) = taken(&map) {
             return Err(err);
         }
@@ -665,7 +780,7 @@ impl DatasetRegistry {
     /// snapshot load.  Returns how many datasets were checkpointed.
     pub fn checkpoint_all(&self) -> Result<usize, String> {
         let handles: Vec<(String, Arc<DatasetHandle>)> = {
-            let map = self.entries.read().expect("registry lock poisoned");
+            let map = read_or_recover(&self.entries);
             map.iter()
                 .map(|(name, handle)| (name.clone(), Arc::clone(handle)))
                 .collect()
@@ -696,21 +811,23 @@ impl DatasetRegistry {
 
     /// Looks up the mutable handle of a dataset by name (for updates).
     pub fn handle(&self, name: &str) -> Option<Arc<DatasetHandle>> {
-        self.entries
-            .read()
-            .expect("registry lock poisoned")
-            .get(name)
-            .cloned()
+        read_or_recover(&self.entries).get(name).cloned()
     }
 
     /// The registered names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .entries
-            .read()
-            .expect("registry lock poisoned")
-            .keys()
-            .cloned()
+        let mut names: Vec<String> = read_or_recover(&self.entries).keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The names of datasets currently in degraded read-only mode, sorted
+    /// (surfaced through `STATS` and the `mrq_dataset_degraded` gauge).
+    pub fn degraded_datasets(&self) -> Vec<String> {
+        let mut names: Vec<String> = read_or_recover(&self.entries)
+            .iter()
+            .filter(|(_, handle)| handle.degraded().is_some())
+            .map(|(name, _)| name.clone())
             .collect();
         names.sort();
         names
@@ -718,7 +835,7 @@ impl DatasetRegistry {
 
     /// Number of registered datasets.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("registry lock poisoned").len()
+        read_or_recover(&self.entries).len()
     }
 
     /// Whether no dataset is registered.
@@ -848,6 +965,49 @@ mod tests {
         let snap = handle.snapshot();
         assert_eq!(snap.version(), 0);
         assert_eq!(snap.data().live_len(), 6);
+    }
+
+    #[test]
+    fn apply_with_id_replays_receipt_instead_of_reapplying() {
+        let reg = DatasetRegistry::new();
+        reg.register("demo", &DatasetSpec::Demo).unwrap();
+        let handle = reg.handle("demo").unwrap();
+        let batch = vec![Update::Insert(vec![0.1, 0.2])];
+        let (first, replayed) = handle.apply_with_id(&batch, Some("req-1")).unwrap();
+        assert!(!replayed);
+        assert_eq!(first.version, 1);
+        // The retry does not double-apply: same receipt, same version.
+        let (second, replayed) = handle.apply_with_id(&batch, Some("req-1")).unwrap();
+        assert!(replayed);
+        assert_eq!(first, second);
+        assert_eq!(handle.snapshot().version(), 1);
+        // A different id is a different request.
+        let (third, replayed) = handle.apply_with_id(&batch, Some("req-2")).unwrap();
+        assert!(!replayed);
+        assert_eq!(third.version, 2);
+    }
+
+    #[test]
+    fn dedup_window_is_bounded_fifo() {
+        let reg = DatasetRegistry::new();
+        reg.register("demo", &DatasetSpec::Demo).unwrap();
+        let handle = reg.handle("demo").unwrap();
+        let batch = vec![Update::Insert(vec![0.3, 0.4])];
+        for i in 0..=DEDUP_WINDOW {
+            handle
+                .apply_with_id(&batch, Some(&format!("id-{i}")))
+                .unwrap();
+        }
+        // The newest receipt survives…
+        let (_, replayed) = handle
+            .apply_with_id(&batch, Some(&format!("id-{DEDUP_WINDOW}")))
+            .unwrap();
+        assert!(replayed);
+        // …but the oldest fell out of the window, so its retry re-applies.
+        let before = handle.snapshot().version();
+        let (outcome, replayed) = handle.apply_with_id(&batch, Some("id-0")).unwrap();
+        assert!(!replayed);
+        assert_eq!(outcome.version, before + 1);
     }
 
     #[test]

@@ -20,11 +20,24 @@ use crate::protocol::{
 };
 use crate::service::{MrqService, QueryRequest};
 use crate::subscriptions::NotifyMailbox;
+use crate::sync::lock_or_recover;
 use std::io::{BufRead, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How often the accept thread wakes up when no connection is pending, to
+/// re-check the shutdown flag and reap finished connection threads.  Kept
+/// small and independent of [`ServerConfig::poll_interval`] so a server
+/// configured with a long poll interval still shuts down promptly.
+const ACCEPT_TICK: Duration = Duration::from_millis(50);
+
+/// The `retry_after_ms` hint attached to `server busy` / `overloaded`
+/// rejections.  One connection-poll interval is the natural unit: by then the
+/// server has had a chance to reap a finished connection or drain a queue
+/// slot.
+const RETRY_AFTER_MS: u64 = 100;
 
 /// Tuning knobs for a [`Server`].
 #[derive(Debug, Clone, Copy)]
@@ -35,12 +48,25 @@ pub struct ServerConfig {
     /// during an exchange on the same connection are pushed immediately
     /// after the reply, independent of this interval.
     pub poll_interval: Duration,
+    /// Hard cap on concurrently served connections.  A connection arriving
+    /// above the cap is *shed*: it receives a single retryable `server busy`
+    /// error frame (with a `retry_after_ms` hint) and is closed, instead of
+    /// being silently dropped or queueing without bound.
+    pub max_connections: usize,
+    /// How long a connection may hold a *partially read* frame before it is
+    /// disconnected (the slow-loris defence).  The clock starts at the first
+    /// byte of a frame and covers header and payload; a connection that is
+    /// fully idle between frames (e.g. a subscriber waiting for pushes) is
+    /// never reaped.  `None` disables the reaper.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             poll_interval: Duration::from_millis(200),
+            max_connections: 1024,
+            idle_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -131,11 +157,11 @@ impl Server {
     /// shutdown — combine with [`Server::trigger_shutdown`] or a client
     /// `SHUTDOWN` command.
     pub fn wait(&self) {
-        if let Some(handle) = self.accept.lock().expect("accept lock poisoned").take() {
+        if let Some(handle) = lock_or_recover(&self.accept).take() {
             let _ = handle.join();
         }
         loop {
-            let handle = self.conns.lock().expect("conn lock poisoned").pop();
+            let handle = lock_or_recover(&self.conns).pop();
             match handle {
                 Some(h) => {
                     let _ = h.join();
@@ -159,6 +185,46 @@ impl Drop for Server {
     }
 }
 
+/// Decrements the live-connection count when a connection thread exits, no
+/// matter how it exits (EOF, error, shutdown, panic unwinding).
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Joins every finished connection thread so a long-lived server does not
+/// accumulate zombie threads (an un-joined terminated thread keeps its stack
+/// until joined).  Runs on every accept-loop tick — *not* only when a new
+/// connection arrives — so the handle list shrinks even on a quiet server.
+fn reap_finished(conns: &Mutex<Vec<std::thread::JoinHandle<()>>>) {
+    let mut conns = lock_or_recover(conns);
+    let mut i = 0;
+    while i < conns.len() {
+        if conns[i].is_finished() {
+            let _ = conns.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Sheds one connection above the cap: writes a single retryable
+/// `server busy` error frame and closes the stream.  Best-effort — the peer
+/// may already be gone — but bounded: a short write timeout keeps a dead
+/// peer from stalling the accept thread.
+fn shed_connection(mut stream: TcpStream, service: &MrqService) {
+    service.reliability().count_shed();
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let err = ServiceError::ServerBusy {
+        retry_after_ms: RETRY_AFTER_MS,
+    };
+    let _ = write_frame(&mut stream, &error_payload(&err));
+}
+
 fn accept_loop(
     listener: &TcpListener,
     service: &Arc<MrqService>,
@@ -166,37 +232,64 @@ fn accept_loop(
     conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
     config: ServerConfig,
 ) {
-    for stream in listener.incoming() {
+    // Non-blocking accept with a short sleep tick: the same pass that polls
+    // for new connections also reaps finished connection threads, so the
+    // handle list cannot grow stale while the server is quiet.
+    let active = Arc::new(AtomicUsize::new(0));
+    if listener.set_nonblocking(true).is_err() {
+        // Without non-blocking accept the loop cannot tick; fall back to
+        // doing nothing rather than busy-spinning on a broken listener.
+        return;
+    }
+    loop {
         if signal.is_set() {
             break;
         }
-        let Ok(stream) = stream else {
-            // Accept errors (EMFILE, ECONNABORTED, …) can persist; back off
-            // instead of busy-spinning the accept thread at 100% CPU.
-            std::thread::sleep(Duration::from_millis(50));
-            continue;
+        reap_finished(conns);
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if is_timeout(&e) => {
+                std::thread::sleep(ACCEPT_TICK);
+                continue;
+            }
+            Err(_) => {
+                // Accept errors (EMFILE, ECONNABORTED, …) can persist; back
+                // off instead of busy-spinning the accept thread at 100% CPU.
+                std::thread::sleep(ACCEPT_TICK);
+                continue;
+            }
         };
+        if signal.is_set() {
+            break;
+        }
+        // Admission control happens *before* the thread spawn: the live
+        // count is incremented here and decremented by the connection
+        // thread's drop guard, so the cap is enforced even while threads
+        // are still winding down.
+        if active.load(Ordering::SeqCst) >= config.max_connections {
+            shed_connection(stream, service);
+            continue;
+        }
+        // Accepted sockets may inherit the listener's non-blocking flag on
+        // some platforms; connection threads rely on blocking reads with a
+        // read timeout.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        active.fetch_add(1, Ordering::SeqCst);
+        let guard = ActiveGuard(Arc::clone(&active));
         let service = Arc::clone(service);
         let signal = signal.clone();
         let handle = std::thread::Builder::new()
             .name("mrq-conn".into())
             .spawn(move || {
+                let _guard = guard;
                 let _ = serve_connection(stream, &service, &signal, config);
             });
+        // On spawn failure the closure (and with it the guard) is dropped,
+        // which already decrements the live count.
         if let Ok(handle) = handle {
-            let mut conns = conns.lock().expect("conn lock poisoned");
-            // Reap finished connection threads as new ones arrive so a
-            // long-lived server does not accumulate zombie threads (an
-            // un-joined terminated thread keeps its stack until joined).
-            let mut i = 0;
-            while i < conns.len() {
-                if conns[i].is_finished() {
-                    let _ = conns.swap_remove(i).join();
-                } else {
-                    i += 1;
-                }
-            }
-            conns.push(handle);
+            lock_or_recover(conns).push(handle);
         }
     }
 }
@@ -244,12 +337,24 @@ fn serve_frames(
         // below and re-entering the read (idle connections are covered by
         // the `on_idle` hook, ≤ one poll interval of latency).
         drain_notifies(&mut writer, mailbox)?;
-        let read = read_frame_polling(&mut reader, &mut header, signal, || {
-            drain_notifies(&mut writer, mailbox)
-        })?;
+        let read = read_frame_polling(
+            &mut reader,
+            &mut header,
+            signal,
+            config.idle_timeout,
+            || drain_notifies(&mut writer, mailbox),
+        )?;
         let payload = match read {
             FrameRead::Frame(payload) => payload,
             FrameRead::Eof | FrameRead::ShuttingDown => return Ok(()),
+            FrameRead::IdleExpired => {
+                // Slow-loris defence: the peer held a partial frame past the
+                // idle timeout.  Tell it why (retryable — a healthy client
+                // may simply reconnect and resend) and cut the connection.
+                service.reliability().count_idle_disconnect();
+                let _ = write_frame(&mut writer, &error_payload(&ServiceError::IdleTimeout));
+                return Ok(());
+            }
             FrameRead::Malformed(msg) => {
                 // Framing is broken: report and drop the connection (the
                 // stream position is no longer trustworthy).
@@ -321,13 +426,19 @@ fn serve_frames(
             }
             Ok(Request::Update {
                 dataset,
+                request_id,
                 inserts,
                 deletes,
             }) => {
                 // Updates run on the connection thread: they are serialized
                 // per dataset by the registry handle, and never compete with
                 // queries for the worker pool.
-                let payload = match service.update(&dataset, &update_batch(&inserts, &deletes)) {
+                let outcome = service.update_with_id(
+                    &dataset,
+                    &update_batch(&inserts, &deletes),
+                    request_id.as_deref(),
+                );
+                let payload = match outcome {
                     Ok(outcome) => update_payload(&outcome),
                     Err(err) => error_payload(&err),
                 };
@@ -357,6 +468,12 @@ fn serve_frames(
                     .and_then(|pending| pending.wait());
                 let payload = match reply {
                     Ok(answer) => query_payload(&answer, max_regions),
+                    // A full pool queue is transient backpressure, not a
+                    // request defect: surface it as the typed retryable
+                    // `overloaded` error with a backoff hint.
+                    Err(ServiceError::QueueFull) => error_payload(&ServiceError::Overloaded {
+                        retry_after_ms: RETRY_AFTER_MS,
+                    }),
                     Err(err) => error_payload(&err),
                 };
                 write_frame(&mut writer, &payload)?;
@@ -373,6 +490,8 @@ enum FrameRead {
     Frame(String),
     Eof,
     ShuttingDown,
+    /// A partial frame sat unfinished past [`ServerConfig::idle_timeout`].
+    IdleExpired,
     Malformed(String),
 }
 
@@ -390,12 +509,26 @@ fn is_timeout(err: &std::io::Error) -> bool {
 /// uses to flush queued `NOTIFY` frames between exchanges (never once a
 /// request frame is partially read, so pushes never land inside an
 /// exchange).
+///
+/// `idle_timeout` is the slow-loris budget: once the first byte of a frame
+/// has arrived, the whole frame (header and payload) must complete within
+/// it, or the read resolves to [`FrameRead::IdleExpired`].  A connection
+/// with *no* partial frame — an idle subscriber — is never expired.
 fn read_frame_polling(
     reader: &mut BufReader<TcpStream>,
     header: &mut Vec<u8>,
     signal: &ShutdownSignal,
+    idle_timeout: Option<Duration>,
     mut on_idle: impl FnMut() -> std::io::Result<()>,
 ) -> std::io::Result<FrameRead> {
+    // Started at the first poll tick that observes a partial frame; the
+    // slow-loris clock.  (`read_until` appends partial bytes and *then*
+    // reports the timeout, so the clock cannot start on a successful read.)
+    let mut partial_since: Option<Instant> = None;
+    fn expired_now(since: &mut Option<Instant>, limit: Option<Duration>) -> bool {
+        let start = *since.get_or_insert_with(Instant::now);
+        limit.is_some_and(|limit| start.elapsed() >= limit)
+    }
     // Header: bytes up to '\n'.  `read_until` appends whatever arrived
     // before a timeout, so looping preserves partial prefixes.  The `take`
     // budget caps the header so a peer streaming bytes with no newline
@@ -420,6 +553,8 @@ fn read_frame_polling(
                 }
                 if header.is_empty() {
                     on_idle()?;
+                } else if expired_now(&mut partial_since, idle_timeout) {
+                    return Ok(FrameRead::IdleExpired);
                 }
             }
             Err(e) => return Err(e),
@@ -451,6 +586,9 @@ fn read_frame_polling(
             Err(e) if is_timeout(&e) => {
                 if signal.is_set() {
                     return Ok(FrameRead::ShuttingDown);
+                }
+                if expired_now(&mut partial_since, idle_timeout) {
+                    return Ok(FrameRead::IdleExpired);
                 }
             }
             Err(e) => return Err(e),
@@ -585,6 +723,7 @@ mod tests {
             "127.0.0.1:0",
             ServerConfig {
                 poll_interval: Duration::from_secs(10),
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -612,6 +751,111 @@ mod tests {
         // to one (10 s) poll tick per idle connection thread.
         client.shutdown_server().unwrap();
         server.wait();
+    }
+
+    fn demo_server_with(config: ServerConfig) -> Server {
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.register("demo", &DatasetSpec::Demo).unwrap();
+        let service = Arc::new(MrqService::new(
+            registry,
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        ));
+        Server::start_with(service, "127.0.0.1:0", config).unwrap()
+    }
+
+    #[test]
+    fn connections_above_the_cap_are_shed_with_a_busy_frame() {
+        let server = demo_server_with(ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        });
+        let mut first = TcpStream::connect(server.local_addr()).unwrap();
+        // The ping reply proves the first connection was admitted (the live
+        // count is incremented before the connection thread starts serving).
+        let pong = roundtrip(&mut first, "{\"cmd\":\"ping\"}");
+        assert!(pong.contains("\"pong\":true"));
+        let second = TcpStream::connect(server.local_addr()).unwrap();
+        second
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(second);
+        let reply = read_frame(&mut reader).unwrap().expect("busy frame");
+        assert!(reply.contains("server busy"), "{reply}");
+        assert!(reply.contains("\"retryable\":true"), "{reply}");
+        assert!(reply.contains("\"retry_after_ms\""), "{reply}");
+        // The shed connection is closed after the frame.
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+        assert!(server.service().stats().reliability.connections_shed >= 1);
+        // The first connection is unaffected.
+        let pong = roundtrip(&mut first, "{\"cmd\":\"ping\"}");
+        assert!(pong.contains("\"pong\":true"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_partial_frame_is_disconnected_after_idle_timeout() {
+        let server = demo_server_with(ServerConfig {
+            poll_interval: Duration::from_millis(25),
+            idle_timeout: Some(Duration::from_millis(150)),
+            ..ServerConfig::default()
+        });
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // A partial header with no newline, then silence: the classic
+        // slow-loris hold.
+        stream.write_all(b"12").unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let reply = read_frame(&mut reader)
+            .unwrap()
+            .expect("idle-timeout frame");
+        assert!(reply.contains("idle timeout"), "{reply}");
+        assert!(reply.contains("\"retryable\":true"), "{reply}");
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+        assert_eq!(server.service().stats().reliability.idle_disconnects, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn fully_idle_connection_without_partial_frame_is_not_reaped() {
+        // Only *partial frames* age out; a quiet subscriber-style connection
+        // must survive arbitrarily long past the idle timeout.
+        let server = demo_server_with(ServerConfig {
+            poll_interval: Duration::from_millis(25),
+            idle_timeout: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        });
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        assert!(roundtrip(&mut stream, "{\"cmd\":\"ping\"}").contains("\"pong\":true"));
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(roundtrip(&mut stream, "{\"cmd\":\"ping\"}").contains("\"pong\":true"));
+        assert_eq!(server.service().stats().reliability.idle_disconnects, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn finished_connection_threads_are_reaped_without_new_arrivals() {
+        // Regression for the old accept loop, which only joined finished
+        // connection threads when a *new* connection arrived: on a quiet
+        // server the handle list must shrink on the accept tick alone.
+        let server = demo_server();
+        {
+            let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+            let _ = roundtrip(&mut stream, "{\"cmd\":\"ping\"}");
+        } // dropped: the connection thread sees EOF and exits
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !lock_or_recover(&server.conns).is_empty() {
+            assert!(
+                Instant::now() < deadline,
+                "finished connection thread was never reaped"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        server.shutdown();
     }
 
     #[test]

@@ -8,8 +8,10 @@ use crate::pool::{JobOutcome, PoolConfig, PoolStats, QueryJob, WorkerPool};
 use crate::querystats::{DatasetQueryStats, QueryStatsBook};
 use crate::registry::{DatasetEntry, DatasetRegistry, DurabilityStats, UpdateOutcome};
 use crate::subscriptions::{NotifyMailbox, Subscription, SubscriptionBook, SubscriptionStats};
+use crate::sync::lock_or_recover;
 use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery, MaxRankResult};
 use mrq_data::{RecordId, Update};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -115,6 +117,61 @@ pub struct ServiceStats {
     /// Standing-query counters: active subscriptions and the delta-triage
     /// outcome tallies.
     pub subscriptions: SubscriptionStats,
+    /// Fault-tolerance counters: shed connections, idle disconnects and
+    /// UPDATE dedup replays.
+    pub reliability: ReliabilityStats,
+    /// Names of datasets currently in degraded read-only mode, sorted.
+    pub degraded: Vec<String>,
+}
+
+/// Point-in-time fault-tolerance counters, surfaced through `STATS` and
+/// `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilityStats {
+    /// Connections refused at accept time because the server was at its
+    /// connection limit.
+    pub connections_shed: u64,
+    /// Connections dropped for holding a partial frame past the idle
+    /// timeout (slow-loris protection).
+    pub idle_disconnects: u64,
+    /// UPDATE requests answered from the dedup window (a retry whose
+    /// original had already applied).
+    pub update_dedup_hits: u64,
+}
+
+/// Shared fault-tolerance counter cell: the TCP server increments the
+/// connection-level counters, the service increments the dedup counter.
+#[derive(Debug, Default)]
+pub struct ReliabilityBook {
+    connections_shed: AtomicU64,
+    idle_disconnects: AtomicU64,
+    update_dedup_hits: AtomicU64,
+}
+
+impl ReliabilityBook {
+    /// Counts one connection refused at accept time.
+    pub fn count_shed(&self) {
+        self.connections_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one idle (slow-loris) disconnect.
+    pub fn count_idle_disconnect(&self) {
+        self.idle_disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one UPDATE replayed from the dedup window.
+    pub fn count_dedup_hit(&self) {
+        self.update_dedup_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot.
+    pub fn snapshot(&self) -> ReliabilityStats {
+        ReliabilityStats {
+            connections_shed: self.connections_shed.load(Ordering::Relaxed),
+            idle_disconnects: self.idle_disconnects.load(Ordering::Relaxed),
+            update_dedup_hits: self.update_dedup_hits.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A pending answer: the validated request was accepted by the queue.
@@ -162,6 +219,7 @@ pub struct MrqService {
     cache: Arc<ResultCache>,
     query_stats: Arc<QueryStatsBook>,
     subscriptions: Arc<SubscriptionBook>,
+    reliability: Arc<ReliabilityBook>,
     pool: WorkerPool,
     config: ServiceConfig,
 }
@@ -185,6 +243,7 @@ impl MrqService {
             cache,
             query_stats,
             subscriptions: Arc::new(SubscriptionBook::new()),
+            reliability: Arc::new(ReliabilityBook::default()),
             pool,
             config,
         }
@@ -193,6 +252,12 @@ impl MrqService {
     /// The dataset registry.
     pub fn registry(&self) -> &Arc<DatasetRegistry> {
         &self.registry
+    }
+
+    /// The shared fault-tolerance counters (the TCP server increments the
+    /// connection-level ones).
+    pub fn reliability(&self) -> &Arc<ReliabilityBook> {
+        &self.reliability
     }
 
     /// Validates a request and enqueues it, blocking while the queue is full.
@@ -301,6 +366,20 @@ impl MrqService {
     /// batch becomes visible.  Runs on the calling thread: mutation latency
     /// never competes with queries for the worker pool.
     pub fn update(&self, dataset: &str, updates: &[Update]) -> Result<UpdateOutcome, ServiceError> {
+        self.update_with_id(dataset, updates, None)
+    }
+
+    /// Like [`MrqService::update`], with an optional client-generated
+    /// `request_id` for exactly-once retries: a retry whose original already
+    /// applied replays the receipt from the dataset's dedup window instead
+    /// of re-applying (and skips cache purge and subscription triage — both
+    /// already ran when the original landed).
+    pub fn update_with_id(
+        &self,
+        dataset: &str,
+        updates: &[Update],
+        request_id: Option<&str>,
+    ) -> Result<UpdateOutcome, ServiceError> {
         if updates.is_empty() {
             return Err(ServiceError::BadRequest(
                 "update needs at least one insert or delete".into(),
@@ -315,14 +394,26 @@ impl MrqService {
         // snapshot (and is then triaged by this batch) or the post-batch one
         // — never a result stamped with the wrong version.
         let subs = self.subscriptions.dataset(dataset);
-        let mut subs = subs.lock().expect("subscription list poisoned");
-        let outcome = handle.apply(updates).map_err(|e| match e {
-            // A storage failure is the server's problem, not the client's.
-            mrq_data::UpdateError::Storage(msg) => {
-                ServiceError::Internal(format!("update not committed: {msg}"))
-            }
-            other => ServiceError::BadRequest(format!("update rejected: {other}")),
-        })?;
+        let mut subs = lock_or_recover(&subs);
+        let (outcome, replayed) =
+            handle
+                .apply_with_id(updates, request_id)
+                .map_err(|e| match e {
+                    // A storage failure is the server's problem, not the
+                    // client's.
+                    mrq_data::UpdateError::Storage(msg) => {
+                        ServiceError::Internal(format!("update not committed: {msg}"))
+                    }
+                    mrq_data::UpdateError::Degraded(reason) => ServiceError::DatasetDegraded {
+                        dataset: dataset.to_string(),
+                        reason,
+                    },
+                    other => ServiceError::BadRequest(format!("update rejected: {other}")),
+                })?;
+        if replayed {
+            self.reliability.count_dedup_hit();
+            return Ok(outcome);
+        }
         // Entries of superseded versions can never be hit again; return
         // their LRU slots now instead of waiting for unreachability.
         self.cache.purge_stale(dataset, outcome.version);
@@ -352,7 +443,7 @@ impl MrqService {
         mailbox: Arc<NotifyMailbox>,
     ) -> Result<Arc<Subscription>, ServiceError> {
         let subs = self.subscriptions.dataset(dataset);
-        let mut subs = subs.lock().expect("subscription list poisoned");
+        let mut subs = lock_or_recover(&subs);
         let (entry, resolved) = self.validated_snapshot(dataset, focal, algorithm)?;
         let config = MaxRankConfig {
             tau,
@@ -395,6 +486,8 @@ impl MrqService {
             per_dataset: self.query_stats.snapshot(),
             durability: self.registry.durability_stats(),
             subscriptions: self.subscriptions.stats(),
+            reliability: self.reliability.snapshot(),
+            degraded: self.registry.degraded_datasets(),
         }
     }
 
@@ -652,6 +745,21 @@ mod tests {
         ));
         // Nothing landed.
         assert_eq!(service.registry().get("demo").unwrap().version(), 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn update_with_id_replays_and_counts_dedup_hits() {
+        let service = demo_service(ServiceConfig::default());
+        let batch = vec![Update::Insert(vec![0.9, 0.1])];
+        let first = service.update_with_id("demo", &batch, Some("r1")).unwrap();
+        // The retry is answered from the dedup window, not re-applied.
+        let second = service.update_with_id("demo", &batch, Some("r1")).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(service.registry().get("demo").unwrap().version(), 1);
+        let stats = service.stats();
+        assert_eq!(stats.reliability.update_dedup_hits, 1);
+        assert!(stats.degraded.is_empty());
         service.shutdown();
     }
 

@@ -20,6 +20,7 @@
 //! stamped with, with no window where an update could slip between an
 //! evaluation and the bookkeeping.
 
+use crate::sync::lock_or_recover;
 use mrq_core::maintain::{shift_result, triage_delete, triage_insert, DeltaTriage};
 use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery, MaxRankResult};
 use mrq_data::{RecordId, Update};
@@ -85,15 +86,12 @@ impl NotifyMailbox {
 
     /// Queues one event.
     pub fn push(&self, event: NotifyEvent) {
-        self.queue
-            .lock()
-            .expect("notify mailbox lock poisoned")
-            .push_back(event);
+        lock_or_recover(&self.queue).push_back(event);
     }
 
     /// Takes every pending event, oldest first.
     pub fn drain(&self) -> Vec<NotifyEvent> {
-        let mut queue = self.queue.lock().expect("notify mailbox lock poisoned");
+        let mut queue = lock_or_recover(&self.queue);
         queue.drain(..).collect()
     }
 }
@@ -149,7 +147,7 @@ impl Subscription {
 
     /// The resident result and the dataset version it is exact for.
     pub fn snapshot(&self) -> (Arc<MaxRankResult>, u64) {
-        let state = self.state.lock().expect("subscription lock poisoned");
+        let state = lock_or_recover(&self.state);
         (Arc::clone(&state.result), state.version)
     }
 }
@@ -193,7 +191,7 @@ impl SubscriptionBook {
 
     /// The subscription list (and lock) of one dataset, created on demand.
     pub fn dataset(&self, name: &str) -> DatasetSubscriptions {
-        let mut datasets = self.datasets.lock().expect("subscription book poisoned");
+        let mut datasets = lock_or_recover(&self.datasets);
         Arc::clone(datasets.entry(name.to_string()).or_default())
     }
 
@@ -226,9 +224,9 @@ impl SubscriptionBook {
 
     /// Removes the subscription with `id`.  Returns whether it existed.
     pub fn remove(&self, id: u64) -> bool {
-        let datasets = self.datasets.lock().expect("subscription book poisoned");
+        let datasets = lock_or_recover(&self.datasets);
         for subs in datasets.values() {
-            let mut subs = subs.lock().expect("subscription list poisoned");
+            let mut subs = lock_or_recover(subs);
             if let Some(pos) = subs.iter().position(|s| s.id == id) {
                 subs.remove(pos);
                 self.active.fetch_sub(1, Ordering::Relaxed);
@@ -241,10 +239,10 @@ impl SubscriptionBook {
     /// Removes every subscription registered through `mailbox` (the owning
     /// connection is going away).  Returns how many were dropped.
     pub fn remove_mailbox(&self, mailbox: &Arc<NotifyMailbox>) -> usize {
-        let datasets = self.datasets.lock().expect("subscription book poisoned");
+        let datasets = lock_or_recover(&self.datasets);
         let mut dropped = 0usize;
         for subs in datasets.values() {
-            let mut subs = subs.lock().expect("subscription list poisoned");
+            let mut subs = lock_or_recover(subs);
             let before = subs.len();
             subs.retain(|s| !Arc::ptr_eq(&s.mailbox, mailbox));
             dropped += before - subs.len();
@@ -301,7 +299,7 @@ impl SubscriptionBook {
         version: u64,
     ) {
         let focal_row = entry.data().record(sub.focal);
-        let mut state = sub.state.lock().expect("subscription lock poisoned");
+        let mut state = lock_or_recover(&sub.state);
         let mut result = Arc::clone(&state.result);
         let mut changed = false;
         let mut reenumerate = false;

@@ -1,0 +1,283 @@
+//! A deterministic TCP chaos proxy for fault-injection tests.
+//!
+//! The proxy sits between a [`Client`](mrq_service::Client) and a real
+//! server, forwarding bytes **uncorrupted** but mangling delivery in the
+//! ways flaky networks do: added latency, byte-at-a-time partial writes,
+//! long mid-frame stalls and abrupt mid-stream connection resets.  Every
+//! fault is drawn from a seeded xorshift stream keyed by the connection
+//! index, so a given `(seed, connection ordinal)` always yields the same
+//! fault schedule — chaos runs are replayable bit for bit.
+//!
+//! Resets deliberately fire *after* bytes of a request have been forwarded:
+//! the cruellest case is an update the server committed whose
+//! acknowledgement never arrived, which is exactly what `request_id` dedup
+//! plus client retries must turn back into exactly-once.
+#![allow(dead_code)]
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Knobs for the fault schedule.  All probabilities are percentages.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Seed for the deterministic fault stream.
+    pub seed: u64,
+    /// Chance that a connection is scheduled for a mid-stream reset.  The
+    /// very first connection is always scheduled, so any run that opens the
+    /// proxy at all observes at least one reset.
+    pub reset_percent: u64,
+    /// Client→server bytes forwarded before a scheduled reset fires,
+    /// drawn uniformly from this half-open range.
+    pub reset_window: (usize, usize),
+    /// Extra bytes added to the window per connection ordinal.  Escalation
+    /// guarantees forward progress: each reconnect survives strictly longer,
+    /// so a retrying client always outruns the fault schedule eventually.
+    pub reset_growth: usize,
+    /// Forwarded chunks are `1..=max_chunk` bytes — small values shred
+    /// frames across many `write` calls.
+    pub max_chunk: usize,
+    /// Chance that an individual chunk is preceded by a stall.
+    pub stall_percent: u64,
+    /// Length of such a stall.
+    pub stall: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC4A05,
+            reset_percent: 35,
+            reset_window: (8, 160),
+            reset_growth: 64,
+            max_chunk: 7,
+            stall_percent: 10,
+            stall: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Minimal xorshift64 stream — the tests must not depend on `rand` here so
+/// the proxy stays a self-contained drop-in for any integration target.
+struct FaultRng(u64);
+
+impl FaultRng {
+    fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// The per-connection schedule, derived once from the connection ordinal.
+struct FaultPlan {
+    /// Client→server bytes after which both directions are torn down.
+    reset_after: Option<usize>,
+    rng: FaultRng,
+    config: ChaosConfig,
+}
+
+impl FaultPlan {
+    fn derive(config: ChaosConfig, ordinal: u64) -> Self {
+        let mut rng = FaultRng::new(config.seed ^ ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let scheduled = ordinal == 0 || rng.below(100) < config.reset_percent;
+        let reset_after = scheduled.then(|| {
+            let (lo, hi) = config.reset_window;
+            lo + ordinal as usize * config.reset_growth
+                + rng.below(hi.saturating_sub(lo).max(1) as u64) as usize
+        });
+        Self {
+            reset_after,
+            rng,
+            config,
+        }
+    }
+
+    fn chunk_len(&mut self) -> usize {
+        1 + self.rng.below(self.config.max_chunk.max(1) as u64) as usize
+    }
+
+    fn stalls(&mut self) -> bool {
+        self.rng.below(100) < self.config.stall_percent
+    }
+}
+
+/// A chaos proxy listening on an ephemeral loopback port.  Dropping it
+/// stops the accept loop; in-flight pumps notice the stop flag and exit.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    resets: Arc<AtomicU64>,
+    connections: Arc<AtomicU64>,
+}
+
+impl ChaosProxy {
+    /// Starts relaying `proxy addr → upstream` with the given fault knobs.
+    pub fn start(upstream: SocketAddr, config: ChaosConfig) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let resets = Arc::new(AtomicU64::new(0));
+        let connections = Arc::new(AtomicU64::new(0));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let resets = Arc::clone(&resets);
+            let connections = Arc::clone(&connections);
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            let ordinal = connections.fetch_add(1, Ordering::Relaxed);
+                            let Ok(server) = TcpStream::connect(upstream) else {
+                                continue;
+                            };
+                            relay(
+                                client,
+                                server,
+                                config,
+                                ordinal,
+                                Arc::clone(&stop),
+                                Arc::clone(&resets),
+                            );
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            resets,
+            connections,
+        })
+    }
+
+    /// The address clients should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many scheduled resets actually fired.
+    pub fn resets(&self) -> u64 {
+        self.resets.load(Ordering::Relaxed)
+    }
+
+    /// How many connections were accepted (reconnects included).
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Spawns the two pump threads for one proxied connection.  The scheduled
+/// reset alternates direction by connection ordinal: even connections tear
+/// the request path (a torn request the server never saw), odd ones the
+/// reply path — which is the sharp case, a request the server fully
+/// processed whose acknowledgement never arrives.  Both directions always
+/// get chunking and stalls.
+fn relay(
+    client: TcpStream,
+    server: TcpStream,
+    config: ChaosConfig,
+    ordinal: u64,
+    stop: Arc<AtomicBool>,
+    resets: Arc<AtomicU64>,
+) {
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    let (Ok(client_rd), Ok(server_rd)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    let mut plan = FaultPlan::derive(config, ordinal);
+    let mut reply_plan = FaultPlan {
+        reset_after: None,
+        rng: FaultRng::new(plan.rng.0 ^ 0x5DEE_CE66),
+        config,
+    };
+    if ordinal % 2 == 1 {
+        reply_plan.reset_after = plan.reset_after.take();
+    }
+    {
+        let stop = Arc::clone(&stop);
+        let resets = Arc::clone(&resets);
+        thread::spawn(move || pump(client_rd, server, plan, stop, resets));
+    }
+    thread::spawn(move || pump(server_rd, client, reply_plan, stop, resets));
+}
+
+/// Copies bytes `from → to` through the fault plan until EOF, an error,
+/// the stop flag, or a scheduled reset.
+fn pump(
+    mut from: TcpStream,
+    to: TcpStream,
+    mut plan: FaultPlan,
+    stop: Arc<AtomicBool>,
+    resets: Arc<AtomicU64>,
+) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut buf = [0u8; 4096];
+    let mut forwarded = 0usize;
+    'outer: while !stop.load(Ordering::Relaxed) {
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => break,
+        };
+        let mut off = 0;
+        while off < n {
+            if let Some(at) = plan.reset_after {
+                if forwarded >= at {
+                    // Mid-frame reset: some bytes of the current request are
+                    // already upstream, the rest never arrive.
+                    resets.fetch_add(1, Ordering::Relaxed);
+                    let _ = from.shutdown(Shutdown::Both);
+                    let _ = to.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            let mut len = plan.chunk_len().min(n - off);
+            if let Some(at) = plan.reset_after {
+                // Land the reset exactly on its scheduled byte.
+                len = len.min((at - forwarded).max(1));
+            }
+            if plan.stalls() {
+                thread::sleep(plan.config.stall);
+            }
+            if (&to).write_all(&buf[off..off + len]).is_err() {
+                break 'outer;
+            }
+            forwarded += len;
+            off += len;
+        }
+    }
+    // Propagate EOF without tearing down the opposite direction.
+    let _ = to.shutdown(Shutdown::Write);
+}

@@ -5,6 +5,8 @@
 //! every target uses every helper.
 #![allow(dead_code)]
 
+pub mod chaos;
+
 use mrq_core::{Algorithm, MaxRankConfig, MaxRankQuery, MaxRankResult};
 use mrq_data::{Dataset, Update};
 use mrq_index::RStarTree;

@@ -11,8 +11,8 @@
 //! ```
 
 use mrq_service::{
-    render_metrics, CacheStats, DatasetQueryStats, DurabilityStats, PoolStats, ServiceStats,
-    SubscriptionStats,
+    render_metrics, CacheStats, DatasetQueryStats, DurabilityStats, PoolStats, ReliabilityStats,
+    ServiceStats, SubscriptionStats,
 };
 use std::path::PathBuf;
 
@@ -77,6 +77,12 @@ fn golden_stats() -> ServiceStats {
             partial_repairs: 25,
             full_reevals: 5,
         },
+        reliability: ReliabilityStats {
+            connections_shed: 17,
+            idle_disconnects: 3,
+            update_dedup_hits: 8,
+        },
+        degraded: vec!["hotels\"eu\"".into()],
     }
 }
 

@@ -109,10 +109,11 @@ fn unsubscribe_strategy() -> impl Strategy<Value = Request> {
 fn update_strategy() -> impl Strategy<Value = Request> {
     (
         name_strategy(),
+        (any::<bool>(), name_strategy()),
         prop::collection::vec(prop::collection::vec(finite_f64(), 0..5), 0..4),
         prop::collection::vec(any::<u32>(), 0..5),
     )
-        .prop_map(|(dataset, inserts, mut deletes)| {
+        .prop_map(|(dataset, (with_id, id), inserts, mut deletes)| {
             if inserts.is_empty() && deletes.is_empty() {
                 // The wire format rejects empty batches, so keep at least
                 // one operation in every generated request.
@@ -120,6 +121,7 @@ fn update_strategy() -> impl Strategy<Value = Request> {
             }
             Request::Update {
                 dataset,
+                request_id: with_id.then_some(id),
                 inserts,
                 deletes,
             }

@@ -33,7 +33,7 @@
 
 use maxrank::service::{
     DatasetRegistry, DatasetSpec, DurabilityOptions, MetricsServer, MrqService, Server,
-    ServiceConfig,
+    ServerConfig, ServiceConfig,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -52,20 +52,25 @@ struct Args {
     checkpoint_wal_bytes: Option<u64>,
     metrics_port: Option<u16>,
     metrics_port_file: Option<String>,
+    max_connections: Option<usize>,
+    idle_timeout_ms: Option<u64>,
 }
 
 fn usage() -> String {
     "usage: maxrank-serve (--demo | --dataset NAME=SPEC)... [--listen HOST:PORT] \
      [--port-file PATH] [--workers N] [--queue N] [--cache N] [--deadline-ms MS] \
      [--data-dir DIR] [--checkpoint-wal-bytes N] [--metrics-port PORT] \
-     [--metrics-port-file PATH]\n\
+     [--metrics-port-file PATH] [--max-connections N] [--idle-timeout-ms MS]\n\
      SPEC: demo | ind:n=1000,d=3,seed=42 | cor:... | anti:... | \
      hotel:scale=0.01,seed=1 | house:... | nba:... | pitch:... | bat:... | \
      csv:path=FILE,dims=D\n\
      --data-dir makes every dataset durable (snapshot + WAL under DIR/NAME/, \
      recovered on restart)\n\
      --metrics-port serves Prometheus text on http://127.0.0.1:PORT/metrics \
-     (0 = ephemeral; --metrics-port-file writes the bound port)"
+     (0 = ephemeral; --metrics-port-file writes the bound port)\n\
+     --max-connections sheds arrivals above N with a retryable 'server busy' \
+     error; --idle-timeout-ms disconnects clients stalled mid-frame \
+     (0 = never)"
         .to_string()
 }
 
@@ -82,6 +87,8 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_wal_bytes: None,
         metrics_port: None,
         metrics_port_file: None,
+        max_connections: None,
+        idle_timeout_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -135,6 +142,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--metrics-port-file" => {
                 args.metrics_port_file = Some(it.next().ok_or("--metrics-port-file needs a path")?);
+            }
+            "--max-connections" => {
+                let n = parse_num(&mut it, "--max-connections")?;
+                if n == 0 {
+                    return Err("--max-connections must be at least 1".into());
+                }
+                args.max_connections = Some(n);
+            }
+            "--idle-timeout-ms" => {
+                args.idle_timeout_ms = Some(parse_num(&mut it, "--idle-timeout-ms")? as u64);
             }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
@@ -220,7 +237,21 @@ fn main() -> ExitCode {
         ..defaults
     };
     let service = Arc::new(MrqService::new(Arc::clone(&registry), config));
-    let server = match Server::start(Arc::clone(&service), args.listen.as_str()) {
+    let server_defaults = ServerConfig::default();
+    let server_config = ServerConfig {
+        max_connections: args
+            .max_connections
+            .unwrap_or(server_defaults.max_connections),
+        // 0 disables the reaper; any other value overrides the default.
+        idle_timeout: match args.idle_timeout_ms {
+            None => server_defaults.idle_timeout,
+            Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms)),
+        },
+        ..server_defaults
+    };
+    let server = match Server::start_with(Arc::clone(&service), args.listen.as_str(), server_config)
+    {
         Ok(s) => s,
         Err(e) => {
             eprintln!("failed to bind {}: {e}", args.listen);
@@ -229,8 +260,8 @@ fn main() -> ExitCode {
     };
     let addr = server.local_addr();
     println!(
-        "listening on {addr} ({} workers, queue {}, cache {})",
-        config.workers, config.queue_capacity, config.cache_capacity
+        "listening on {addr} ({} workers, queue {}, cache {}, max {} connections)",
+        config.workers, config.queue_capacity, config.cache_capacity, server_config.max_connections
     );
     if let Some(path) = &args.port_file {
         if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
